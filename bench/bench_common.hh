@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Shared plumbing for the figure/table benchmark harnesses: flag
+ * handling, scaled default trace lengths, and machine x workload run
+ * matrices.
+ *
+ * Every harness accepts --instructions (per-app dynamic length) and
+ * honours the CDVM_SCALE environment variable; the defaults keep the
+ * full suite within minutes while preserving curve shape. The paper's
+ * own lengths are 100 M (accumulated statistics) and 500 M
+ * (time-variation studies) -- pass --instructions 500000000 to match.
+ */
+
+#ifndef CDVM_BENCH_COMMON_HH
+#define CDVM_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/startup_curve.hh"
+#include "common/cli.hh"
+#include "common/table.hh"
+#include "timing/startup_sim.hh"
+#include "workload/winstone.hh"
+
+namespace cdvm::bench
+{
+
+/** Parse standard flags; returns the per-app instruction count. */
+inline u64
+standardSetup(Cli &cli, int argc, char **argv, u64 default_insns)
+{
+    cli.flag("instructions", std::to_string(default_insns),
+             "dynamic x86 instructions per application trace");
+    cli.parse(argc, argv);
+    double scaled = static_cast<double>(cli.num("instructions")) *
+                    envScale();
+    u64 n = static_cast<u64>(scaled);
+    return n < 1'000'000 ? 1'000'000 : n;
+}
+
+/** Run one machine over every app; returns per-app results. */
+inline std::vector<timing::StartupResult>
+runMachine(const timing::MachineConfig &m,
+           const std::vector<workload::AppProfile> &apps)
+{
+    std::vector<timing::StartupResult> out;
+    out.reserve(apps.size());
+    for (const workload::AppProfile &app : apps) {
+        timing::StartupSim sim(m, app);
+        out.push_back(sim.run());
+        std::fprintf(stderr, "  [%s / %s] %.0fM cycles\n",
+                     m.name.c_str(), app.name.c_str(),
+                     static_cast<double>(out.back().totalCycles) / 1e6);
+    }
+    return out;
+}
+
+} // namespace cdvm::bench
+
+#endif // CDVM_BENCH_COMMON_HH

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Host-side micro-benchmarks (google-benchmark) of the translation
+ * pipeline components: x86 decode, cracking, encoding, BBT, superblock
+ * formation + SBT optimization, and the XLTx86 functional unit.
+ */
+
+#include <cstring>
+
+#include <benchmark/benchmark.h>
+
+#include "dbt/bbt.hh"
+#include "dbt/sbt.hh"
+#include "hwassist/xlt.hh"
+#include "uops/crack.hh"
+#include "uops/encoding.hh"
+#include "uops/fusion.hh"
+#include "workload/program_gen.hh"
+#include "x86/decoder.hh"
+
+using namespace cdvm;
+
+namespace
+{
+
+const workload::Program &
+testProgram()
+{
+    static workload::Program prog = [] {
+        workload::ProgramParams pp;
+        pp.seed = 7;
+        pp.numFuncs = 6;
+        pp.blocksPerFunc = 6;
+        return workload::generateProgram(pp);
+    }();
+    return prog;
+}
+
+void
+BM_X86Decode(benchmark::State &state)
+{
+    const workload::Program &prog = testProgram();
+    u64 insns = 0;
+    for (auto _ : state) {
+        std::size_t pos = 0;
+        while (pos + x86::MAX_INSN_LEN < prog.image.size()) {
+            x86::DecodeResult r = x86::decode(
+                std::span<const u8>(prog.image.data() + pos,
+                                    x86::MAX_INSN_LEN + 1),
+                prog.codeBase + pos);
+            if (!r.ok) {
+                ++pos;
+                continue;
+            }
+            benchmark::DoNotOptimize(r.insn.op);
+            pos += r.insn.length;
+            ++insns;
+        }
+    }
+    state.SetItemsProcessed(static_cast<i64>(insns));
+}
+BENCHMARK(BM_X86Decode);
+
+void
+BM_CrackAndEncode(benchmark::State &state)
+{
+    const workload::Program &prog = testProgram();
+    std::vector<x86::Insn> insns;
+    std::size_t pos = 0;
+    while (pos + x86::MAX_INSN_LEN < prog.image.size()) {
+        x86::DecodeResult r = x86::decode(
+            std::span<const u8>(prog.image.data() + pos,
+                                x86::MAX_INSN_LEN + 1),
+            prog.codeBase + pos);
+        if (!r.ok) {
+            ++pos;
+            continue;
+        }
+        insns.push_back(r.insn);
+        pos += r.insn.length;
+    }
+    u64 n = 0;
+    for (auto _ : state) {
+        for (const x86::Insn &in : insns) {
+            uops::CrackResult cr = uops::crack(in);
+            std::vector<u8> bytes = uops::encode(cr.uops);
+            benchmark::DoNotOptimize(bytes.data());
+            ++n;
+        }
+    }
+    state.SetItemsProcessed(static_cast<i64>(n));
+}
+BENCHMARK(BM_CrackAndEncode);
+
+void
+BM_BbtTranslate(benchmark::State &state)
+{
+    const workload::Program &prog = testProgram();
+    x86::Memory mem;
+    prog.loadInto(mem);
+    dbt::BasicBlockTranslator bbt(mem);
+    u64 blocks = 0;
+    for (auto _ : state) {
+        Addr pc = prog.codeBase;
+        while (pc < prog.codeBase + prog.image.size()) {
+            auto t = bbt.translate(pc);
+            if (!t) {
+                ++pc;
+                continue;
+            }
+            benchmark::DoNotOptimize(t->codeBytes);
+            pc = t->fallthroughPc;
+            ++blocks;
+        }
+    }
+    state.SetItemsProcessed(static_cast<i64>(blocks));
+}
+BENCHMARK(BM_BbtTranslate);
+
+void
+BM_XltX86Unit(benchmark::State &state)
+{
+    const workload::Program &prog = testProgram();
+    hwassist::XltUnit xlt;
+    u8 src[16];
+    u8 dst[16];
+    u64 n = 0;
+    for (auto _ : state) {
+        for (std::size_t pos = 0; pos + 16 < prog.image.size();
+             pos += 4) {
+            std::memcpy(src, prog.image.data() + pos, 16);
+            u32 csr = xlt.translate(src, dst);
+            benchmark::DoNotOptimize(csr);
+            ++n;
+        }
+    }
+    state.SetItemsProcessed(static_cast<i64>(n));
+}
+BENCHMARK(BM_XltX86Unit);
+
+void
+BM_FusionPass(benchmark::State &state)
+{
+    const workload::Program &prog = testProgram();
+    std::vector<x86::Insn> insns;
+    std::size_t pos = 0;
+    while (pos + x86::MAX_INSN_LEN < prog.image.size()) {
+        x86::DecodeResult r = x86::decode(
+            std::span<const u8>(prog.image.data() + pos,
+                                x86::MAX_INSN_LEN + 1),
+            prog.codeBase + pos);
+        if (!r.ok) {
+            ++pos;
+            continue;
+        }
+        insns.push_back(r.insn);
+        pos += r.insn.length;
+    }
+    uops::CrackResult cr = uops::crackAll(insns);
+    u64 n = 0;
+    for (auto _ : state) {
+        uops::UopVec v = cr.uops;
+        uops::FusionStats st = uops::fusePairs(v);
+        benchmark::DoNotOptimize(st.pairs);
+        n += v.size();
+    }
+    state.SetItemsProcessed(static_cast<i64>(n));
+}
+BENCHMARK(BM_FusionPass);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Section 3.2: the analytical model of staged emulation.
+ *
+ * Reproduces the paper's model numbers:
+ *   Eq. 2:  N = Delta_SBT / (p - 1) = 1200 / 0.15 = 8000;
+ *   Eq. 1:  BBT component 105 * 150K = 15.75 M native instructions,
+ *           SBT component 1674 * 3K  =  5.02 M native instructions;
+ * and cross-checks them against the measured synthetic workload
+ * (M_BBT / M_SBT from the trace generator) and the measured BBT code
+ * expansion of the real translators.
+ */
+
+#include "analysis/freq_profile.hh"
+#include "analysis/model.hh"
+#include "bench_common.hh"
+#include "dbt/bbt.hh"
+#include "uops/encoding.hh"
+#include "workload/program_gen.hh"
+
+using namespace cdvm;
+
+int
+main(int argc, char **argv)
+{
+    Cli cli("Section 3.2 analytical model of staged emulation");
+    u64 insns = bench::standardSetup(cli, argc, argv, 100'000'000);
+
+    std::printf("=== Eq. 2: hotspot threshold ===\n");
+    std::printf("  N * t_b = (N + Delta_SBT) * (t_b / p)   =>   "
+                "N = Delta_SBT / (p - 1)\n");
+    for (double p : {1.15, 1.20}) {
+        std::printf("  Delta_SBT = 1200 x86 instrs, p = %.2f  =>  N = "
+                    "%.0f\n",
+                    p, analysis::hotThreshold(1200.0, p));
+    }
+    std::printf("  chosen hot threshold: %.0f (paper: 8000)\n\n",
+                analysis::paperHotThreshold());
+
+    std::printf("=== Eq. 1: translation overhead with the paper's "
+                "constants ===\n");
+    analysis::Eq1Breakdown paper = analysis::paperEq1();
+    std::printf("  BBT: 105 native instrs x 150K static = %.2f M "
+                "(paper: 15.75 M)\n",
+                paper.bbtComponent / 1e6);
+    std::printf("  SBT: 1674 native instrs x 3K static  = %.2f M "
+                "(paper: 5.02 M)\n",
+                paper.sbtComponent / 1e6);
+    std::printf("  => BBT is the dominant overhead (%.1fx the SBT "
+                "component)\n\n",
+                paper.bbtComponent / paper.sbtComponent);
+
+    std::printf("=== Eq. 1 with the synthetic workload's measured M "
+                "values ===\n");
+    workload::AppProfile avg = workload::winstoneAverage(insns);
+    analysis::FreqProfile prof = analysis::profileTrace(avg.trace);
+    analysis::Eq1Breakdown meas = analysis::paperEq1(
+        static_cast<double>(prof.staticInsnsTouched),
+        static_cast<double>(prof.staticAtOrAbove(8000)));
+    std::printf("  measured M_BBT = %.0f K, M_SBT = %.1f K (at %llu M "
+                "insns)\n",
+                prof.staticInsnsTouched / 1000.0,
+                prof.staticAtOrAbove(8000) / 1000.0,
+                static_cast<unsigned long long>(insns / 1'000'000));
+    std::printf("  BBT component: %.2f M native instructions\n",
+                meas.bbtComponent / 1e6);
+    std::printf("  SBT component: %.2f M native instructions\n\n",
+                meas.sbtComponent / 1e6);
+
+    std::printf("=== Measured translator properties (real BBT on "
+                "generated x86 code) ===\n");
+    double x86_bytes = 0, cc_bytes = 0, uops = 0, xinsns = 0;
+    for (u64 seed = 1; seed <= 8; ++seed) {
+        workload::ProgramParams pp;
+        pp.seed = seed;
+        workload::Program prog = workload::generateProgram(pp);
+        x86::Memory mem;
+        prog.loadInto(mem);
+        dbt::BasicBlockTranslator bbt(mem);
+        Addr pc = prog.codeBase;
+        while (pc < prog.codeBase + prog.image.size()) {
+            auto t = bbt.translate(pc);
+            if (!t) {
+                ++pc;
+                continue;
+            }
+            x86_bytes += t->x86Bytes;
+            cc_bytes += t->codeBytes;
+            uops += static_cast<double>(t->uops.size());
+            xinsns += t->numX86Insns;
+            pc = t->fallthroughPc;
+        }
+    }
+    std::printf("  micro-ops per x86 instruction:   %.2f\n",
+                uops / xinsns);
+    std::printf("  code expansion (cc/x86 bytes):   %.2f  (startup "
+                "simulator uses 1.6)\n",
+                cc_bytes / x86_bytes);
+    std::printf("  encoded micro-op bytes per insn: %.2f\n",
+                cc_bytes / xinsns);
+    return 0;
+}

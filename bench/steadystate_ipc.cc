@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Section 2: steady-state IPC of macro-op execution.
+ *
+ * Builds synthetic programs, runs the full functional VM until
+ * superblocks form, then replays the hottest optimized superblocks
+ * through the Table-2 out-of-order pipeline model -- once as fused
+ * macro-op code and once with the fusion bits stripped (the
+ * conventional-superscalar baseline executing plain micro-ops).
+ *
+ * Paper reference points: +8% IPC for the Winstone benchmarks with
+ * 49% of dynamic micro-ops fused; +18% for SPEC2000 integer with 57%
+ * fused (the gap caused by fusion rate and working-set effects).
+ */
+
+#include <algorithm>
+
+#include "bench_common.hh"
+#include "timing/pipeline.hh"
+#include "vmm/vmm.hh"
+#include "workload/program_gen.hh"
+
+using namespace cdvm;
+
+namespace
+{
+
+struct Mix
+{
+    const char *name;
+    workload::ProgramParams params;
+    double paperGain;
+    double paperFusedPct;
+};
+
+void
+runMix(const Mix &mix)
+{
+    double fused_cycles = 0, base_cycles = 0;
+    double uops = 0, pairs = 0, insns = 0;
+    u64 weight_total = 0;
+
+    for (u64 seed = 1; seed <= 6; ++seed) {
+        workload::ProgramParams pp = mix.params;
+        pp.seed = seed;
+        workload::Program prog = workload::generateProgram(pp);
+        x86::Memory mem;
+        prog.loadInto(mem);
+        x86::CpuState cpu = prog.initialState();
+        vmm::VmmConfig vc;
+        vc.hotThreshold = 25; // small runs: force hotspots to form
+        vmm::Vmm vm(mem, vc);
+        vm.run(cpu, 3'000'000);
+
+        // Collect superblocks, weight by observed execution count.
+        std::vector<const dbt::Translation *> sbs;
+        vm.translations().forEach([&](const dbt::Translation &t) {
+            if (t.kind == dbt::TransKind::Superblock &&
+                t.execCount > 10 && !t.uops.empty()) {
+                sbs.push_back(&t);
+            }
+        });
+        std::sort(sbs.begin(), sbs.end(),
+                  [](const dbt::Translation *a,
+                     const dbt::Translation *b) {
+                      return a->execCount > b->execCount;
+                  });
+        if (sbs.size() > 8)
+            sbs.resize(8);
+
+        timing::PipelineSim sim;
+        for (const dbt::Translation *t : sbs) {
+            unsigned iters = static_cast<unsigned>(
+                std::min<u64>(t->execCount, 3000));
+            timing::PipelineResult f = sim.run(t->uops, iters);
+            timing::PipelineResult b =
+                sim.run(timing::unfused(t->uops), iters);
+            fused_cycles += static_cast<double>(f.cycles);
+            base_cycles += static_cast<double>(b.cycles);
+            uops += static_cast<double>(f.uops);
+            pairs += static_cast<double>(f.fusedPairs);
+            insns += static_cast<double>(f.x86Insns);
+            weight_total += iters;
+        }
+    }
+
+    double speedup = fused_cycles > 0 ? base_cycles / fused_cycles : 1.0;
+    std::printf("%-16s fused uops: %4.1f%%   IPC speedup from macro-op "
+                "execution: %+.1f%%\n",
+                mix.name, 100.0 * 2.0 * pairs / uops,
+                100.0 * (speedup - 1.0));
+    std::printf("%-16s (paper: %+.0f%% IPC with %.0f%% of micro-ops "
+                "fused)\n",
+                "", 100.0 * mix.paperGain, mix.paperFusedPct);
+    (void)insns;
+    (void)weight_total;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Cli cli("Section 2: steady-state IPC of macro-op execution");
+    cli.parse(argc, argv);
+
+    std::printf("=== Steady-state macro-op execution (Table 2 OoO "
+                "pipeline model) ===\n\n");
+
+    Mix winstone{"Winstone-like", {}, 0.08, 49.0};
+    winstone.params.numFuncs = 5;
+    winstone.params.blocksPerFunc = 4;
+    winstone.params.insnsPerBlock = 10;
+    winstone.params.mainIterations = 50;
+
+    Mix spec{"SPECint-like", {}, 0.18, 57.0};
+    spec.params.numFuncs = 3;
+    spec.params.blocksPerFunc = 2;
+    spec.params.insnsPerBlock = 6; // tighter, ALU-denser loops
+    spec.params.mainIterations = 120;
+    spec.params.withDiv = false;
+
+    runMix(winstone);
+    std::printf("\n");
+    runMix(spec);
+
+    std::printf("\nThe co-designed VM's steady-state advantage comes "
+                "from dependent-pair fusion:\nfused pairs occupy one "
+                "slot in every pipeline structure and execute on a\n"
+                "collapsed ALU, raising effective width and shortening "
+                "dependence chains.\n");
+    return 0;
+}

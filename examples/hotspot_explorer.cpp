@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Hotspot explorer: watch the DBT pipeline work on a loop kernel.
+ *
+ * Shows, for a real x86 loop: the decoded instructions, the cracked
+ * micro-ops (BBT output), and the optimized superblock after dead-flag
+ * elimination and macro-op fusion -- the '+' prefix marks a fused
+ * macro-op head.
+ *
+ *   $ ./build/examples/hotspot_explorer
+ */
+
+#include <cstdio>
+
+#include "dbt/bbt.hh"
+#include "dbt/sbt.hh"
+#include "vmm/vmm.hh"
+#include "x86/asm.hh"
+#include "x86/decoder.hh"
+
+using namespace cdvm;
+using namespace cdvm::x86;
+
+int
+main()
+{
+    // A string-hash style kernel: load, mix, accumulate, loop.
+    Assembler as(0x00400000);
+    auto loop = as.newLabel();
+    as.movRI(EBX, 0x00800000); // data pointer
+    as.movRI(ECX, 5000);       // trip count
+    as.movRI(EAX, 0);          // hash
+    as.bind(loop);
+    as.movRM(EDX, MemRef{EBX, REG_NONE, 1, 0});
+    as.imulRRI(EAX, EAX, 31);
+    as.aluRR(Op::Xor, EAX, EDX);
+    as.aluRI(Op::Add, EBX, 4);
+    as.aluRR(Op::And, EDX, EAX);
+    as.dec(ECX);
+    as.jcc(Cond::NE, loop);
+    as.hlt();
+    std::vector<u8> image = as.finalize();
+
+    Memory mem;
+    mem.writeBlock(0x00400000, image);
+
+    // --- 1. the x86 view -----------------------------------------------
+    std::printf("=== x86 instructions ===\n");
+    Addr pc = 0x00400000;
+    while (pc < 0x00400000 + image.size()) {
+        u8 win[MAX_INSN_LEN + 1];
+        mem.fetchWindow(pc, win, sizeof(win));
+        DecodeResult dr =
+            decode(std::span<const u8>(win, sizeof(win)), pc);
+        if (!dr.ok)
+            break;
+        std::printf("  %08llx  %s\n",
+                    static_cast<unsigned long long>(pc),
+                    dr.insn.toString().c_str());
+        pc = dr.insn.nextPc();
+    }
+
+    // --- 2. BBT: straight cracking -------------------------------------
+    dbt::BasicBlockTranslator bbt(mem);
+    auto loop_block = bbt.translate(as.labelAddr(loop));
+    std::printf("\n=== BBT translation of the loop block (%u x86 "
+                "insns -> %zu micro-ops, %u encoded bytes) ===\n",
+                loop_block->numX86Insns, loop_block->uops.size(),
+                loop_block->codeBytes);
+    for (const uops::Uop &u : loop_block->uops)
+        std::printf("  %s\n", u.toString().c_str());
+
+    // --- 3. run the VM until the loop gets hot, then show the SBT ------
+    CpuState cpu;
+    cpu.eip = 0x00400000;
+    cpu.regs[ESP] = 0x7fff0000;
+    vmm::VmmConfig cfg;
+    cfg.hotThreshold = 100;
+    vmm::Vmm vm(mem, cfg);
+    vm.run(cpu, 10'000'000);
+
+    const dbt::Translation *sb = nullptr;
+    vm.translations().forEach([&](const dbt::Translation &t) {
+        if (t.kind == dbt::TransKind::Superblock &&
+            (!sb || t.execCount > sb->execCount)) {
+            sb = &t;
+        }
+    });
+    if (!sb) {
+        std::printf("\nno superblock formed (loop too cold?)\n");
+        return 1;
+    }
+
+    unsigned pairs = 0;
+    for (const uops::Uop &u : sb->uops)
+        pairs += u.fusedHead ? 1 : 0;
+    std::printf("\n=== SBT-optimized superblock (entry 0x%llx, executed "
+                "%llu times) ===\n",
+                static_cast<unsigned long long>(sb->entryPc),
+                static_cast<unsigned long long>(sb->execCount));
+    std::printf("(%u x86 insns -> %zu micro-ops, %u fused macro-op "
+                "pairs, %u encoded bytes)\n",
+                sb->numX86Insns, sb->uops.size(), pairs, sb->codeBytes);
+    for (const uops::Uop &u : sb->uops)
+        std::printf("  %s\n", u.toString().c_str());
+
+    std::printf("\n'+' marks a macro-op head fused with the following "
+                "micro-op; '!f' marks a\nlive flag write (dead flag "
+                "writes were eliminated by the optimizer).\n");
+    return 0;
+}

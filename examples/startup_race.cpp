@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Startup race: the paper's headline experiment on one workload.
+ *
+ * Races the four Table-2 machines through the memory-startup scenario
+ * on a Winstone-like trace and prints a live scoreboard of cumulative
+ * instructions at log-spaced cycle checkpoints, plus breakeven points
+ * -- a one-screen version of Figs. 8/9.
+ *
+ *   $ ./build/examples/startup_race [app-index 0..9]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "analysis/startup_curve.hh"
+#include "timing/startup_sim.hh"
+#include "workload/winstone.hh"
+
+using namespace cdvm;
+
+int
+main(int argc, char **argv)
+{
+    unsigned app_idx = argc > 1 ? static_cast<unsigned>(
+                                      std::strtoul(argv[1], nullptr, 10))
+                                : 9; // Word
+    auto apps = workload::winstone2004(60'000'000);
+    if (app_idx >= apps.size())
+        app_idx = 0;
+    const workload::AppProfile &app = apps[app_idx];
+
+    std::printf("racing the Table-2 machines on '%s' (%llu M x86 "
+                "instructions, cold caches)\n\n",
+                app.name.c_str(),
+                static_cast<unsigned long long>(
+                    app.trace.totalInsns / 1'000'000));
+
+    std::vector<timing::MachineConfig> machines =
+        timing::MachineConfig::table2();
+    std::vector<timing::StartupResult> results;
+    for (const auto &m : machines) {
+        std::printf("  simulating %s...\n", m.name.c_str());
+        results.push_back(timing::StartupSim(m, app).run());
+    }
+
+    std::printf("\ncumulative x86 instructions (millions) at cycle "
+                "checkpoints:\n\n");
+    std::printf("%14s", "cycles");
+    for (const auto &r : results)
+        std::printf("  %16s", r.machine.c_str());
+    std::printf("\n");
+    for (double c = 1e5; c < static_cast<double>(
+                                 results[0].totalCycles) * 1.5;
+         c *= 4.0) {
+        std::printf("%14.0f", c);
+        for (const auto &r : results)
+            std::printf("  %16.3f",
+                        analysis::insnsAtCycle(r, c) / 1e6);
+        std::printf("\n");
+    }
+
+    std::printf("\nbreakeven vs the reference superscalar:\n");
+    for (std::size_t i = 1; i < results.size(); ++i) {
+        double b = analysis::breakevenCycle(results[i], results[0]);
+        if (b < 0)
+            std::printf("  %-10s never (within this trace)\n",
+                        results[i].machine.c_str());
+        else
+            std::printf("  %-10s %.1f M cycles\n",
+                        results[i].machine.c_str(), b / 1e6);
+    }
+    std::printf("\nhotspot coverage at trace end: %.0f%%; VM steady "
+                "state: +%.0f%% IPC\n",
+                100 * results[1].hotspotCoverage(),
+                100 * app.steadyGain);
+    return 0;
+}

@@ -1,0 +1,85 @@
+#include "analysis/freq_profile.hh"
+
+#include <cmath>
+
+namespace cdvm::analysis
+{
+
+namespace
+{
+
+constexpr unsigned NUM_BUCKETS = 10; // 1, 10, ..., 10^9
+
+unsigned
+bucketOf(u64 count)
+{
+    unsigned k = 0;
+    while (count >= 10 && k + 1 < NUM_BUCKETS) {
+        count /= 10;
+        ++k;
+    }
+    return k;
+}
+
+} // namespace
+
+u64
+FreqProfile::staticAtOrAbove(u64 threshold) const
+{
+    u64 total = 0;
+    for (const FreqBucket &b : buckets) {
+        if (b.lowCount >= threshold)
+            total += b.staticInsns;
+    }
+    return total;
+}
+
+double
+FreqProfile::dynamicShareAtOrAbove(u64 threshold) const
+{
+    double total = 0;
+    for (const FreqBucket &b : buckets) {
+        if (b.lowCount >= threshold)
+            total += b.dynamicShare;
+    }
+    return total;
+}
+
+FreqProfile
+profileTrace(const workload::TraceParams &params)
+{
+    workload::BlockTrace trace(params);
+    const auto &blocks = trace.blocks();
+
+    std::vector<u64> count(blocks.size(), 0);
+    u64 insns = 0;
+    while (insns < trace.totalInsns()) {
+        u32 id = trace.next();
+        ++count[id];
+        insns += blocks[id].insns;
+    }
+
+    FreqProfile out;
+    out.dynamicInsns = insns;
+    out.buckets.resize(NUM_BUCKETS);
+    u64 edge = 1;
+    for (unsigned k = 0; k < NUM_BUCKETS; ++k) {
+        out.buckets[k].lowCount = edge;
+        edge *= 10;
+    }
+
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+        if (count[i] == 0)
+            continue;
+        unsigned k = bucketOf(count[i]);
+        out.buckets[k].staticInsns += blocks[i].insns;
+        out.buckets[k].dynamicShare +=
+            static_cast<double>(count[i]) * blocks[i].insns;
+        out.staticInsnsTouched += blocks[i].insns;
+    }
+    for (FreqBucket &b : out.buckets)
+        b.dynamicShare /= static_cast<double>(insns);
+    return out;
+}
+
+} // namespace cdvm::analysis

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Instruction execution-frequency profiling (paper Fig. 3).
+ *
+ * For a workload trace, computes per decade-of-execution-count bucket:
+ * the number of static x86 instructions whose blocks executed that
+ * many times, and the fraction of all dynamic instructions they
+ * account for -- plus the M_BBT / M_SBT aggregates of Section 3.2.
+ */
+
+#ifndef CDVM_ANALYSIS_FREQ_PROFILE_HH
+#define CDVM_ANALYSIS_FREQ_PROFILE_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "workload/trace_gen.hh"
+
+namespace cdvm::analysis
+{
+
+/** One Fig. 3 bucket. */
+struct FreqBucket
+{
+    u64 lowCount = 0;       //!< bucket lower edge (1, 10, 100, ...)
+    u64 staticInsns = 0;    //!< static x86 instructions in bucket
+    double dynamicShare = 0; //!< fraction of dynamic instructions
+};
+
+/** Full frequency profile of one trace. */
+struct FreqProfile
+{
+    std::vector<FreqBucket> buckets;
+    u64 staticInsnsTouched = 0; //!< M_BBT
+    u64 dynamicInsns = 0;
+
+    /** Static instructions executed at least `threshold` times. */
+    u64 staticAtOrAbove(u64 threshold) const;
+    /** Dynamic-instruction share from blocks at/above the threshold. */
+    double dynamicShareAtOrAbove(u64 threshold) const;
+};
+
+/** Run the trace to completion, counting block executions. */
+FreqProfile profileTrace(const workload::TraceParams &params);
+
+} // namespace cdvm::analysis
+
+#endif // CDVM_ANALYSIS_FREQ_PROFILE_HH

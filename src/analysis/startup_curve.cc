@@ -1,0 +1,220 @@
+#include "analysis/startup_curve.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cdvm::analysis
+{
+
+using timing::CurveSample;
+using timing::StartupResult;
+
+namespace
+{
+
+/** Log-spaced cycle grid shared by the averaged curves. */
+std::vector<double>
+cycleGrid(double max_cycle)
+{
+    std::vector<double> g;
+    for (double c = 1000.0; c <= max_cycle; c *= 1.2)
+        g.push_back(c);
+    return g;
+}
+
+double
+interpInsns(const std::vector<CurveSample> &s, double cycle)
+{
+    if (s.empty())
+        return 0.0;
+    if (cycle <= static_cast<double>(s.front().cycles)) {
+        // Before the first sample: linear from the origin.
+        double c0 = static_cast<double>(s.front().cycles);
+        return c0 > 0 ? s.front().insns * (cycle / c0) : 0.0;
+    }
+    if (cycle >= static_cast<double>(s.back().cycles))
+        return static_cast<double>(s.back().insns);
+    // Binary search for the bracketing samples.
+    std::size_t lo = 0, hi = s.size() - 1;
+    while (lo + 1 < hi) {
+        std::size_t mid = (lo + hi) / 2;
+        if (static_cast<double>(s[mid].cycles) <= cycle)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    double c0 = static_cast<double>(s[lo].cycles);
+    double c1 = static_cast<double>(s[hi].cycles);
+    double f = c1 > c0 ? (cycle - c0) / (c1 - c0) : 0.0;
+    return s[lo].insns + f * (static_cast<double>(s[hi].insns) -
+                              static_cast<double>(s[lo].insns));
+}
+
+double
+interpDecode(const std::vector<CurveSample> &s, double cycle)
+{
+    if (s.empty())
+        return 0.0;
+    if (cycle <= static_cast<double>(s.front().cycles)) {
+        double c0 = static_cast<double>(s.front().cycles);
+        return c0 > 0 ? s.front().decodeActive * (cycle / c0) : 0.0;
+    }
+    if (cycle >= static_cast<double>(s.back().cycles))
+        return s.back().decodeActive;
+    std::size_t lo = 0, hi = s.size() - 1;
+    while (lo + 1 < hi) {
+        std::size_t mid = (lo + hi) / 2;
+        if (static_cast<double>(s[mid].cycles) <= cycle)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    double c0 = static_cast<double>(s[lo].cycles);
+    double c1 = static_cast<double>(s[hi].cycles);
+    double f = c1 > c0 ? (cycle - c0) / (c1 - c0) : 0.0;
+    return s[lo].decodeActive +
+           f * (s[hi].decodeActive - s[lo].decodeActive);
+}
+
+} // namespace
+
+double
+insnsAtCycle(const StartupResult &r, double cycle)
+{
+    return interpInsns(r.samples, cycle);
+}
+
+Series
+normalizedIpcCurve(const StartupResult &r, const std::string &name)
+{
+    Series s;
+    s.name = name;
+    for (double c : cycleGrid(static_cast<double>(r.totalCycles))) {
+        s.x.push_back(c);
+        s.y.push_back(interpInsns(r.samples, c) * r.cpiRef / c);
+    }
+    return s;
+}
+
+double
+breakevenCycle(const StartupResult &vm, const StartupResult &ref)
+{
+    // The breakeven point is where the VM's cumulative instruction
+    // count catches back up with the reference's. Sparse early samples
+    // make naive comparison noisy, so require the VM to first be
+    // observably behind and then report the first crossing after that.
+    double max_cycle =
+        std::min(static_cast<double>(vm.totalCycles),
+                 static_cast<double>(ref.totalCycles));
+    bool was_behind = false;
+    for (const CurveSample &s : vm.samples) {
+        double c = static_cast<double>(s.cycles);
+        if (c < 1000.0)
+            continue;
+        if (c > max_cycle)
+            break;
+        double ref_insns = interpInsns(ref.samples, c);
+        double vm_insns = static_cast<double>(s.insns);
+        if (!was_behind) {
+            if (vm_insns < 0.98 * ref_insns)
+                was_behind = true;
+            continue;
+        }
+        if (vm_insns >= ref_insns)
+            return c;
+    }
+    // Never observably behind: startup overhead is effectively zero.
+    if (!was_behind)
+        return 0.0;
+    return -1.0;
+}
+
+double
+halfGainCycle(const StartupResult &vm, double gain)
+{
+    const double target = 1.0 + gain / 2.0;
+    for (const CurveSample &s : vm.samples) {
+        double c = static_cast<double>(s.cycles);
+        if (c < 1000.0)
+            continue;
+        double norm = static_cast<double>(s.insns) * vm.cpiRef / c;
+        if (norm >= target)
+            return c;
+    }
+    return -1.0;
+}
+
+Series
+decodeActivityCurve(const StartupResult &r, const std::string &name)
+{
+    Series s;
+    s.name = name;
+    for (double c : cycleGrid(static_cast<double>(r.totalCycles))) {
+        s.x.push_back(c);
+        s.y.push_back(100.0 * interpDecode(r.samples, c) / c);
+    }
+    return s;
+}
+
+Series
+averageNormalizedIpc(const std::vector<StartupResult> &runs,
+                     const std::string &name)
+{
+    Series s;
+    s.name = name;
+    if (runs.empty())
+        return s;
+    double max_cycle = 0.0;
+    for (const StartupResult &r : runs)
+        max_cycle =
+            std::max(max_cycle, static_cast<double>(r.totalCycles));
+    for (double c : cycleGrid(max_cycle)) {
+        // Aggregate normalized work across apps; runs that finished
+        // before c are extrapolated at their steady-state IPC.
+        double norm = 0.0;
+        for (const StartupResult &r : runs) {
+            double ins;
+            if (c <= static_cast<double>(r.totalCycles)) {
+                ins = interpInsns(r.samples, c);
+            } else {
+                ins = static_cast<double>(r.totalInsns) +
+                      (c - static_cast<double>(r.totalCycles)) *
+                          r.steadyIpc;
+            }
+            norm += ins * r.cpiRef / c;
+        }
+        s.x.push_back(c);
+        s.y.push_back(norm / static_cast<double>(runs.size()));
+    }
+    return s;
+}
+
+Series
+averageDecodeActivity(const std::vector<StartupResult> &runs,
+                      const std::string &name)
+{
+    Series s;
+    s.name = name;
+    if (runs.empty())
+        return s;
+    double max_cycle = 0.0;
+    for (const StartupResult &r : runs)
+        max_cycle =
+            std::max(max_cycle, static_cast<double>(r.totalCycles));
+    for (double c : cycleGrid(max_cycle)) {
+        double act = 0.0;
+        for (const StartupResult &r : runs) {
+            double cc = std::min(c, static_cast<double>(r.totalCycles));
+            // After a run finishes, extrapolate its final activity
+            // ratio (the run would continue in steady state).
+            double ratio = cc > 0 ? interpDecode(r.samples, cc) / cc
+                                  : 0.0;
+            act += 100.0 * ratio;
+        }
+        s.x.push_back(c);
+        s.y.push_back(act / static_cast<double>(runs.size()));
+    }
+    return s;
+}
+
+} // namespace cdvm::analysis

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Startup-curve analysis: normalized aggregate-IPC curves, breakeven
+ * points, half-gain points and decode-activity curves, computed from
+ * StartupResult sample streams.
+ *
+ * The paper's startup metric (Section 3.1): at time t, the aggregate
+ * IPC is total instructions executed so far divided by t, normalized
+ * to the reference superscalar's steady-state IPC. The breakeven point
+ * is the first time the VM has executed at least as many instructions
+ * as the reference processor (not the instantaneous-IPC crossing,
+ * which happens much earlier).
+ */
+
+#ifndef CDVM_ANALYSIS_STARTUP_CURVE_HH
+#define CDVM_ANALYSIS_STARTUP_CURVE_HH
+
+#include <string>
+#include <vector>
+
+#include "common/table.hh"
+#include "timing/startup_sim.hh"
+
+namespace cdvm::analysis
+{
+
+/** Cumulative instructions at an arbitrary cycle (interpolated). */
+double insnsAtCycle(const timing::StartupResult &r, double cycle);
+
+/**
+ * Normalized aggregate-IPC curve at log-spaced cycle points
+ * (y = insns(t) * CPI_ref / t).
+ */
+Series normalizedIpcCurve(const timing::StartupResult &r,
+                          const std::string &name);
+
+/**
+ * Breakeven cycle: the first cycle at which the VM's cumulative
+ * instruction count reaches the reference machine's.
+ * @return the cycle, or a negative value if it never breaks even
+ *         within the simulated window.
+ */
+double breakevenCycle(const timing::StartupResult &vm,
+                      const timing::StartupResult &ref);
+
+/**
+ * Half-gain cycle: first cycle where the VM's normalized aggregate
+ * IPC reaches 1 + gain/2 (e.g. 1.04 for the 8 % steady-state gain).
+ * @return the cycle, or negative if never reached.
+ */
+double halfGainCycle(const timing::StartupResult &vm, double gain);
+
+/**
+ * Decode-logic activity curve (Fig. 11): cumulative percentage of
+ * cycles with the x86 decode hardware powered on, at log-spaced cycle
+ * points.
+ */
+Series decodeActivityCurve(const timing::StartupResult &r,
+                           const std::string &name);
+
+/**
+ * Average several per-app results into one curve by summing insns and
+ * cycles at matched normalized positions (used for the 10-app
+ * averages of Figs. 2/8/11). Results must be same-machine runs.
+ */
+Series averageNormalizedIpc(
+    const std::vector<timing::StartupResult> &runs,
+    const std::string &name);
+
+Series averageDecodeActivity(
+    const std::vector<timing::StartupResult> &runs,
+    const std::string &name);
+
+} // namespace cdvm::analysis
+
+#endif // CDVM_ANALYSIS_STARTUP_CURVE_HH

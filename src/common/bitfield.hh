@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Bit-manipulation helpers used by instruction encoders and decoders.
+ */
+
+#ifndef CDVM_COMMON_BITFIELD_HH
+#define CDVM_COMMON_BITFIELD_HH
+
+#include <cassert>
+#include <type_traits>
+
+#include "common/types.hh"
+
+namespace cdvm
+{
+
+/**
+ * Extract the bit field [last:first] (inclusive, last >= first) from val.
+ */
+constexpr u64
+bits(u64 val, unsigned last, unsigned first)
+{
+    assert(last >= first && last < 64);
+    const unsigned nbits = last - first + 1;
+    const u64 mask = nbits >= 64 ? ~u64{0} : ((u64{1} << nbits) - 1);
+    return (val >> first) & mask;
+}
+
+/** Extract a single bit from val. */
+constexpr u64
+bits(u64 val, unsigned bit)
+{
+    return bits(val, bit, bit);
+}
+
+/**
+ * Return a copy of val with the bit field [last:first] replaced by the
+ * low-order bits of field.
+ */
+constexpr u64
+insertBits(u64 val, unsigned last, unsigned first, u64 field)
+{
+    assert(last >= first && last < 64);
+    const unsigned nbits = last - first + 1;
+    const u64 mask = nbits >= 64 ? ~u64{0} : ((u64{1} << nbits) - 1);
+    return (val & ~(mask << first)) | ((field & mask) << first);
+}
+
+/** Sign-extend the low nbits of val to a signed 64-bit integer. */
+constexpr i64
+sext(u64 val, unsigned nbits)
+{
+    assert(nbits >= 1 && nbits <= 64);
+    if (nbits == 64)
+        return static_cast<i64>(val);
+    const u64 sign = u64{1} << (nbits - 1);
+    const u64 mask = (u64{1} << nbits) - 1;
+    val &= mask;
+    return static_cast<i64>((val ^ sign) - sign);
+}
+
+/** True if val fits in a signed field of nbits. */
+constexpr bool
+fitsSigned(i64 val, unsigned nbits)
+{
+    assert(nbits >= 1 && nbits <= 64);
+    if (nbits == 64)
+        return true;
+    const i64 lo = -(i64{1} << (nbits - 1));
+    const i64 hi = (i64{1} << (nbits - 1)) - 1;
+    return val >= lo && val <= hi;
+}
+
+/** True if val fits in an unsigned field of nbits. */
+constexpr bool
+fitsUnsigned(u64 val, unsigned nbits)
+{
+    assert(nbits >= 1 && nbits <= 64);
+    if (nbits >= 64)
+        return true;
+    return val < (u64{1} << nbits);
+}
+
+/** Align addr down to the given power-of-two boundary. */
+constexpr Addr
+alignDown(Addr addr, Addr align)
+{
+    assert((align & (align - 1)) == 0);
+    return addr & ~(align - 1);
+}
+
+/** Align addr up to the given power-of-two boundary. */
+constexpr Addr
+alignUp(Addr addr, Addr align)
+{
+    assert((align & (align - 1)) == 0);
+    return (addr + align - 1) & ~(align - 1);
+}
+
+/** Integer log2 (floor); val must be non-zero. */
+constexpr unsigned
+floorLog2(u64 val)
+{
+    assert(val != 0);
+    unsigned l = 0;
+    while (val >>= 1)
+        ++l;
+    return l;
+}
+
+/** True if val is a power of two (and non-zero). */
+constexpr bool
+isPowerOf2(u64 val)
+{
+    return val != 0 && (val & (val - 1)) == 0;
+}
+
+} // namespace cdvm
+
+#endif // CDVM_COMMON_BITFIELD_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * A minimal command-line flag parser for the benchmark harnesses and
+ * examples: --name value or --name=value, with typed accessors and an
+ * auto-generated usage message.
+ */
+
+#ifndef CDVM_COMMON_CLI_HH
+#define CDVM_COMMON_CLI_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace cdvm
+{
+
+/** Parsed command-line flags. */
+class Cli
+{
+  public:
+    /**
+     * Parse argv. Unknown flags are fatal; "--help" prints usage and
+     * exits. Flags must be registered with flag() before parse().
+     */
+    Cli(std::string description);
+
+    /** Register a flag with a default value and help text. */
+    void flag(const std::string &name, const std::string &def,
+              const std::string &help);
+
+    /** Parse argv; call after all flag() registrations. */
+    void parse(int argc, char **argv);
+
+    std::string str(const std::string &name) const;
+    i64 num(const std::string &name) const;
+    double real(const std::string &name) const;
+    bool on(const std::string &name) const;
+
+  private:
+    struct Entry
+    {
+        std::string value;
+        std::string help;
+    };
+    std::string desc;
+    std::map<std::string, Entry> entries;
+    std::vector<std::string> order;
+};
+
+/**
+ * Global scale factor for experiment sizes, from the CDVM_SCALE
+ * environment variable (default 1.0). Benches multiply their default
+ * trace lengths by this, so the whole suite can be shrunk or grown
+ * without editing flags.
+ */
+double envScale();
+
+} // namespace cdvm
+
+#endif // CDVM_COMMON_CLI_HH

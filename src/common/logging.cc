@@ -1,0 +1,76 @@
+#include "common/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cdvm
+{
+
+namespace
+{
+bool quietFlag = false;
+} // namespace
+
+void
+setQuiet(bool q)
+{
+    quietFlag = q;
+}
+
+bool
+quiet()
+{
+    return quietFlag;
+}
+
+void
+panicImpl(const char *file, int line, const char *fmt, ...)
+{
+    std::fprintf(stderr, "panic: %s:%d: ", file, line);
+    va_list args;
+    va_start(args, fmt);
+    std::vfprintf(stderr, fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "\n");
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const char *fmt, ...)
+{
+    std::fprintf(stderr, "fatal: %s:%d: ", file, line);
+    va_list args;
+    va_start(args, fmt);
+    std::vfprintf(stderr, fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "\n");
+    std::exit(1);
+}
+
+void
+warnImpl(const char *fmt, ...)
+{
+    if (quietFlag)
+        return;
+    std::fprintf(stderr, "warn: ");
+    va_list args;
+    va_start(args, fmt);
+    std::vfprintf(stderr, fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "\n");
+}
+
+void
+informImpl(const char *fmt, ...)
+{
+    if (quietFlag)
+        return;
+    std::fprintf(stderr, "info: ");
+    va_list args;
+    va_start(args, fmt);
+    std::vfprintf(stderr, fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "\n");
+}
+
+} // namespace cdvm

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Error and status reporting in the gem5 tradition.
+ *
+ * panic()  -- an internal invariant was violated (a cdvm bug); aborts.
+ * fatal()  -- the simulation cannot continue due to user input (bad
+ *             configuration, malformed workload); exits with status 1.
+ * warn()   -- something is suspicious but the run can continue.
+ * inform() -- plain status output.
+ */
+
+#ifndef CDVM_COMMON_LOGGING_HH
+#define CDVM_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace cdvm
+{
+
+[[noreturn]] void panicImpl(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+[[noreturn]] void fatalImpl(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+void warnImpl(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+void informImpl(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Suppress warn()/inform() output (used by tests). */
+void setQuiet(bool quiet);
+bool quiet();
+
+} // namespace cdvm
+
+#define cdvm_panic(...) ::cdvm::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define cdvm_fatal(...) ::cdvm::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define cdvm_warn(...) ::cdvm::warnImpl(__VA_ARGS__)
+#define cdvm_inform(...) ::cdvm::informImpl(__VA_ARGS__)
+
+#endif // CDVM_COMMON_LOGGING_HH

@@ -1,0 +1,110 @@
+#include "common/random.hh"
+
+#include <cassert>
+#include <cmath>
+#include <deque>
+
+namespace cdvm
+{
+
+double
+Pcg32::normal()
+{
+    if (haveSpare) {
+        haveSpare = false;
+        return spare;
+    }
+    double u1 = 0.0;
+    do {
+        u1 = uniform();
+    } while (u1 <= 1e-12);
+    double u2 = uniform();
+    double mag = std::sqrt(-2.0 * std::log(u1));
+    spare = mag * std::sin(2.0 * M_PI * u2);
+    haveSpare = true;
+    return mag * std::cos(2.0 * M_PI * u2);
+}
+
+u64
+Pcg32::geometric(double p)
+{
+    assert(p > 0.0 && p <= 1.0);
+    if (p >= 1.0)
+        return 0;
+    double u = 0.0;
+    do {
+        u = uniform();
+    } while (u <= 1e-300);
+    return static_cast<u64>(std::floor(std::log(u) / std::log1p(-p)));
+}
+
+DiscreteSampler::DiscreteSampler(const std::vector<double> &weights)
+{
+    const std::size_t n = weights.size();
+    assert(n > 0);
+    prob.assign(n, 0.0);
+    alias.assign(n, 0);
+
+    double total = 0.0;
+    for (double w : weights) {
+        assert(w >= 0.0);
+        total += w;
+    }
+    assert(total > 0.0);
+
+    // Scaled probabilities; partition into under- and over-full buckets.
+    std::vector<double> scaled(n);
+    std::deque<u32> small, large;
+    for (std::size_t i = 0; i < n; ++i) {
+        scaled[i] = weights[i] * n / total;
+        if (scaled[i] < 1.0)
+            small.push_back(static_cast<u32>(i));
+        else
+            large.push_back(static_cast<u32>(i));
+    }
+
+    while (!small.empty() && !large.empty()) {
+        u32 s = small.front();
+        small.pop_front();
+        u32 l = large.front();
+        large.pop_front();
+        prob[s] = scaled[s];
+        alias[s] = l;
+        scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+        if (scaled[l] < 1.0)
+            small.push_back(l);
+        else
+            large.push_back(l);
+    }
+    while (!large.empty()) {
+        prob[large.front()] = 1.0;
+        large.pop_front();
+    }
+    while (!small.empty()) {
+        prob[small.front()] = 1.0;
+        small.pop_front();
+    }
+}
+
+u32
+DiscreteSampler::sample(Pcg32 &rng) const
+{
+    u32 i = rng.below(static_cast<u32>(prob.size()));
+    return rng.uniform() < prob[i] ? i : alias[i];
+}
+
+std::vector<double>
+ZipfSampler::makeWeights(u32 n, double s)
+{
+    assert(n > 0);
+    std::vector<double> w(n);
+    for (u32 k = 1; k <= n; ++k)
+        w[k - 1] = 1.0 / std::pow(static_cast<double>(k), s);
+    return w;
+}
+
+ZipfSampler::ZipfSampler(u32 n, double s) : inner(makeWeights(n, s))
+{
+}
+
+} // namespace cdvm

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation and the sampling
+ * distributions used by the synthetic workload generators.
+ *
+ * Every source of randomness in cdvm flows through a seeded Pcg32 so that
+ * simulations, tests and benchmarks are exactly reproducible.
+ */
+
+#ifndef CDVM_COMMON_RANDOM_HH
+#define CDVM_COMMON_RANDOM_HH
+
+#include <cmath>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace cdvm
+{
+
+/**
+ * PCG32 (Melissa O'Neill's pcg32_random_r), a small, fast, statistically
+ * solid generator with a 64-bit state and 32-bit output.
+ */
+class Pcg32
+{
+  public:
+    explicit Pcg32(u64 seed = 0x853c49e6748fea9bULL, u64 seq = 0xda3e39cb94b95bdbULL)
+    {
+        state = 0;
+        inc = (seq << 1) | 1;
+        next();
+        state += seed;
+        next();
+    }
+
+    /** Next raw 32-bit value. */
+    u32
+    next()
+    {
+        u64 old = state;
+        state = old * 6364136223846793005ULL + inc;
+        u32 xorshifted = static_cast<u32>(((old >> 18) ^ old) >> 27);
+        u32 rot = static_cast<u32>(old >> 59);
+        return (xorshifted >> rot) | (xorshifted << ((32 - rot) & 31));
+    }
+
+    /** Uniform in [0, bound), bound > 0, without modulo bias. */
+    u32
+    below(u32 bound)
+    {
+        u32 threshold = (-bound) % bound;
+        for (;;) {
+            u32 r = next();
+            if (r >= threshold)
+                return r % bound;
+        }
+    }
+
+    /** Uniform 64-bit value. */
+    u64
+    next64()
+    {
+        return (static_cast<u64>(next()) << 32) | next();
+    }
+
+    /** Uniform in [lo, hi] inclusive. */
+    i64
+    range(i64 lo, i64 hi)
+    {
+        return lo + static_cast<i64>(below(static_cast<u32>(hi - lo + 1)));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return next() * (1.0 / 4294967296.0);
+    }
+
+    /** Bernoulli trial with probability p of returning true. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+    /** Standard normal via Box-Muller (one value per call). */
+    double normal();
+
+    /** Log-normally distributed value with the given log-space mu/sigma. */
+    double
+    logNormal(double mu, double sigma)
+    {
+        return std::exp(mu + sigma * normal());
+    }
+
+    /** Geometric: number of failures before first success, P(success)=p. */
+    u64 geometric(double p);
+
+  private:
+    u64 state;
+    u64 inc;
+    bool haveSpare = false;
+    double spare = 0.0;
+};
+
+/**
+ * Sampler for an arbitrary discrete distribution given unnormalized
+ * weights, using the alias method: O(n) setup, O(1) sampling.
+ */
+class DiscreteSampler
+{
+  public:
+    explicit DiscreteSampler(const std::vector<double> &weights);
+
+    /** Sample an index in [0, size()). */
+    u32 sample(Pcg32 &rng) const;
+
+    std::size_t size() const { return prob.size(); }
+
+  private:
+    std::vector<double> prob;
+    std::vector<u32> alias;
+};
+
+/**
+ * Zipf(s) sampler over ranks 1..n: P(k) proportional to 1 / k^s.
+ * Built on the alias method, so sampling is O(1).
+ */
+class ZipfSampler
+{
+  public:
+    ZipfSampler(u32 n, double s);
+
+    /** Sample a rank in [1, n]. */
+    u32
+    sample(Pcg32 &rng) const
+    {
+        return inner.sample(rng) + 1;
+    }
+
+    u32 n() const { return static_cast<u32>(inner.size()); }
+
+  private:
+    static std::vector<double> makeWeights(u32 n, double s);
+    DiscreteSampler inner;
+};
+
+} // namespace cdvm
+
+#endif // CDVM_COMMON_RANDOM_HH

@@ -1,0 +1,115 @@
+#include "common/stats.hh"
+
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace cdvm
+{
+
+LogHistogram::LogHistogram(double b, unsigned num_buckets)
+    : base(b), counts(num_buckets, 0.0)
+{
+    assert(b > 1.0 && num_buckets >= 1);
+}
+
+unsigned
+LogHistogram::bucketOf(u64 value) const
+{
+    if (value < static_cast<u64>(base))
+        return 0;
+    unsigned k = static_cast<unsigned>(std::log(static_cast<double>(value)) /
+                                       std::log(base));
+    // Guard against floating-point edge effects at exact powers.
+    while (k + 1 < counts.size() &&
+           static_cast<double>(value) >= std::pow(base, k + 1)) {
+        ++k;
+    }
+    while (k > 0 && static_cast<double>(value) < std::pow(base, k))
+        --k;
+    if (k >= counts.size())
+        k = static_cast<unsigned>(counts.size()) - 1;
+    return k;
+}
+
+u64
+LogHistogram::bucketLow(unsigned k) const
+{
+    assert(k < counts.size());
+    if (k == 0)
+        return 0;
+    return static_cast<u64>(std::llround(std::pow(base, k)));
+}
+
+void
+LogHistogram::add(u64 value, double weight)
+{
+    counts[bucketOf(value)] += weight;
+    total += weight;
+}
+
+double
+LogHistogram::weightAtOrAbove(u64 threshold) const
+{
+    double sum = 0.0;
+    for (unsigned k = 0; k < counts.size(); ++k) {
+        if (bucketLow(k) >= threshold)
+            sum += counts[k];
+    }
+    return sum;
+}
+
+Scalar &
+StatGroup::find(const std::string &name, const std::string &desc)
+{
+    auto it = index.find(name);
+    if (it != index.end()) {
+        Scalar &s = stats[it->second];
+        if (s.desc.empty() && !desc.empty())
+            s.desc = desc;
+        return s;
+    }
+    index.emplace(name, stats.size());
+    stats.push_back(Scalar{name, desc, 0.0});
+    return stats.back();
+}
+
+void
+StatGroup::add(const std::string &name, double delta, const std::string &desc)
+{
+    find(name, desc).value += delta;
+}
+
+void
+StatGroup::set(const std::string &name, double value, const std::string &desc)
+{
+    find(name, desc).value = value;
+}
+
+double
+StatGroup::get(const std::string &name) const
+{
+    auto it = index.find(name);
+    return it == index.end() ? 0.0 : stats[it->second].value;
+}
+
+bool
+StatGroup::has(const std::string &name) const
+{
+    return index.count(name) != 0;
+}
+
+std::string
+StatGroup::dump(const std::string &prefix) const
+{
+    std::ostringstream os;
+    for (const Scalar &s : stats) {
+        os << prefix << s.name << " " << s.value;
+        if (!s.desc.empty())
+            os << " # " << s.desc;
+        os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace cdvm

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Lightweight statistics: scalar counters, averages, and the
+ * logarithmically-bucketed histograms used by the frequency-profile
+ * experiments (paper Figure 3).
+ */
+
+#ifndef CDVM_COMMON_STATS_HH
+#define CDVM_COMMON_STATS_HH
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace cdvm
+{
+
+/** A running mean / min / max over double samples. */
+class RunningStat
+{
+  public:
+    void
+    add(double v)
+    {
+        if (n == 0 || v < mn)
+            mn = v;
+        if (n == 0 || v > mx)
+            mx = v;
+        sum += v;
+        ++n;
+    }
+
+    u64 count() const { return n; }
+    double mean() const { return n ? sum / n : 0.0; }
+    double min() const { return mn; }
+    double max() const { return mx; }
+    double total() const { return sum; }
+
+  private:
+    u64 n = 0;
+    double sum = 0.0;
+    double mn = 0.0;
+    double mx = 0.0;
+};
+
+/**
+ * Histogram over power-of-base buckets: bucket k covers
+ * [base^k, base^(k+1)). Bucket 0 additionally absorbs values < base.
+ * Used for the Fig. 3 execution-frequency profile (base 10).
+ */
+class LogHistogram
+{
+  public:
+    explicit LogHistogram(double base = 10.0, unsigned num_buckets = 10);
+
+    /** Record one occurrence of the given value with the given weight. */
+    void add(u64 value, double weight = 1.0);
+
+    /** Index of the bucket that value falls into. */
+    unsigned bucketOf(u64 value) const;
+
+    /** Lower edge of bucket k (base^k, with bucket 0 starting at 0). */
+    u64 bucketLow(unsigned k) const;
+
+    double bucketWeight(unsigned k) const { return counts.at(k); }
+    unsigned numBuckets() const { return static_cast<unsigned>(counts.size()); }
+    double totalWeight() const { return total; }
+
+    /** Sum of bucket weights for buckets whose low edge >= threshold. */
+    double weightAtOrAbove(u64 threshold) const;
+
+  private:
+    double base;
+    std::vector<double> counts;
+    double total = 0.0;
+};
+
+/**
+ * A named scalar statistic with a description, grouped into a StatGroup
+ * for uniform dumping.
+ */
+struct Scalar
+{
+    std::string name;
+    std::string desc;
+    double value = 0.0;
+};
+
+/** A flat, ordered collection of named scalar statistics. */
+class StatGroup
+{
+  public:
+    /** Add (or accumulate into) the named statistic. */
+    void add(const std::string &name, double delta, const std::string &desc = "");
+
+    /** Set the named statistic to an absolute value. */
+    void set(const std::string &name, double value, const std::string &desc = "");
+
+    /** Value of the named statistic (0 if absent). */
+    double get(const std::string &name) const;
+
+    bool has(const std::string &name) const;
+
+    const std::vector<Scalar> &all() const { return stats; }
+
+    /** Render as "name  value  # desc" lines. */
+    std::string dump(const std::string &prefix = "") const;
+
+  private:
+    Scalar &find(const std::string &name, const std::string &desc);
+    std::vector<Scalar> stats;
+    std::map<std::string, std::size_t> index;
+};
+
+} // namespace cdvm
+
+#endif // CDVM_COMMON_STATS_HH

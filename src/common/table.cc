@@ -1,0 +1,91 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <iomanip>
+#include <sstream>
+
+namespace cdvm
+{
+
+TextTable::TextTable(std::vector<std::string> header) : head(std::move(header))
+{
+    assert(!head.empty());
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    assert(row.size() == head.size());
+    rows.push_back(std::move(row));
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> width(head.size());
+    for (std::size_t c = 0; c < head.size(); ++c)
+        width[c] = head[c].size();
+    for (const auto &row : rows)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(width[c])) << row[c];
+            if (c + 1 != row.size())
+                os << "  ";
+        }
+        os << "\n";
+    };
+    emit(head);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < width.size(); ++c)
+        total += width[c] + (c + 1 != width.size() ? 2 : 0);
+    os << std::string(total, '-') << "\n";
+    for (const auto &row : rows)
+        emit(row);
+    return os.str();
+}
+
+std::string
+fmtDouble(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+std::string
+fmtCount(unsigned long long v)
+{
+    std::string raw = std::to_string(v);
+    std::string out;
+    int cnt = 0;
+    for (auto it = raw.rbegin(); it != raw.rend(); ++it) {
+        if (cnt && cnt % 3 == 0)
+            out.push_back(',');
+        out.push_back(*it);
+        ++cnt;
+    }
+    std::reverse(out.begin(), out.end());
+    return out;
+}
+
+std::string
+renderSeries(const std::vector<Series> &series, const std::string &x_label,
+             const std::string &y_label)
+{
+    std::ostringstream os;
+    os << "# x=" << x_label << " y=" << y_label << "\n";
+    for (const Series &s : series) {
+        os << "series " << s.name << ":\n";
+        assert(s.x.size() == s.y.size());
+        for (std::size_t i = 0; i < s.x.size(); ++i)
+            os << "  " << s.x[i] << " " << s.y[i] << "\n";
+    }
+    return os.str();
+}
+
+} // namespace cdvm

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * ASCII table and data-series rendering shared by the benchmark
+ * harnesses, so every figure/table reproduction prints in a uniform,
+ * machine-greppable format.
+ */
+
+#ifndef CDVM_COMMON_TABLE_HH
+#define CDVM_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace cdvm
+{
+
+/** A simple left/right aligned text table with a header row. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> header);
+
+    /** Append one data row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> row);
+
+    /** Render with column-width alignment and a separator under header. */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> head;
+    std::vector<std::vector<std::string>> rows;
+};
+
+/** Format a double with fixed precision. */
+std::string fmtDouble(double v, int precision = 3);
+
+/** Format a large count with thousands separators (1,234,567). */
+std::string fmtCount(unsigned long long v);
+
+/**
+ * A named time series (x strictly increasing). Renders as
+ * "series <name>:" followed by "x y" lines -- the format every startup
+ * figure bench emits.
+ */
+struct Series
+{
+    std::string name;
+    std::vector<double> x;
+    std::vector<double> y;
+};
+
+/** Render several series in a uniform block, one point per line. */
+std::string renderSeries(const std::vector<Series> &series,
+                         const std::string &x_label,
+                         const std::string &y_label);
+
+} // namespace cdvm
+
+#endif // CDVM_COMMON_TABLE_HH

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every cdvm library.
+ *
+ * The simulator follows the convention of architecture simulators such as
+ * gem5: fixed-width integer aliases, an address type, and a cycle-count
+ * type that is distinct enough in name to keep timing code readable.
+ */
+
+#ifndef CDVM_COMMON_TYPES_HH
+#define CDVM_COMMON_TYPES_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cdvm
+{
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/** Guest (architected or implementation ISA) memory address. */
+using Addr = u64;
+
+/** A count of processor core cycles. */
+using Cycles = u64;
+
+/** A count of retired instructions (x86 or micro-op, per context). */
+using InstCount = u64;
+
+} // namespace cdvm
+
+#endif // CDVM_COMMON_TYPES_HH

@@ -1,0 +1,57 @@
+#include "dbt/bbt.hh"
+
+#include "uops/crack.hh"
+#include "uops/encoding.hh"
+#include "x86/decoder.hh"
+
+namespace cdvm::dbt
+{
+
+std::unique_ptr<Translation>
+BasicBlockTranslator::translate(Addr pc)
+{
+    auto t = std::make_unique<Translation>();
+    t->kind = TransKind::BasicBlock;
+    t->entryPc = pc;
+
+    Addr cur = pc;
+    u8 window[x86::MAX_INSN_LEN + 1];
+    for (unsigned n = 0; n < maxInsns; ++n) {
+        mem.fetchWindow(cur, window, sizeof(window));
+        x86::DecodeResult dr =
+            x86::decode(std::span<const u8>(window, sizeof(window)), cur);
+        if (!dr.ok) {
+            // Cut the block before the undecodable bytes; an empty
+            // block means the entry itself is bad.
+            if (t->numX86Insns == 0)
+                return nullptr;
+            break;
+        }
+        const x86::Insn &in = dr.insn;
+        uops::CrackResult cr = uops::crack(in);
+        t->containsComplex = t->containsComplex || cr.complex;
+        for (uops::Uop &u : cr.uops)
+            t->uops.push_back(u);
+        t->x86pcs.push_back(in.pc);
+        ++t->numX86Insns;
+        t->x86Bytes += in.length;
+        cur = in.nextPc();
+        if (in.isCti()) {
+            t->endsInCti = true;
+            if (in.isCondBranch()) {
+                t->endsInCondBranch = true;
+                t->condBranchTarget = in.target;
+                t->condBranchPc = in.pc;
+            }
+            break;
+        }
+    }
+
+    t->fallthroughPc = cur;
+    t->codeBytes = uops::encodedBytes(t->uops);
+    ++nBlocks;
+    nInsns += t->numX86Insns;
+    return t;
+}
+
+} // namespace cdvm::dbt

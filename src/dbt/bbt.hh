@@ -1,0 +1,57 @@
+/**
+ * @file
+ * BBT -- the light-weight basic block translator.
+ *
+ * When cold code is first executed, the BBT decodes one basic block
+ * (up to and including its terminating control transfer), cracks it
+ * into micro-ops, and produces a translation for the basic block code
+ * cache. No optimization is applied (paper Section 2); profiling
+ * instrumentation is accounted separately by the VMM.
+ */
+
+#ifndef CDVM_DBT_BBT_HH
+#define CDVM_DBT_BBT_HH
+
+#include <memory>
+
+#include "dbt/translation.hh"
+#include "x86/memory.hh"
+
+namespace cdvm::dbt
+{
+
+/** Basic block translator. */
+class BasicBlockTranslator
+{
+  public:
+    /**
+     * @param memory    Guest memory holding architected code.
+     * @param max_insns Basic blocks are cut after this many x86
+     *                  instructions even without a CTI.
+     */
+    explicit BasicBlockTranslator(x86::Memory &memory,
+                                  unsigned max_insns = 64)
+        : mem(memory), maxInsns(max_insns)
+    {
+    }
+
+    /**
+     * Translate the basic block starting at pc.
+     * @return the translation, or nullptr if the first instruction
+     *         does not decode.
+     */
+    std::unique_ptr<Translation> translate(Addr pc);
+
+    u64 blocksTranslated() const { return nBlocks; }
+    u64 insnsTranslated() const { return nInsns; }
+
+  private:
+    x86::Memory &mem;
+    unsigned maxInsns;
+    u64 nBlocks = 0;
+    u64 nInsns = 0;
+};
+
+} // namespace cdvm::dbt
+
+#endif // CDVM_DBT_BBT_HH

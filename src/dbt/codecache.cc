@@ -1,0 +1,36 @@
+#include "dbt/codecache.hh"
+
+#include "common/bitfield.hh"
+#include "common/logging.hh"
+
+namespace cdvm::dbt
+{
+
+CodeCache::CodeCache(std::string name, Addr base, u64 capacity)
+    : label(std::move(name)), start(base), cap(capacity), next(base)
+{
+    if (capacity == 0)
+        cdvm_fatal("code cache %s: zero capacity", label.c_str());
+}
+
+Addr
+CodeCache::allocate(u64 len)
+{
+    // Keep translations 4-byte aligned like real emitted code.
+    u64 alen = alignUp(len, 4);
+    if (next + alen > start + cap)
+        return 0;
+    Addr at = next;
+    next += alen;
+    totalAllocated += alen;
+    return at;
+}
+
+void
+CodeCache::flush()
+{
+    next = start;
+    ++nFlushes;
+}
+
+} // namespace cdvm::dbt

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Translation cost models.
+ *
+ * The paper's measured constants (Section 3.2 and 5.3):
+ *   Delta_BBT = 105 native instructions per x86 instruction,
+ *               83 cycles/instruction for the software-only BBT;
+ *   VM.be     = 20 cycles per x86 instruction for the XLTx86-assisted
+ *               HAloop (Fig. 6a);
+ *   Delta_SBT = 1152 x86 instructions = 1674 native instructions per
+ *               translated hotspot instruction.
+ *
+ * The constants live here so the analytical model (Eq. 1 / Eq. 2), the
+ * translators' accounting, and the startup timing simulator all draw
+ * from a single source. The HAloop micro-benchmark cross-checks the
+ * 20-cycle VM.be figure against an actual micro-op-level execution of
+ * the loop.
+ */
+
+#ifndef CDVM_DBT_COSTS_HH
+#define CDVM_DBT_COSTS_HH
+
+#include "common/types.hh"
+
+namespace cdvm::dbt
+{
+
+/** Per-x86-instruction translation costs for one VM configuration. */
+struct TranslationCosts
+{
+    /** BBT: native instructions executed per x86 instruction. */
+    double bbtNativePerInsn = 105.0;
+    /** BBT: cycles per x86 instruction (incl. chaining + lookup). */
+    double bbtCyclesPerInsn = 83.0;
+    /** SBT: native instructions per translated x86 instruction. */
+    double sbtNativePerInsn = 1674.0;
+    /** SBT: cycles per translated x86 instruction. */
+    double sbtCyclesPerInsn = 1340.0;
+
+    /** Software-only translators (VM.soft). */
+    static TranslationCosts
+    software()
+    {
+        return TranslationCosts{};
+    }
+
+    /** XLTx86 backend-assisted BBT (VM.be). */
+    static TranslationCosts
+    backendAssist()
+    {
+        TranslationCosts c;
+        c.bbtNativePerInsn = 11.0; // HAloop micro-ops per x86 insn
+        c.bbtCyclesPerInsn = 20.0; // measured in Section 5.3
+        return c;
+    }
+
+    /**
+     * Dual-mode frontend decoders (VM.fe): no BBT at all; cold code
+     * executes directly in x86 mode.
+     */
+    static TranslationCosts
+    frontendAssist()
+    {
+        TranslationCosts c;
+        c.bbtNativePerInsn = 0.0;
+        c.bbtCyclesPerInsn = 0.0;
+        return c;
+    }
+
+    /**
+     * Interpreter-based initial emulation (the "Interp & SBT" curve of
+     * Fig. 2): no per-block translation cost, but 10x-100x slower
+     * emulation, modelled by the interpreterCpi in the machine config.
+     */
+    static TranslationCosts
+    interpreter()
+    {
+        TranslationCosts c;
+        c.bbtNativePerInsn = 0.0;
+        c.bbtCyclesPerInsn = 0.0;
+        return c;
+    }
+};
+
+/** Paper Section 3.2 model constants, in x86-instruction units. */
+struct ModelConstants
+{
+    double deltaSbtX86 = 1152.0;  //!< measured Delta_SBT (x86 instrs)
+    double sbtSpeedupP = 1.15;    //!< p: SBT code speedup over BBT code
+    u64 hotThreshold = 8000;      //!< N = Delta_SBT / (p - 1), rounded
+};
+
+} // namespace cdvm::dbt
+
+#endif // CDVM_DBT_COSTS_HH

@@ -1,0 +1,62 @@
+#include "dbt/lookup.hh"
+
+namespace cdvm::dbt
+{
+
+Translation *
+TranslationMap::lookup(Addr pc)
+{
+    ++nLookups;
+    auto it = sbt.find(pc);
+    if (it != sbt.end())
+        return it->second.get();
+    it = bbt.find(pc);
+    if (it != bbt.end())
+        return it->second.get();
+    ++nMisses;
+    return nullptr;
+}
+
+Translation *
+TranslationMap::lookup(Addr pc, TransKind kind)
+{
+    Map &m = kind == TransKind::BasicBlock ? bbt : sbt;
+    auto it = m.find(pc);
+    return it == m.end() ? nullptr : it->second.get();
+}
+
+Translation *
+TranslationMap::insert(std::unique_ptr<Translation> t)
+{
+    Map &m = t->kind == TransKind::BasicBlock ? bbt : sbt;
+    Translation *raw = t.get();
+    m[t->entryPc] = std::move(t);
+    return raw;
+}
+
+void
+TranslationMap::unchainAll()
+{
+    for (auto &kv : bbt)
+        kv.second->clearChains();
+    for (auto &kv : sbt)
+        kv.second->clearChains();
+}
+
+void
+TranslationMap::eraseKind(TransKind kind)
+{
+    // Chains may cross kinds, so conservatively unchain everything;
+    // surviving translations re-chain lazily through the VMM.
+    unchainAll();
+    (kind == TransKind::BasicBlock ? bbt : sbt).clear();
+}
+
+void
+TranslationMap::clear()
+{
+    bbt.clear();
+    sbt.clear();
+}
+
+} // namespace cdvm::dbt

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The translation lookup table: architected PC -> translation.
+ *
+ * The VMM runtime consults this map on every dispatch that is not
+ * covered by chaining (Fig. 1b "Translation Lookup in Code Cache").
+ */
+
+#ifndef CDVM_DBT_LOOKUP_HH
+#define CDVM_DBT_LOOKUP_HH
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "dbt/translation.hh"
+
+namespace cdvm::dbt
+{
+
+/** Owning map from x86 entry PC to translation. */
+class TranslationMap
+{
+  public:
+    /** Find a translation for pc, preferring superblocks. */
+    Translation *lookup(Addr pc);
+
+    /** Find only a translation of the given kind. */
+    Translation *lookup(Addr pc, TransKind kind);
+
+    /** Register a new translation (takes ownership). */
+    Translation *insert(std::unique_ptr<Translation> t);
+
+    /** Remove every translation of the given kind (arena flush). */
+    void eraseKind(TransKind kind);
+
+    /** Remove everything. */
+    void clear();
+
+    std::size_t size() const { return bbt.size() + sbt.size(); }
+    std::size_t numBasicBlocks() const { return bbt.size(); }
+    std::size_t numSuperblocks() const { return sbt.size(); }
+    u64 lookups() const { return nLookups; }
+    u64 lookupMisses() const { return nMisses; }
+
+    /** Visit every live translation. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (const auto &kv : bbt)
+            fn(*kv.second);
+        for (const auto &kv : sbt)
+            fn(*kv.second);
+    }
+
+  private:
+    using Map = std::unordered_map<Addr, std::unique_ptr<Translation>>;
+
+    /** Drop chains in every translation that point into a doomed map. */
+    void unchainAll();
+
+    Map bbt;
+    Map sbt;
+    u64 nLookups = 0;
+    u64 nMisses = 0;
+};
+
+} // namespace cdvm::dbt
+
+#endif // CDVM_DBT_LOOKUP_HH

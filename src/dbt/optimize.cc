@@ -1,0 +1,130 @@
+#include "dbt/optimize.hh"
+
+#include <algorithm>
+
+namespace cdvm::dbt
+{
+
+using uops::UOp;
+using uops::Uop;
+using uops::UopVec;
+
+namespace
+{
+
+bool
+producesFlags(const Uop &u)
+{
+    if (u.writeFlags)
+        return true;
+    switch (u.op) {
+      case UOp::Cmp:
+      case UOp::Tst:
+      case UOp::Clc:
+      case UOp::Stc:
+      case UOp::Cmc:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** Pure flag producers: removable entirely when flags are dead. */
+bool
+pureFlagProducer(const Uop &u)
+{
+    switch (u.op) {
+      case UOp::Cmp:
+      case UOp::Tst:
+      case UOp::Clc:
+      case UOp::Stc:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** Ops whose execution must be treated as a potential flag use/exit. */
+bool
+flagBarrier(const Uop &u)
+{
+    switch (u.op) {
+      case UOp::Br:
+      case UOp::Jmp:
+      case UOp::Jr:
+      case UOp::ExitVm:
+      case UOp::Trap:
+      case UOp::DivWide:  // may fault: flags must be architectural
+      case UOp::IdivWide:
+      case UOp::XltX86:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+unsigned
+killDeadFlags(UopVec &v, unsigned *removed_out)
+{
+    // Phase 1: backward liveness. dead[i] is true when the flag result
+    // of v[i] can never be observed.
+    std::vector<bool> dead(v.size(), false);
+    bool live = true; // conservative at the fall-through exit
+    for (std::size_t idx = v.size(); idx-- > 0;) {
+        const Uop &u = v[idx];
+        if (flagBarrier(u)) {
+            // Flags escape here (side exit / fault point); everything
+            // upstream is observable.
+            live = true;
+            continue;
+        }
+        const bool produces = producesFlags(u);
+        const bool reads = u.readsFlags();
+        if (produces && !live && !reads)
+            dead[idx] = true;
+        if (reads)
+            live = true;
+        else if (produces)
+            live = false; // this producer kills everything upstream
+    }
+
+    // Phase 2: apply. Remove pure flag producers; clear writeFlags on
+    // the rest. Fusion pairs are preserved: fusion runs after this
+    // pass, so no fusedHead marks exist yet (asserted implicitly by
+    // pairs never being removed here).
+    unsigned killed = 0;
+    unsigned removed = 0;
+    UopVec out;
+    out.reserve(v.size());
+    for (std::size_t idx = 0; idx < v.size(); ++idx) {
+        Uop u = v[idx];
+        if (dead[idx]) {
+            if (pureFlagProducer(u) && !u.fusedHead) {
+                ++removed;
+                continue;
+            }
+            if (u.writeFlags) {
+                u.writeFlags = false;
+                ++killed;
+            }
+        }
+        out.push_back(u);
+    }
+    v = std::move(out);
+    if (removed_out)
+        *removed_out = removed;
+    return killed;
+}
+
+OptimizeStats
+optimize(UopVec &v, const uops::FusionConfig &cfg)
+{
+    OptimizeStats st;
+    st.flagWritesKilled = killDeadFlags(v, &st.uopsRemoved);
+    st.fusion = uops::fusePairs(v, cfg);
+    return st;
+}
+
+} // namespace cdvm::dbt

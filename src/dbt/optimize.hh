@@ -1,0 +1,44 @@
+/**
+ * @file
+ * SBT optimization passes over micro-op sequences.
+ *
+ * The hotspot optimizer applies, in order:
+ *   1. dead-flag elimination -- clears writeFlags on (or removes pure
+ *      flag-producer) micro-ops whose flag results are overwritten
+ *      before any possible read, treating every branch/exit as a use;
+ *   2. macro-op fusion (uops/fusion.hh).
+ *
+ * Both passes are semantics-preserving; the differential property
+ * tests run optimized superblocks against the reference interpreter.
+ */
+
+#ifndef CDVM_DBT_OPTIMIZE_HH
+#define CDVM_DBT_OPTIMIZE_HH
+
+#include "uops/fusion.hh"
+#include "uops/uop.hh"
+
+namespace cdvm::dbt
+{
+
+/** Statistics from an optimization run. */
+struct OptimizeStats
+{
+    unsigned flagWritesKilled = 0;  //!< writeFlags bits cleared
+    unsigned uopsRemoved = 0;       //!< pure flag producers deleted
+    uops::FusionStats fusion;
+};
+
+/**
+ * Dead-flag elimination. Conservative: flags are considered live at
+ * every branch (side exit) and at the sequence end.
+ */
+unsigned killDeadFlags(uops::UopVec &v, unsigned *removed = nullptr);
+
+/** Full SBT optimization pipeline (dead flags, then fusion). */
+OptimizeStats optimize(uops::UopVec &v,
+                       const uops::FusionConfig &cfg = {});
+
+} // namespace cdvm::dbt
+
+#endif // CDVM_DBT_OPTIMIZE_HH

@@ -1,0 +1,79 @@
+#include "dbt/sbt.hh"
+
+#include <cassert>
+
+#include "common/logging.hh"
+#include "uops/crack.hh"
+#include "uops/encoding.hh"
+
+namespace cdvm::dbt
+{
+
+x86::Cond
+invertCond(x86::Cond cc)
+{
+    // x86 encodes inversion in the low bit of the condition code.
+    return static_cast<x86::Cond>(static_cast<u8>(cc) ^ 1);
+}
+
+std::unique_ptr<Translation>
+SuperblockTranslator::translate(const SuperblockTrace &trace)
+{
+    auto t = std::make_unique<Translation>();
+    t->kind = TransKind::Superblock;
+    t->entryPc = trace.entryPc;
+    t->fallthroughPc = trace.fallthroughPc;
+    t->endsInCti = trace.endsInCti;
+
+    for (std::size_t i = 0; i < trace.insns.size(); ++i) {
+        const TraceInsn &ti = trace.insns[i];
+        const x86::Insn &in = ti.insn;
+        t->x86pcs.push_back(in.pc);
+        ++t->numX86Insns;
+        t->x86Bytes += in.length;
+
+        if (in.op == x86::Op::Jmp && ti.takenOnTrace) {
+            // Linearized away: the trace continues at the target.
+            continue;
+        }
+        if (in.op == x86::Op::Call && ti.takenOnTrace) {
+            // Followed call: keep the return-address push, elide the
+            // jump (the callee body follows on the trace).
+            uops::CrackResult cr = uops::crack(in);
+            assert(!cr.uops.empty() &&
+                   cr.uops.back().op == uops::UOp::Jmp);
+            cr.uops.pop_back();
+            t->containsComplex = t->containsComplex || cr.complex;
+            for (uops::Uop &u : cr.uops)
+                t->uops.push_back(u);
+            continue;
+        }
+        if (in.op == x86::Op::Jcc && ti.takenOnTrace) {
+            // Invert so the hot path falls through; the side exit
+            // goes to the original fall-through.
+            uops::Uop br;
+            br.op = uops::UOp::Br;
+            br.cond = static_cast<u8>(invertCond(in.cond));
+            br.target = in.nextPc();
+            br.x86pc = in.pc;
+            t->uops.push_back(br);
+            continue;
+        }
+
+        uops::CrackResult cr = uops::crack(in);
+        t->containsComplex = t->containsComplex || cr.complex;
+        for (uops::Uop &u : cr.uops)
+            t->uops.push_back(u);
+    }
+
+    lastOpt = optimize(t->uops, fusionCfg);
+    nUops += t->uops.size();
+    nPairs += lastOpt.fusion.pairs;
+
+    t->codeBytes = uops::encodedBytes(t->uops);
+    ++nSuperblocks;
+    nInsns += t->numX86Insns;
+    return t;
+}
+
+} // namespace cdvm::dbt

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * SBT -- the hot superblock translator / optimizer.
+ *
+ * Takes a formed hot-path trace, cracks it into micro-ops with the
+ * trace linearized (on-trace conditional branches inverted so the hot
+ * path falls through, unconditional jumps and followed calls elided),
+ * then runs the optimization pipeline (dead-flag elimination and
+ * macro-op fusion).
+ */
+
+#ifndef CDVM_DBT_SBT_HH
+#define CDVM_DBT_SBT_HH
+
+#include <memory>
+
+#include "dbt/optimize.hh"
+#include "dbt/superblock.hh"
+#include "dbt/translation.hh"
+
+namespace cdvm::dbt
+{
+
+/** Superblock translator. */
+class SuperblockTranslator
+{
+  public:
+    explicit SuperblockTranslator(const uops::FusionConfig &fusion = {})
+        : fusionCfg(fusion)
+    {
+    }
+
+    /** Translate and optimize a formed trace. */
+    std::unique_ptr<Translation> translate(const SuperblockTrace &trace);
+
+    u64 superblocksTranslated() const { return nSuperblocks; }
+    u64 insnsTranslated() const { return nInsns; }
+    const OptimizeStats &lastStats() const { return lastOpt; }
+
+    /** Cumulative fusion statistics across all translations. */
+    u64 totalUopsEmitted() const { return nUops; }
+    u64 totalPairsFused() const { return nPairs; }
+
+  private:
+    uops::FusionConfig fusionCfg;
+    OptimizeStats lastOpt;
+    u64 nSuperblocks = 0;
+    u64 nInsns = 0;
+    u64 nUops = 0;
+    u64 nPairs = 0;
+};
+
+/** Invert an x86 condition code (JE <-> JNE etc.). */
+x86::Cond invertCond(x86::Cond cc);
+
+} // namespace cdvm::dbt
+
+#endif // CDVM_DBT_SBT_HH

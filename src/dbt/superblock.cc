@@ -1,0 +1,100 @@
+#include "dbt/superblock.hh"
+
+#include <unordered_set>
+
+#include "x86/decoder.hh"
+
+namespace cdvm::dbt
+{
+
+std::optional<SuperblockTrace>
+SuperblockFormer::form(Addr seed_pc)
+{
+    SuperblockTrace trace;
+    trace.entryPc = seed_pc;
+
+    std::unordered_set<Addr> visited;
+    Addr block_pc = seed_pc;
+    u8 window[x86::MAX_INSN_LEN + 1];
+    unsigned blocks = 0;
+
+    while (blocks < pol.maxBlocks &&
+           trace.insns.size() < pol.maxX86Insns) {
+        if (visited.count(block_pc))
+            break; // loop closure: the trace would revisit itself
+        visited.insert(block_pc);
+        trace.blockEntries.push_back(block_pc);
+        ++blocks;
+
+        // Walk the block instruction by instruction.
+        Addr cur = block_pc;
+        bool block_done = false;
+        while (!block_done && trace.insns.size() < pol.maxX86Insns) {
+            mem.fetchWindow(cur, window, sizeof(window));
+            x86::DecodeResult dr = x86::decode(
+                std::span<const u8>(window, sizeof(window)), cur);
+            if (!dr.ok) {
+                if (trace.insns.empty())
+                    return std::nullopt;
+                trace.fallthroughPc = cur;
+                return trace;
+            }
+            const x86::Insn &in = dr.insn;
+
+            if (!in.isCti()) {
+                trace.insns.push_back(TraceInsn{in, false});
+                cur = in.nextPc();
+                continue;
+            }
+
+            // Control transfer: decide whether the trace continues.
+            block_done = true;
+            switch (in.op) {
+              case x86::Op::Jmp:
+                trace.insns.push_back(TraceInsn{in, true});
+                block_pc = in.target;
+                break;
+              case x86::Op::Call:
+                // Follow into the callee (partial inlining).
+                trace.insns.push_back(TraceInsn{in, true});
+                block_pc = in.target;
+                break;
+              case x86::Op::Jcc: {
+                std::optional<double> bias =
+                    biasOf ? biasOf(in.pc) : std::nullopt;
+                if (bias && *bias >= pol.minBias) {
+                    trace.insns.push_back(TraceInsn{in, true});
+                    block_pc = in.target;
+                } else if (bias && 1.0 - *bias >= pol.minBias) {
+                    trace.insns.push_back(TraceInsn{in, false});
+                    block_pc = in.nextPc();
+                } else {
+                    // Unbiased or unprofiled: include the branch and
+                    // stop the trace.
+                    trace.insns.push_back(TraceInsn{in, false});
+                    trace.fallthroughPc = in.nextPc();
+                    trace.endsInCti = true;
+                    return trace;
+                }
+                break;
+              }
+              default:
+                // Ret, indirect jump/call, HLT, INT3: trace ends here.
+                trace.insns.push_back(TraceInsn{in, false});
+                trace.fallthroughPc = in.nextPc();
+                trace.endsInCti = true;
+                return trace;
+            }
+        }
+    }
+
+    trace.fallthroughPc =
+        trace.insns.empty()
+            ? seed_pc
+            : (trace.insns.back().takenOnTrace
+                   ? trace.insns.back().insn.target
+                   : trace.insns.back().insn.nextPc());
+    return trace;
+}
+
+} // namespace cdvm::dbt

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Superblock formation: following the hot path from a detected
+ * hotspot seed (paper Section 2, Hwu et al. superblocks [17]).
+ *
+ * The former walks basic blocks starting at the seed, consulting a
+ * branch-direction profile supplied by the VMM (software profiling
+ * counters for VM.soft / VM.be; hardware profiling for VM.fe), and
+ * emits a single-entry multiple-exit dynamic trace for the SBT.
+ */
+
+#ifndef CDVM_DBT_SUPERBLOCK_HH
+#define CDVM_DBT_SUPERBLOCK_HH
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "x86/insn.hh"
+#include "x86/memory.hh"
+
+namespace cdvm::dbt
+{
+
+/** Formation limits and heuristics. */
+struct SuperblockPolicy
+{
+    unsigned maxX86Insns = 200;  //!< trace length cap
+    unsigned maxBlocks = 40;     //!< constituent basic block cap
+    /** Follow a conditional edge only when its bias is at least this. */
+    double minBias = 0.6;
+};
+
+/** One instruction on a formed trace. */
+struct TraceInsn
+{
+    x86::Insn insn;
+    /**
+     * For conditional branches: true if the trace continues along the
+     * taken edge (the SBT then inverts the condition so the hot path
+     * falls through).
+     */
+    bool takenOnTrace = false;
+};
+
+/** A formed superblock trace. */
+struct SuperblockTrace
+{
+    Addr entryPc = 0;
+    std::vector<TraceInsn> insns;
+    std::vector<Addr> blockEntries; //!< constituent block entry PCs
+    Addr fallthroughPc = 0;         //!< x86 PC after the trace end
+    bool endsInCti = false;
+};
+
+/**
+ * Taken-bias oracle for a conditional branch at the given PC;
+ * nullopt when the branch has never been profiled.
+ */
+using BranchBiasFn = std::function<std::optional<double>(Addr branch_pc)>;
+
+/** Hot-path trace former. */
+class SuperblockFormer
+{
+  public:
+    SuperblockFormer(x86::Memory &memory, BranchBiasFn bias,
+                     const SuperblockPolicy &policy = {})
+        : mem(memory), biasOf(std::move(bias)), pol(policy)
+    {
+    }
+
+    /**
+     * Form a superblock starting at seed_pc.
+     * @return nullopt if the seed does not decode.
+     */
+    std::optional<SuperblockTrace> form(Addr seed_pc);
+
+  private:
+    x86::Memory &mem;
+    BranchBiasFn biasOf;
+    SuperblockPolicy pol;
+};
+
+} // namespace cdvm::dbt
+
+#endif // CDVM_DBT_SUPERBLOCK_HH

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Translation descriptors: the unit the DBT system produces, caches,
+ * chains and executes.
+ */
+
+#ifndef CDVM_DBT_TRANSLATION_HH
+#define CDVM_DBT_TRANSLATION_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "uops/uop.hh"
+
+namespace cdvm::dbt
+{
+
+/** BBT block or SBT superblock. */
+enum class TransKind : u8
+{
+    BasicBlock,
+    Superblock,
+};
+
+/**
+ * One translation: the micro-op body plus the metadata the VMM needs
+ * for dispatch, profiling, chaining and precise-state recovery.
+ */
+struct Translation
+{
+    TransKind kind = TransKind::BasicBlock;
+    Addr entryPc = 0;       //!< architected (x86) entry address
+    Addr codeAddr = 0;      //!< address of encoded body in the code cache
+    u32 codeBytes = 0;      //!< encoded size in the code cache
+    u32 numX86Insns = 0;    //!< architected instructions covered
+    u32 x86Bytes = 0;       //!< architected bytes covered
+    Addr fallthroughPc = 0; //!< x86 PC following the translated region
+    bool containsComplex = false;
+    bool endsInCti = false;
+    /** True if the final covered instruction is a conditional branch. */
+    bool endsInCondBranch = false;
+    /** Its taken target (valid when endsInCondBranch). */
+    Addr condBranchTarget = 0;
+    /** Its x86 PC (valid when endsInCondBranch). */
+    Addr condBranchPc = 0;
+
+    /** Execution form of the body (decoded once at translation time). */
+    uops::UopVec uops;
+
+    /**
+     * Side table for precise state: x86 PC of every covered
+     * instruction in translation order (Fig. 1 "precise state mapping").
+     */
+    std::vector<Addr> x86pcs;
+
+    // --- profiling (maintained by the VMM during emulation) ----------
+    u64 execCount = 0;   //!< entries into this translation
+    u64 takenCount = 0;  //!< terminating conditional branch taken
+    u64 notTakenCount = 0;
+
+    /** Taken bias of the terminating branch (0.5 when unobserved). */
+    double
+    takenBias() const
+    {
+        u64 n = takenCount + notTakenCount;
+        return n ? static_cast<double>(takenCount) / n : 0.5;
+    }
+
+    // --- chaining ------------------------------------------------------
+    /**
+     * Direct links from this translation's exits to successor
+     * translations, keyed by successor x86 entry PC. Exit 0 is the
+     * taken/branch target, exit 1 the fall-through; indirect exits are
+     * never chained (they go through the VMM's lookup).
+     */
+    struct Chain
+    {
+        Addr targetPc = 0;
+        const Translation *to = nullptr;
+    };
+    Chain chains[2];
+
+    /** Find a chained successor for the given next PC. */
+    const Translation *
+    chainedTo(Addr pc) const
+    {
+        for (const Chain &c : chains) {
+            if (c.to && c.targetPc == pc)
+                return c.to;
+        }
+        return nullptr;
+    }
+
+    /** Install a chain to a successor; returns false if no slot. */
+    bool
+    addChain(Addr pc, const Translation *to)
+    {
+        for (Chain &c : chains) {
+            if (!c.to) {
+                c.targetPc = pc;
+                c.to = to;
+                return true;
+            }
+            if (c.targetPc == pc) {
+                c.to = to;
+                return true;
+            }
+        }
+        return false;
+    }
+
+    void
+    clearChains()
+    {
+        chains[0] = Chain{};
+        chains[1] = Chain{};
+    }
+};
+
+} // namespace cdvm::dbt
+
+#endif // CDVM_DBT_TRANSLATION_HH

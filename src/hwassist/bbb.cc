@@ -1,0 +1,61 @@
+#include "hwassist/bbb.hh"
+
+#include "common/bitfield.hh"
+#include "common/logging.hh"
+
+namespace cdvm::hwassist
+{
+
+BranchBehaviorBuffer::BranchBehaviorBuffer(const BbbParams &params)
+    : p(params)
+{
+    if (!isPowerOf2(p.entries))
+        cdvm_fatal("BBB entries must be a power of two");
+    table.resize(p.entries);
+}
+
+BranchBehaviorBuffer::Entry &
+BranchBehaviorBuffer::entryFor(Addr pc)
+{
+    // Simple address hash: fold the upper bits into the index.
+    u64 h = pc ^ (pc >> 13) ^ (pc >> 27);
+    return table[h & (p.entries - 1)];
+}
+
+bool
+BranchBehaviorBuffer::recordBranch(Addr target_pc)
+{
+    return recordBranch(target_pc, 1);
+}
+
+bool
+BranchBehaviorBuffer::recordBranch(Addr target_pc, u64 times)
+{
+    Entry &e = entryFor(target_pc);
+    if (!e.valid || e.tag != target_pc) {
+        if (e.valid)
+            ++nConflicts;
+        // Replace: new target takes over the counter (Merten-style
+        // approximation; conflict losers restart from zero).
+        e.valid = true;
+        e.tag = target_pc;
+        e.count = 0;
+        e.reported = false;
+    }
+    e.count += times;
+    if (!e.reported && e.count >= p.hotThreshold) {
+        e.reported = true;
+        ++nDetections;
+        return true;
+    }
+    return false;
+}
+
+void
+BranchBehaviorBuffer::reset()
+{
+    for (Entry &e : table)
+        e = Entry{};
+}
+
+} // namespace cdvm::hwassist

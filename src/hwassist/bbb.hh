@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Branch Behavior Buffer -- the hardware hotspot detector.
+ *
+ * Merten et al. [23] proposed a 4K-entry branch behavior buffer after
+ * the retire stage that identifies dynamic hotspots. The VM.fe
+ * configuration relies on such hardware because dual-mode execution of
+ * cold x86 code leaves no BBT code to carry software profiling
+ * (paper Section 4.1).
+ *
+ * The model is a tagged, direct-mapped counter table over branch
+ * target addresses with saturating execution counters; a target whose
+ * counter crosses the hot threshold is reported (once) as a hotspot
+ * seed for the SBT.
+ */
+
+#ifndef CDVM_HWASSIST_BBB_HH
+#define CDVM_HWASSIST_BBB_HH
+
+#include <vector>
+
+#include "common/types.hh"
+
+namespace cdvm::hwassist
+{
+
+/** BBB geometry and thresholds. */
+struct BbbParams
+{
+    u32 entries = 4096;     //!< 4K entries as in Merten et al.
+    u64 hotThreshold = 8000; //!< detection threshold (paper Section 3.2)
+};
+
+/** Hardware hotspot detector. */
+class BranchBehaviorBuffer
+{
+  public:
+    explicit BranchBehaviorBuffer(const BbbParams &params = {});
+
+    /**
+     * Record the retirement of a branch to target_pc.
+     * @return true exactly once, when the target becomes hot.
+     */
+    bool recordBranch(Addr target_pc);
+
+    /** Record N consecutive executions (trace-driven fast path). */
+    bool recordBranch(Addr target_pc, u64 times);
+
+    /** Forget everything (context switch / flush). */
+    void reset();
+
+    u64 detections() const { return nDetections; }
+    u64 tagConflicts() const { return nConflicts; }
+    u64 hotThreshold() const { return p.hotThreshold; }
+
+  private:
+    struct Entry
+    {
+        Addr tag = 0;
+        u64 count = 0;
+        bool valid = false;
+        bool reported = false;
+    };
+
+    Entry &entryFor(Addr pc);
+
+    BbbParams p;
+    std::vector<Entry> table;
+    u64 nDetections = 0;
+    u64 nConflicts = 0;
+};
+
+} // namespace cdvm::hwassist
+
+#endif // CDVM_HWASSIST_BBB_HH

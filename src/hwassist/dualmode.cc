@@ -1,0 +1,32 @@
+#include "hwassist/dualmode.hh"
+
+#include "x86/decoder.hh"
+
+namespace cdvm::hwassist
+{
+
+void
+DualModeDecoder::setMode(DecodeMode m)
+{
+    if (m != cur) {
+        cur = m;
+        ++nSwitches;
+    }
+}
+
+bool
+DualModeDecoder::decodeAt(Addr pc, Decoded &out)
+{
+    u8 window[x86::MAX_INSN_LEN + 1];
+    mem.fetchWindow(pc, window, sizeof(window));
+    x86::DecodeResult dr =
+        x86::decode(std::span<const u8>(window, sizeof(window)), pc);
+    if (!dr.ok)
+        return false;
+    out.insn = dr.insn;
+    out.uops = uops::crack(dr.insn).uops;
+    ++nDecoded;
+    return true;
+}
+
+} // namespace cdvm::hwassist

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Dual-mode (two-level) frontend decoders (paper Section 4.1).
+ *
+ * The first level cracks x86 instructions into vertical micro-ops in
+ * the implementation ISA format; the second level generates pipeline
+ * control signals. In x86-mode both levels operate; in native-mode the
+ * first level is bypassed (and can be powered off). The VM.fe
+ * configuration executes cold code directly in x86-mode, eliminating
+ * the BBT entirely.
+ *
+ * The class models the mode machinery and the activity accounting used
+ * by the Fig. 11 energy study; functionally it exposes the first-level
+ * decode (x86 bytes -> micro-ops), which by construction matches the
+ * software cracker.
+ */
+
+#ifndef CDVM_HWASSIST_DUALMODE_HH
+#define CDVM_HWASSIST_DUALMODE_HH
+
+#include "common/types.hh"
+#include "uops/crack.hh"
+#include "x86/memory.hh"
+
+namespace cdvm::hwassist
+{
+
+/** Decoder operating mode. */
+enum class DecodeMode : u8
+{
+    X86,    //!< both levels active: fetching architected x86 code
+    Native, //!< first level bypassed: fetching code-cache micro-ops
+};
+
+/** Dual-mode decoder model. */
+class DualModeDecoder
+{
+  public:
+    explicit DualModeDecoder(x86::Memory &memory) : mem(memory) {}
+
+    /** Switch modes (VMM-controlled); accounts the transition. */
+    void setMode(DecodeMode m);
+
+    DecodeMode mode() const { return cur; }
+
+    /**
+     * First-level decode at pc in x86-mode: returns the micro-ops for
+     * one x86 instruction (exactly the software cracker's output) or
+     * nullopt on an undecodable instruction (VMM trap).
+     */
+    struct Decoded
+    {
+        x86::Insn insn;
+        uops::UopVec uops;
+    };
+    bool decodeAt(Addr pc, Decoded &out);
+
+    /**
+     * Account n cycles of frontend activity in the current mode (the
+     * timing simulator calls this; Fig. 11 reads the totals).
+     */
+    void
+    tick(Cycles n)
+    {
+        if (cur == DecodeMode::X86)
+            x86Cycles += n;
+        else
+            nativeCycles += n;
+    }
+
+    /** Cycles with the first-level (x86) decode logic powered on. */
+    Cycles x86ModeCycles() const { return x86Cycles; }
+    /** Cycles with the first-level decoder bypassed / powered off. */
+    Cycles nativeModeCycles() const { return nativeCycles; }
+    u64 modeSwitches() const { return nSwitches; }
+    u64 insnsDecoded() const { return nDecoded; }
+
+    /**
+     * Extra frontend pipeline depth in x86-mode relative to a
+     * native-only frontend (the VM.fe and Ref schemes carry this).
+     */
+    static constexpr unsigned extraDecodeStages = 1;
+
+  private:
+    x86::Memory &mem;
+    DecodeMode cur = DecodeMode::X86;
+    Cycles x86Cycles = 0;
+    Cycles nativeCycles = 0;
+    u64 nSwitches = 0;
+    u64 nDecoded = 0;
+};
+
+} // namespace cdvm::hwassist
+
+#endif // CDVM_HWASSIST_DUALMODE_HH

@@ -1,0 +1,51 @@
+#include "hwassist/xlt.hh"
+
+#include <cstring>
+
+#include "uops/crack.hh"
+#include "uops/csr.hh"
+#include "uops/encoding.hh"
+#include "x86/decoder.hh"
+
+namespace cdvm::hwassist
+{
+
+u32
+XltUnit::translate(const u8 src[16], u8 dst[16])
+{
+    ++nInvocations;
+    std::memset(dst, 0, 16);
+
+    // The hardware decoder sees only the 16 instruction bytes; it has
+    // no notion of the instruction's address. Relative targets are a
+    // CTI concern and CTIs take the software path anyway.
+    x86::DecodeResult dr =
+        x86::decode(std::span<const u8>(src, 16), /*pc=*/0);
+    if (!dr.ok) {
+        // Undecodable (or longer than the Fsrc window): complex.
+        ++nComplex;
+        return uops::csr::make(0, 0, /*cmplx=*/true, /*cti=*/false);
+    }
+    const x86::Insn &in = dr.insn;
+
+    if (in.isCti()) {
+        ++nCti;
+        return uops::csr::make(in.length, 0, /*cmplx=*/false,
+                               /*cti=*/true);
+    }
+
+    uops::CrackResult cr = uops::crack(in);
+    unsigned bytes = uops::encodedBytes(cr.uops);
+    if (cr.complex || bytes > 16) {
+        ++nComplex;
+        return uops::csr::make(in.length, 0, /*cmplx=*/true,
+                               /*cti=*/false);
+    }
+
+    std::vector<u8> enc = uops::encode(cr.uops);
+    std::memcpy(dst, enc.data(), enc.size());
+    return uops::csr::make(in.length, bytes, /*cmplx=*/false,
+                           /*cti=*/false);
+}
+
+} // namespace cdvm::hwassist

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * XLTx86 -- the backend functional-unit hardware assist (Table 1).
+ *
+ * "Decode an x86 instruction aligned at the beginning of the 128-bit
+ *  Fsrc register, and generate 16b/32b micro-ops into the Fdst
+ *  register. This instruction affects the CSR status register."
+ *
+ * The unit is a simplified one-instruction-wide x86 decoder relocated
+ * to the FP/media execution stage. It handles the common cases and
+ * flags everything else (CTIs, serializing/faulting instructions,
+ * micro-op expansions over 16 bytes) for the software path via the
+ * CSR's Flag_cti / Flag_cmplx bits (paper Section 4.2).
+ */
+
+#ifndef CDVM_HWASSIST_XLT_HH
+#define CDVM_HWASSIST_XLT_HH
+
+#include "common/types.hh"
+#include "uops/exec.hh"
+
+namespace cdvm::hwassist
+{
+
+/** Model parameters for the XLTx86 functional unit. */
+struct XltParams
+{
+    Cycles latency = 4;   //!< execution latency (paper assumes 4)
+};
+
+/** The XLTx86 functional unit. */
+class XltUnit : public uops::XltHandler
+{
+  public:
+    explicit XltUnit(const XltParams &params = {}) : p(params) {}
+
+    /**
+     * Execute one XLTx86 operation: decode the x86 instruction at the
+     * start of src, emit encoded micro-ops into dst, return the CSR.
+     *
+     * CTIs and complex instructions produce no micro-ops; the CSR
+     * flags tell the VMM's HAloop to branch to its software handlers.
+     */
+    u32 translate(const u8 src[16], u8 dst[16]) override;
+
+    Cycles latency() const { return p.latency; }
+
+    // --- activity accounting (for the Fig. 11 energy study) ----------
+    u64 invocations() const { return nInvocations; }
+    u64 complexCases() const { return nComplex; }
+    u64 ctiCases() const { return nCti; }
+    /** Total cycles the decode logic was busy. */
+    Cycles busyCycles() const { return nInvocations * p.latency; }
+
+  private:
+    XltParams p;
+    u64 nInvocations = 0;
+    u64 nComplex = 0;
+    u64 nCti = 0;
+};
+
+} // namespace cdvm::hwassist
+
+#endif // CDVM_HWASSIST_XLT_HH

@@ -1,0 +1,96 @@
+#include "memsys/cache.hh"
+
+#include <cassert>
+
+#include "common/bitfield.hh"
+#include "common/logging.hh"
+
+namespace cdvm::memsys
+{
+
+Cache::Cache(const CacheParams &params) : p(params)
+{
+    if (!isPowerOf2(p.lineBytes) || !isPowerOf2(p.sizeBytes))
+        cdvm_fatal("cache %s: size/line must be powers of two",
+                   p.name.c_str());
+    if (p.sizeBytes % (p.lineBytes * p.assoc) != 0)
+        cdvm_fatal("cache %s: size not divisible by line*assoc",
+                   p.name.c_str());
+    sets = p.sizeBytes / (p.lineBytes * p.assoc);
+    lineShift = floorLog2(p.lineBytes);
+    lines.resize(static_cast<std::size_t>(sets) * p.assoc);
+}
+
+u32
+Cache::setOf(Addr addr) const
+{
+    return static_cast<u32>((addr >> lineShift) & (sets - 1));
+}
+
+Addr
+Cache::tagOf(Addr addr) const
+{
+    return addr >> lineShift;
+}
+
+bool
+Cache::access(Addr addr)
+{
+    ++clock;
+    const Addr tag = tagOf(addr);
+    Line *base = &lines[static_cast<std::size_t>(setOf(addr)) * p.assoc];
+    Line *victim = base;
+    for (u32 w = 0; w < p.assoc; ++w) {
+        Line &l = base[w];
+        if (l.valid && l.tag == tag) {
+            l.lastUse = clock;
+            ++nHits;
+            return true;
+        }
+        if (!l.valid) {
+            victim = &l;
+        } else if (victim->valid && l.lastUse < victim->lastUse) {
+            victim = &l;
+        }
+    }
+    ++nMisses;
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lastUse = clock;
+    return false;
+}
+
+bool
+Cache::probe(Addr addr) const
+{
+    const Addr tag = tagOf(addr);
+    const Line *base =
+        &lines[static_cast<std::size_t>(setOf(addr)) * p.assoc];
+    for (u32 w = 0; w < p.assoc; ++w) {
+        if (base[w].valid && base[w].tag == tag)
+            return true;
+    }
+    return false;
+}
+
+void
+Cache::invalidate(Addr addr)
+{
+    const Addr tag = tagOf(addr);
+    Line *base = &lines[static_cast<std::size_t>(setOf(addr)) * p.assoc];
+    for (u32 w = 0; w < p.assoc; ++w) {
+        if (base[w].valid && base[w].tag == tag) {
+            base[w].valid = false;
+            return;
+        }
+    }
+}
+
+void
+Cache::flush()
+{
+    for (Line &l : lines)
+        l.valid = false;
+}
+
+} // namespace cdvm::memsys

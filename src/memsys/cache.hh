@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Set-associative cache model with true-LRU replacement.
+ *
+ * The model tracks tags only (contents are functional memory's
+ * business); it answers hit/miss and maintains recency state. Both the
+ * conventional processor and the co-designed VM use the same model, so
+ * cache-warming effects in the startup experiments are apples to
+ * apples (paper Section 3.1).
+ */
+
+#ifndef CDVM_MEMSYS_CACHE_HH
+#define CDVM_MEMSYS_CACHE_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace cdvm::memsys
+{
+
+/** Geometry and latency of one cache level. */
+struct CacheParams
+{
+    std::string name = "cache";
+    u32 sizeBytes = 64 * 1024;
+    u32 assoc = 2;
+    u32 lineBytes = 64;
+    Cycles latency = 2; //!< access latency when this level hits
+};
+
+/** Tag-only set-associative cache. */
+class Cache
+{
+  public:
+    explicit Cache(const CacheParams &params);
+
+    /**
+     * Access the line containing addr; allocates on miss, updates LRU.
+     * @return true on hit.
+     */
+    bool access(Addr addr);
+
+    /** Look up without changing state. */
+    bool probe(Addr addr) const;
+
+    /** Invalidate the line containing addr (if present). */
+    void invalidate(Addr addr);
+
+    /** Drop all contents (empty-cache startup scenario). */
+    void flush();
+
+    const CacheParams &params() const { return p; }
+    u64 hits() const { return nHits; }
+    u64 misses() const { return nMisses; }
+    u32 numSets() const { return sets; }
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        u64 lastUse = 0;
+    };
+
+    u32 setOf(Addr addr) const;
+    Addr tagOf(Addr addr) const;
+
+    CacheParams p;
+    u32 sets;
+    unsigned lineShift;
+    std::vector<Line> lines; //!< sets * assoc, row-major by set
+    u64 clock = 0;
+    u64 nHits = 0;
+    u64 nMisses = 0;
+};
+
+} // namespace cdvm::memsys
+
+#endif // CDVM_MEMSYS_CACHE_HH

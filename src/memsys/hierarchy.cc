@@ -1,0 +1,46 @@
+#include "memsys/hierarchy.hh"
+
+#include "common/bitfield.hh"
+
+namespace cdvm::memsys
+{
+
+Hierarchy::Hierarchy(const HierarchyParams &params)
+    : p(params), il1(p.l1i), dl1(p.l1d), ul2(p.l2)
+{
+}
+
+Cycles
+Hierarchy::access(Addr addr, Side side)
+{
+    Cache &l1 = side == Side::Fetch ? il1 : dl1;
+    if (l1.access(addr))
+        return l1.params().latency;
+    if (ul2.access(addr))
+        return ul2.params().latency;
+    return p.memLatency;
+}
+
+Cycles
+Hierarchy::accessRange(Addr addr, u64 len, Side side)
+{
+    if (len == 0)
+        return 0;
+    const Addr line = il1.params().lineBytes;
+    Addr first = alignDown(addr, line);
+    Addr last = alignDown(addr + len - 1, line);
+    Cycles total = 0;
+    for (Addr a = first; a <= last; a += line)
+        total += access(a, side);
+    return total;
+}
+
+void
+Hierarchy::flushAll()
+{
+    il1.flush();
+    dl1.flush();
+    ul2.flush();
+}
+
+} // namespace cdvm::memsys

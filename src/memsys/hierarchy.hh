@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The Table 2 memory hierarchy: split L1 I/D, unified L2, main memory.
+ *
+ * All four machine configurations of the paper share this hierarchy:
+ *   L1 I-cache: 64 KB, 2-way, 64 B lines, 2-cycle latency
+ *   L1 D-cache: 64 KB, 8-way, 64 B lines, 3-cycle latency
+ *   L2:          2 MB, 8-way, 64 B lines, 12-cycle latency
+ *   Memory:     168 CPU cycles
+ */
+
+#ifndef CDVM_MEMSYS_HIERARCHY_HH
+#define CDVM_MEMSYS_HIERARCHY_HH
+
+#include "memsys/cache.hh"
+
+namespace cdvm::memsys
+{
+
+/** Hierarchy-wide parameters. */
+struct HierarchyParams
+{
+    CacheParams l1i{"l1i", 64 * 1024, 2, 64, 2};
+    CacheParams l1d{"l1d", 64 * 1024, 8, 64, 3};
+    CacheParams l2{"l2", 2 * 1024 * 1024, 8, 64, 12};
+    Cycles memLatency = 168;
+};
+
+/** Which side of the split L1 an access uses. */
+enum class Side : u8
+{
+    Fetch,
+    Data,
+};
+
+/** Split-L1 + unified-L2 + memory model. */
+class Hierarchy
+{
+  public:
+    explicit Hierarchy(const HierarchyParams &params = {});
+
+    /**
+     * Access one address (the line containing it) and return the
+     * total latency in cycles: L1 latency on an L1 hit, L2 latency on
+     * an L2 hit, memory latency otherwise. Fills lines on the way.
+     */
+    Cycles access(Addr addr, Side side);
+
+    /**
+     * Access every line overlapping [addr, addr+len) and return the
+     * summed latency (used for multi-line code regions).
+     */
+    Cycles accessRange(Addr addr, u64 len, Side side);
+
+    /** Empty all levels (memory-startup scenario 2). */
+    void flushAll();
+
+    Cache &l1i() { return il1; }
+    Cache &l1d() { return dl1; }
+    Cache &l2() { return ul2; }
+    Cycles memLatency() const { return p.memLatency; }
+
+  private:
+    HierarchyParams p;
+    Cache il1;
+    Cache dl1;
+    Cache ul2;
+};
+
+} // namespace cdvm::memsys
+
+#endif // CDVM_MEMSYS_HIERARCHY_HH

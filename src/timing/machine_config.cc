@@ -1,0 +1,106 @@
+#include "timing/machine_config.hh"
+
+namespace cdvm::timing
+{
+
+namespace
+{
+
+/**
+ * BBT-generated code runs at 82-85% of SBT-code IPC, which is "only
+ * slightly less than the baseline superscalar" (Section 5.3) -- the
+ * SBT code's microarchitectural IPC capability (~18% over a plain
+ * superscalar before cache dilution) puts 0.84x of it at roughly the
+ * reference's level. Relative to SBT code at the aggregate level we
+ * model BBT code 10% slower (i.e. ~2% below the reference).
+ */
+constexpr double BBT_VS_SBT_CPI = 1.10;
+
+/** Interpretation is 10x-100x slower than native (Section 1.1). */
+constexpr double INTERP_SLOWDOWN = 35.0;
+
+} // namespace
+
+MachineConfig
+MachineConfig::refSuperscalar()
+{
+    MachineConfig m;
+    m.name = "Ref: superscalar";
+    m.kind = MachineKind::RefSuperscalar;
+    m.cold = ColdMode::Native;
+    m.hasSbt = false;
+    m.costs = dbt::TranslationCosts::frontendAssist(); // no translation
+    m.coldCpiFactor = 1.0;
+    m.frontendX86Decoders = true; // always-on hardware x86 decoders
+    return m;
+}
+
+MachineConfig
+MachineConfig::vmSoft()
+{
+    MachineConfig m;
+    m.name = "VM.soft";
+    m.kind = MachineKind::VmSoft;
+    m.cold = ColdMode::BbtCode;
+    m.hasSbt = true;
+    m.costs = dbt::TranslationCosts::software();
+    m.coldCpiFactor = BBT_VS_SBT_CPI;
+    m.frontendX86Decoders = false; // no hardware x86 decode at all
+    return m;
+}
+
+MachineConfig
+MachineConfig::vmBe()
+{
+    MachineConfig m;
+    m.name = "VM.be";
+    m.kind = MachineKind::VmBe;
+    m.cold = ColdMode::BbtCode;
+    m.hasSbt = true;
+    m.costs = dbt::TranslationCosts::backendAssist();
+    m.coldCpiFactor = BBT_VS_SBT_CPI;
+    // One XLTx86 decoder, active only while the HAloop runs.
+    m.frontendX86Decoders = false;
+    return m;
+}
+
+MachineConfig
+MachineConfig::vmFe()
+{
+    MachineConfig m;
+    m.name = "VM.fe";
+    m.kind = MachineKind::VmFe;
+    m.cold = ColdMode::X86Direct;
+    m.hasSbt = true;
+    m.costs = dbt::TranslationCosts::frontendAssist();
+    // Dual-mode execution of cold x86 code behaves like the reference
+    // superscalar (Section 5.2).
+    m.coldCpiFactor = 1.0;
+    m.frontendX86Decoders = true; // on while not in hotspot code
+    return m;
+}
+
+MachineConfig
+MachineConfig::vmInterp()
+{
+    MachineConfig m;
+    m.name = "VM: Interp & SBT";
+    m.kind = MachineKind::VmInterp;
+    m.cold = ColdMode::Interpret;
+    m.hasSbt = true;
+    m.costs = dbt::TranslationCosts::interpreter();
+    m.coldCpiFactor = INTERP_SLOWDOWN;
+    // Interpretation threshold: N = Delta_SBT / (p-1) with the much
+    // larger interpretation slowdown folded in -- the paper derives 25.
+    m.hotThreshold = 25;
+    m.frontendX86Decoders = false;
+    return m;
+}
+
+std::vector<MachineConfig>
+MachineConfig::table2()
+{
+    return {refSuperscalar(), vmSoft(), vmBe(), vmFe()};
+}
+
+} // namespace cdvm::timing

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Machine configurations (paper Table 2).
+ *
+ * Four primary machines, plus the interpreter-based VM of Fig. 2:
+ *
+ *   Ref: superscalar -- conventional x86 processor. Hardware x86
+ *        decoders, no dynamic optimization.
+ *   VM.soft -- co-designed VM, software-only BBT and SBT.
+ *   VM.be   -- co-designed VM, BBT assisted by the backend XLTx86
+ *              functional unit.
+ *   VM.fe   -- co-designed VM, dual-mode frontend decoders (no BBT).
+ *   VM.interp -- staged interpretation + SBT (Fig. 2 only).
+ *
+ * All machines share the Table 2 pipeline resources and memory
+ * hierarchy; they differ in how cold and hot x86 code is emulated and
+ * in translation costs.
+ */
+
+#ifndef CDVM_TIMING_MACHINE_CONFIG_HH
+#define CDVM_TIMING_MACHINE_CONFIG_HH
+
+#include <string>
+
+#include "dbt/costs.hh"
+#include "memsys/hierarchy.hh"
+
+namespace cdvm::timing
+{
+
+/** Machine flavours. */
+enum class MachineKind : u8
+{
+    RefSuperscalar,
+    VmSoft,
+    VmBe,
+    VmFe,
+    VmInterp,
+};
+
+/** How cold (untranslated) code is emulated. */
+enum class ColdMode : u8
+{
+    Native,     //!< Ref: x86 executes directly, always
+    Interpret,  //!< software interpretation
+    BbtCode,    //!< execute BBT-translated code
+    X86Direct,  //!< VM.fe dual-mode execution of x86 code
+};
+
+/** Table 2 pipeline resources (shared by all machines). */
+struct PipelineParams
+{
+    unsigned fetchBytes = 16;
+    unsigned width = 3;       //!< decode/rename/issue/retire width
+    unsigned issueSlots = 36;
+    unsigned robEntries = 128;
+    unsigned ldqSlots = 32;
+    unsigned stqSlots = 20;
+    unsigned prfEntries = 128;
+    unsigned branchMissPenalty = 12;
+};
+
+/** A complete machine configuration for the startup simulator. */
+struct MachineConfig
+{
+    std::string name;
+    MachineKind kind = MachineKind::RefSuperscalar;
+    ColdMode cold = ColdMode::Native;
+    bool hasSbt = false;           //!< hotspot optimization stage
+    dbt::TranslationCosts costs;   //!< translation cycle costs
+    u64 hotThreshold = 8000;       //!< Eq. 2 threshold
+    PipelineParams pipeline;
+    memsys::HierarchyParams memory;
+
+    /**
+     * CPI multiplier of the emulation mode for cold code, relative to
+     * the workload's reference CPI:
+     *   Ref / VM.fe x86-mode: 1.0 (same pipeline behaviour);
+     *   BBT code: 1/0.84 (runs at 82-85% of SBT-code IPC, paper 5.3);
+     *   interpretation: 10x-100x (paper 1.1; calibrated to Fig. 2).
+     */
+    double coldCpiFactor = 1.0;
+
+    /** SBT-code CPI factor; the per-app steady-state gain divides it. */
+    double sbtCpiFactor = 1.0;
+
+    /**
+     * Hotspot coverage at which the published steady-state gain is
+     * quoted: the per-instruction gain of optimized code is
+     * steadyGain / steadyCoverage (full-run coverage approaches but
+     * does not reach 100%, paper Section 5.3).
+     */
+    double steadyCoverage = 0.85;
+
+    /**
+     * Translated-code expansion: code-cache bytes per x86 byte
+     * (measured from the real translators in calibration tests).
+     */
+    double codeExpansion = 1.6;
+
+    /** VMM dispatch overhead when a chain is missing (cycles). */
+    double dispatchCycles = 30.0;
+
+    /**
+     * Fraction of an L2-hit instruction-fetch miss that fetch-ahead
+     * hides (sequential prefetch overlaps the 12-cycle L2 latency;
+     * full-memory misses stall for real).
+     */
+    double l2FetchOverlap = 0.7;
+
+    /**
+     * Fraction of a translator store miss that actually stalls
+     * (write buffers absorb most code-cache write misses).
+     */
+    double storeStallFraction = 0.3;
+
+    /**
+     * Instruction-fetch penalty multiplier for translated code.
+     * Code-cache layout is execution-ordered and superblocks fetch
+     * straight-line, giving "better temporal locality and more
+     * efficient instruction fetching" than the original x86 image
+     * (paper Section 3.1). 1.0 = no advantage.
+     */
+    double vmFetchLocality = 0.7;
+
+    /**
+     * x86 decode activity accounting for Fig. 11: true when the
+     * machine's frontend x86 decoders are on while executing x86 or
+     * cold code.
+     */
+    bool frontendX86Decoders = false;
+
+    // --- presets --------------------------------------------------------
+    static MachineConfig refSuperscalar();
+    static MachineConfig vmSoft();
+    static MachineConfig vmBe();
+    static MachineConfig vmFe();
+    static MachineConfig vmInterp();
+
+    /** All four Table 2 machines in paper order. */
+    static std::vector<MachineConfig> table2();
+};
+
+} // namespace cdvm::timing
+
+#endif // CDVM_TIMING_MACHINE_CONFIG_HH

@@ -1,0 +1,285 @@
+#include "timing/pipeline.hh"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+#include "common/logging.hh"
+
+namespace cdvm::timing
+{
+
+using uops::UOp;
+using uops::Uop;
+using uops::UopVec;
+
+namespace
+{
+
+bool
+isMul(const Uop &u)
+{
+    return u.op == UOp::Imul || u.op == UOp::MulWide ||
+           u.op == UOp::ImulWide;
+}
+
+bool
+isDiv(const Uop &u)
+{
+    return u.op == UOp::DivWide || u.op == UOp::IdivWide;
+}
+
+/** Ring of the last N event cycles (structural occupancy modeling). */
+class Ring
+{
+  public:
+    explicit Ring(std::size_t capacity) : cap(capacity) {}
+
+    /** Cycle at which a new entry can be allocated. */
+    Cycles
+    availableAt() const
+    {
+        if (cap == 0)
+            return 0;
+        return q.size() < cap ? 0 : q.front();
+    }
+
+    void
+    push(Cycles free_at)
+    {
+        if (cap == 0)
+            return;
+        if (q.size() == cap)
+            q.pop_front();
+        q.push_back(free_at);
+    }
+
+  private:
+    std::size_t cap;
+    std::deque<Cycles> q;
+};
+
+/** Per-cycle bandwidth counters with monotonically growing cycles. */
+class Bandwidth
+{
+  public:
+    explicit Bandwidth(unsigned per_cycle) : width(per_cycle) {}
+
+    /** First cycle >= c with a free slot; consumes it. */
+    Cycles
+    take(Cycles c)
+    {
+        for (;;) {
+            ensure(c);
+            // Requests are not monotonic (out-of-order issue); a
+            // request older than the retained window is clamped to the
+            // window start -- those ancient slots saturated long ago.
+            if (c < base)
+                c = base;
+            if (used[c - base] < width) {
+                ++used[c - base];
+                return c;
+            }
+            ++c;
+        }
+    }
+
+  private:
+    void
+    ensure(Cycles c)
+    {
+        if (used.empty()) {
+            // Leave headroom below the first request: later requests
+            // may be ready at earlier cycles (out-of-order issue).
+            base = c > 4096 ? c - 4096 : 0;
+            used.assign(8192, 0);
+        }
+        if (c < base)
+            return;
+        while (c - base >= used.size())
+            used.resize(used.size() * 2, 0);
+        // Periodically discard the consumed prefix, keeping a window
+        // deep enough (>= 512K cycles) that live requests never land
+        // before it.
+        if (used.size() > (1u << 20)) {
+            std::size_t keep = used.size() / 2;
+            std::size_t drop = used.size() - keep;
+            used.erase(used.begin(),
+                       used.begin() + static_cast<long>(drop));
+            base += drop;
+        }
+    }
+
+    unsigned width;
+    std::vector<u8> used;
+    Cycles base = 0;
+};
+
+} // namespace
+
+UopVec
+unfused(const UopVec &body)
+{
+    UopVec v = body;
+    for (Uop &u : v)
+        u.fusedHead = false;
+    return v;
+}
+
+PipelineSim::PipelineSim(const PipelineParams &params,
+                         const PipelineKnobs &knobs)
+    : p(params), k(knobs)
+{
+}
+
+PipelineResult
+PipelineSim::run(const UopVec &body, unsigned iterations)
+{
+    PipelineResult res;
+    if (body.empty() || iterations == 0)
+        return res;
+
+    // Distinct x86 instructions in one iteration.
+    std::unordered_set<Addr> pcs;
+    for (const Uop &u : body)
+        pcs.insert(u.x86pc);
+
+    std::vector<Cycles> reg_ready(uops::NUM_UREGS, 0);
+    Cycles flag_ready = 0;
+
+    Bandwidth dispatch_bw(p.width);
+    Bandwidth retire_bw(p.width);
+    Bandwidth issue_bw(p.width);
+    Bandwidth alu_bw(k.aluUnits);
+    Bandwidth mem_bw(k.memPorts);
+
+    Ring rob(p.robEntries);
+    Ring iq(p.issueSlots);
+    Ring ldq(p.ldqSlots);
+    Ring stq(p.stqSlots);
+
+    Cycles fetch_ready = 0;   //!< front-end stall point (mispredicts)
+    Cycles last_retire = 0;
+    u64 branch_seen = 0;
+    const u64 miss_every =
+        k.branchMissRate > 0.0
+            ? std::max<u64>(1, static_cast<u64>(1.0 / k.branchMissRate))
+            : 0;
+
+    for (unsigned it = 0; it < iterations; ++it) {
+        for (std::size_t i = 0; i < body.size(); ++i) {
+            const Uop &head = body[i];
+            const Uop *tail = nullptr;
+            if (head.fusedHead && i + 1 < body.size()) {
+                tail = &body[i + 1];
+            }
+
+            // --- dispatch: width, ROB, IQ, LDQ/STQ occupancy --------
+            Cycles d = fetch_ready;
+            d = std::max(d, rob.availableAt());
+            d = std::max(d, iq.availableAt());
+            const Uop &memop = tail && tail->isMem() ? *tail : head;
+            const bool is_load = head.isLoad();
+            const bool is_store = head.isStore();
+            (void)memop;
+            if (is_load)
+                d = std::max(d, ldq.availableAt());
+            if (is_store)
+                d = std::max(d, stq.availableAt());
+            d = dispatch_bw.take(d);
+
+            // --- readiness ------------------------------------------
+            Cycles ready = d + 1; // rename-to-issue minimum
+            u8 srcs[3];
+            head.sources(srcs);
+            for (u8 s : srcs) {
+                if (s != uops::UREG_NONE)
+                    ready = std::max(ready, reg_ready[s]);
+            }
+            if (head.readsFlags())
+                ready = std::max(ready, flag_ready);
+            if (tail) {
+                u8 tsrcs[3];
+                tail->sources(tsrcs);
+                const u8 hdst = head.destination();
+                for (u8 s : tsrcs) {
+                    if (s != uops::UREG_NONE && s != hdst)
+                        ready = std::max(ready, reg_ready[s]);
+                }
+                if (tail->readsFlags() && !head.writeFlags)
+                    ready = std::max(ready, flag_ready);
+            }
+
+            // --- issue: window + functional unit ---------------------
+            Cycles issue = issue_bw.take(ready);
+            if (head.isMem() || (tail && tail->isMem()))
+                issue = mem_bw.take(issue);
+            else
+                issue = alu_bw.take(issue);
+
+            // --- execute ----------------------------------------------
+            Cycles lat = 1;
+            if (head.isLoad())
+                lat = k.loadLatency;
+            else if (isMul(head))
+                lat = k.mulLatency;
+            else if (isDiv(head))
+                lat = k.divLatency;
+            else if (head.op == UOp::XltX86)
+                lat = 4;
+            // A fused pair executes on the collapsed ALU: the
+            // dependent tail completes in the same cycle slot.
+            Cycles complete = issue + lat;
+
+            // --- writeback ---------------------------------------------
+            u8 hd = head.destination();
+            if (hd != uops::UREG_NONE)
+                reg_ready[hd] = complete;
+            if (head.writeFlags || head.op == UOp::Cmp ||
+                head.op == UOp::Tst) {
+                flag_ready = complete;
+            }
+            if (tail) {
+                u8 td = tail->destination();
+                if (td != uops::UREG_NONE)
+                    reg_ready[td] = complete;
+                if (tail->writeFlags || tail->op == UOp::Cmp ||
+                    tail->op == UOp::Tst) {
+                    flag_ready = complete;
+                }
+            }
+
+            // --- retire (in order) --------------------------------------
+            Cycles r = retire_bw.take(std::max(complete, last_retire));
+            last_retire = r;
+            rob.push(r);
+            iq.push(issue);
+            if (is_load)
+                ldq.push(r);
+            if (is_store)
+                stq.push(r);
+
+            // --- branches -------------------------------------------------
+            const Uop &cti = tail ? *tail : head;
+            if (cti.isBranch() || (tail && tail->op == UOp::Br)) {
+                ++branch_seen;
+                if (miss_every && branch_seen % miss_every == 0) {
+                    fetch_ready = std::max(
+                        fetch_ready, complete + p.branchMissPenalty);
+                }
+            }
+
+            res.uops += tail ? 2 : 1;
+            res.slots += 1;
+            if (tail)
+                ++res.fusedPairs;
+            if (tail)
+                ++i; // consume the tail
+            res.cycles = std::max(res.cycles, r);
+        }
+        res.x86Insns += pcs.size();
+    }
+    return res;
+}
+
+} // namespace cdvm::timing

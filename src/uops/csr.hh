@@ -1,0 +1,68 @@
+/**
+ * @file
+ * CSR -- the control and status register written by XLTx86.
+ *
+ * Paper Figure 6b:
+ *
+ *   | Flag_cti | Flag_cmplx | uops_bytes (4-bit) | x86_ilen (4-bit) |
+ *
+ * x86_ilen (bits 3:0) is the decoded instruction's length in bytes.
+ * uops_bytes (bits 7:4) is the emitted micro-op length in half-words
+ * (bytes / 2; micro-op encodings are always an even number of bytes,
+ * so values 1..8 cover the 2..16-byte range that fits Fdst).
+ * Flag_cmplx (bit 8) marks instructions the hardware defers to the
+ * software path; Flag_cti (bit 9) marks control-transfer instructions.
+ */
+
+#ifndef CDVM_UOPS_CSR_HH
+#define CDVM_UOPS_CSR_HH
+
+#include "common/types.hh"
+
+namespace cdvm::uops::csr
+{
+
+constexpr u32 CMPLX = 1u << 8;
+constexpr u32 CTI = 1u << 9;
+
+/** Decoded x86 instruction length in bytes. */
+constexpr unsigned
+ilen(u32 c)
+{
+    return c & 0xf;
+}
+
+/** Emitted micro-op bytes. */
+constexpr unsigned
+uopBytes(u32 c)
+{
+    return ((c >> 4) & 0xf) * 2;
+}
+
+constexpr bool
+isComplex(u32 c)
+{
+    return c & CMPLX;
+}
+
+constexpr bool
+isCti(u32 c)
+{
+    return c & CTI;
+}
+
+/** Compose a CSR value. */
+constexpr u32
+make(unsigned ilen_bytes, unsigned uop_bytes, bool cmplx, bool cti)
+{
+    u32 c = (ilen_bytes & 0xf) | (((uop_bytes / 2) & 0xf) << 4);
+    if (cmplx)
+        c |= CMPLX;
+    if (cti)
+        c |= CTI;
+    return c;
+}
+
+} // namespace cdvm::uops::csr
+
+#endif // CDVM_UOPS_CSR_HH

@@ -1,0 +1,171 @@
+#include "uops/fusion.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cdvm::uops
+{
+
+namespace
+{
+
+/** True if u writes the arithmetic flags. */
+bool
+writesFlags(const Uop &u)
+{
+    if (u.writeFlags)
+        return true;
+    switch (u.op) {
+      case UOp::Cmp:
+      case UOp::Tst:
+      case UOp::Clc:
+      case UOp::Stc:
+      case UOp::Cmc:
+      case UOp::MulWide:
+      case UOp::ImulWide:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+readsReg(const Uop &u, u8 reg)
+{
+    if (reg == UREG_NONE)
+        return false;
+    u8 s[3];
+    u.sources(s);
+    return s[0] == reg || s[1] == reg || s[2] == reg;
+}
+
+/** Barriers a tail may never be hoisted across. */
+bool
+isHoistBarrier(const Uop &u)
+{
+    switch (u.op) {
+      case UOp::Br:
+      case UOp::Jmp:
+      case UOp::Jr:
+      case UOp::St:
+      case UOp::St8:
+      case UOp::St16:
+      case UOp::StF:
+      case UOp::MulWide:
+      case UOp::ImulWide:
+      case UOp::DivWide:
+      case UOp::IdivWide:
+      case UOp::XltX86:
+      case UOp::ExitVm:
+      case UOp::Trap:
+      case UOp::CpuidOp:
+      case UOp::RdtscOp:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/**
+ * Can tail (at index j) be hoisted to sit right after head (index i),
+ * crossing v[i+1..j-1]?
+ */
+bool
+hoistLegal(const UopVec &v, std::size_t i, std::size_t j)
+{
+    const Uop &tail = v[j];
+    u8 tail_src[3];
+    tail.sources(tail_src);
+    const u8 tail_dst = tail.destination();
+    const bool tail_rf = tail.readsFlags();
+    const bool tail_wf = writesFlags(tail);
+
+    for (std::size_t k = i + 1; k < j; ++k) {
+        const Uop &mid = v[k];
+        if (isHoistBarrier(mid))
+            return false;
+        const u8 mid_dst = mid.destination();
+        // RAW: tail must not consume a value produced in between.
+        if (mid_dst != UREG_NONE &&
+            (tail_src[0] == mid_dst || tail_src[1] == mid_dst ||
+             tail_src[2] == mid_dst)) {
+            return false;
+        }
+        // WAR: tail's write must not clobber a value mid still reads.
+        if (tail_dst != UREG_NONE && readsReg(mid, tail_dst))
+            return false;
+        // WAW: write ordering must be preserved.
+        if (tail_dst != UREG_NONE && mid_dst == tail_dst)
+            return false;
+        // Flag hazards, treating EFLAGS as one register.
+        const bool mid_rf = mid.readsFlags();
+        const bool mid_wf = writesFlags(mid);
+        if (tail_rf && mid_wf)
+            return false;
+        if (tail_wf && (mid_rf || mid_wf))
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+FusionStats
+fusePairs(UopVec &v, const FusionConfig &cfg)
+{
+    FusionStats stats;
+    stats.totalUops = static_cast<unsigned>(v.size());
+
+    std::vector<bool> in_pair(v.size(), false);
+
+    for (std::size_t i = 0; i < v.size(); ++i) {
+        if (in_pair[i])
+            continue;
+        Uop &head = v[i];
+        if (!head.isSimpleAlu())
+            continue;
+        const u8 d = head.destination();
+        if (d == UREG_NONE && !writesFlags(head))
+            continue; // produces neither a register nor flags
+
+        const bool head_wf = writesFlags(head);
+        const std::size_t limit =
+            std::min(v.size(), i + 1 + cfg.window);
+        for (std::size_t j = i + 1; j < limit; ++j) {
+            if (in_pair[j])
+                continue;
+            const Uop &cand = v[j];
+            if (!cand.isFusionTail())
+                continue;
+            if (cand.op == UOp::Br && !cfg.fuseBranches)
+                continue;
+            // Dependence through a register, or through the flags
+            // (the classic compare-and-branch / test-and-branch
+            // condition fusion of the fusible ISA).
+            const bool reg_dep = readsReg(cand, d);
+            const bool flag_dep = head_wf && cand.readsFlags();
+            if (!reg_dep && !flag_dep)
+                continue;
+            // A branch tail may not be hoisted (it would move the
+            // side-exit point); it can only fuse when adjacent.
+            if (cand.isBranch() && j != i + 1)
+                break;
+            if (j != i + 1 && !hoistLegal(v, i, j))
+                continue;
+
+            // Hoist: rotate v[i+1..j] right so cand lands at i+1.
+            if (j != i + 1)
+                std::rotate(v.begin() + static_cast<long>(i) + 1,
+                            v.begin() + static_cast<long>(j),
+                            v.begin() + static_cast<long>(j) + 1);
+            v[i].fusedHead = true;
+            in_pair[i] = true;
+            in_pair[i + 1] = true;
+            ++stats.pairs;
+            break;
+        }
+    }
+    return stats;
+}
+
+} // namespace cdvm::uops

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Macro-op fusion: pairing dependent micro-ops.
+ *
+ * The hotspot optimizer (SBT) fuses pairs of dependent micro-ops into
+ * macro-ops that the co-designed pipeline processes as single entities
+ * (Hu & Smith [CGO'04], Hu et al. [HPCA'06]). The head of a pair must
+ * be a single-cycle ALU micro-op whose result feeds the tail; the tail
+ * is hoisted to sit immediately after the head, subject to the usual
+ * data-, flag- and control-hazard legality rules.
+ *
+ * Fusion is a pure reordering + marking pass: executing the fused
+ * sequence in program order on the functional executor produces exactly
+ * the same architected state, which the property tests verify.
+ */
+
+#ifndef CDVM_UOPS_FUSION_HH
+#define CDVM_UOPS_FUSION_HH
+
+#include "uops/uop.hh"
+
+namespace cdvm::uops
+{
+
+/** Knobs for the fusion pass. */
+struct FusionConfig
+{
+    /** Maximum lookahead distance from head to candidate tail. */
+    unsigned window = 4;
+    /** Allow fusing an ALU head with a dependent conditional branch. */
+    bool fuseBranches = true;
+};
+
+/** Outcome statistics of a fusion pass. */
+struct FusionStats
+{
+    unsigned pairs = 0;     //!< macro-ops formed
+    unsigned totalUops = 0; //!< micro-ops considered
+
+    /** Fraction of micro-ops that ended up inside a macro-op. */
+    double
+    fusedFraction() const
+    {
+        return totalUops ? 2.0 * pairs / totalUops : 0.0;
+    }
+};
+
+/**
+ * Run macro-op fusion over a micro-op sequence in place. Tails are
+ * hoisted adjacent to their heads and heads get fusedHead set.
+ */
+FusionStats fusePairs(UopVec &v, const FusionConfig &cfg = {});
+
+} // namespace cdvm::uops
+
+#endif // CDVM_UOPS_FUSION_HH

@@ -1,0 +1,259 @@
+#include "uops/uop.hh"
+
+#include <sstream>
+
+#include "common/bitfield.hh"
+
+namespace cdvm::uops
+{
+
+bool
+Uop::isSimpleAlu() const
+{
+    switch (op) {
+      case UOp::Add:
+      case UOp::Sub:
+      case UOp::And:
+      case UOp::Or:
+      case UOp::Xor:
+      case UOp::Cmp:
+      case UOp::Tst:
+      case UOp::Shl:
+      case UOp::Shr:
+      case UOp::Sar:
+      case UOp::Inc:
+      case UOp::Dec:
+      case UOp::Not:
+      case UOp::Neg:
+      case UOp::Mov:
+      case UOp::Limm:
+      case UOp::Zext8:
+      case UOp::Zext16:
+      case UOp::Sext8:
+      case UOp::Sext16:
+      case UOp::Lea:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+Uop::isFusionTail() const
+{
+    return isSimpleAlu() || op == UOp::Br || op == UOp::Setcc;
+}
+
+void
+Uop::sources(u8 out[3]) const
+{
+    out[0] = out[1] = out[2] = UREG_NONE;
+    unsigned n = 0;
+    if (isStore()) {
+        // Data register first, then address registers.
+        if (dst != UREG_NONE)
+            out[n++] = dst;
+        if (src1 != UREG_NONE)
+            out[n++] = src1;
+        if (src2 != UREG_NONE)
+            out[n++] = src2;
+        return;
+    }
+    if (isLoad() || op == UOp::Lea) {
+        if (src1 != UREG_NONE)
+            out[n++] = src1;
+        if (src2 != UREG_NONE)
+            out[n++] = src2;
+        return;
+    }
+    switch (op) {
+      case UOp::Ins8:
+      case UOp::InsHi8:
+      case UOp::Ins16:
+        // Read-modify-write of dst.
+        if (dst != UREG_NONE)
+            out[n++] = dst;
+        if (src1 != UREG_NONE)
+            out[n++] = src1;
+        return;
+      case UOp::MulWide:
+      case UOp::ImulWide:
+        out[n++] = R_EAX;
+        if (src1 != UREG_NONE)
+            out[n++] = src1;
+        return;
+      case UOp::DivWide:
+      case UOp::IdivWide:
+        out[n++] = R_EAX;
+        out[n++] = R_EDX;
+        if (src1 != UREG_NONE)
+            out[n++] = src1;
+        return;
+      default:
+        break;
+    }
+    if (src1 != UREG_NONE)
+        out[n++] = src1;
+    if (src2 != UREG_NONE)
+        out[n++] = src2;
+}
+
+u8
+Uop::destination() const
+{
+    if (isStore() || op == UOp::Cmp || op == UOp::Tst || isBranch())
+        return UREG_NONE;
+    return dst;
+}
+
+bool
+Uop::readsFlags() const
+{
+    switch (op) {
+      case UOp::Adc:
+      case UOp::Sbb:
+      case UOp::Cmc:
+      case UOp::Setcc:
+        return true;
+      case UOp::Inc:
+      case UOp::Dec:
+        return true; // preserve CF: read-modify-write of flags
+      case UOp::Br:
+        return cond < 16; // x86 condition codes read EFLAGS
+      default:
+        return false;
+    }
+}
+
+// Uop::encodedSize() is defined in encoding.cc next to the encoder so
+// the two cannot diverge.
+
+unsigned
+encodedBytes(const UopVec &v)
+{
+    unsigned n = 0;
+    for (const Uop &u : v)
+        n += u.encodedSize();
+    return n;
+}
+
+std::string
+uopName(UOp op)
+{
+    switch (op) {
+      case UOp::Nop: return "nop";
+      case UOp::Add: return "add";
+      case UOp::Adc: return "adc";
+      case UOp::Sub: return "sub";
+      case UOp::Sbb: return "sbb";
+      case UOp::And: return "and";
+      case UOp::Or: return "or";
+      case UOp::Xor: return "xor";
+      case UOp::Cmp: return "cmp";
+      case UOp::Tst: return "tst";
+      case UOp::Shl: return "shl";
+      case UOp::Shr: return "shr";
+      case UOp::Sar: return "sar";
+      case UOp::Rol: return "rol";
+      case UOp::Ror: return "ror";
+      case UOp::Imul: return "imul";
+      case UOp::Inc: return "inc";
+      case UOp::Dec: return "dec";
+      case UOp::Not: return "not";
+      case UOp::Neg: return "neg";
+      case UOp::MulWide: return "mulw";
+      case UOp::ImulWide: return "imulw";
+      case UOp::DivWide: return "divw";
+      case UOp::IdivWide: return "idivw";
+      case UOp::Mov: return "mov";
+      case UOp::Limm: return "limm";
+      case UOp::Zext8: return "zext8";
+      case UOp::Zext16: return "zext16";
+      case UOp::Sext8: return "sext8";
+      case UOp::Sext16: return "sext16";
+      case UOp::ExtHi8: return "exthi8";
+      case UOp::Ins8: return "ins8";
+      case UOp::InsHi8: return "inshi8";
+      case UOp::Ins16: return "ins16";
+      case UOp::Setcc: return "setcc";
+      case UOp::Ld: return "ld";
+      case UOp::Ldz8: return "ldz8";
+      case UOp::Ldz16: return "ldz16";
+      case UOp::Lds8: return "lds8";
+      case UOp::Lds16: return "lds16";
+      case UOp::St: return "st";
+      case UOp::St8: return "st8";
+      case UOp::St16: return "st16";
+      case UOp::Lea: return "lea";
+      case UOp::LdF: return "ldf";
+      case UOp::StF: return "stf";
+      case UOp::Br: return "br";
+      case UOp::Jmp: return "jmp";
+      case UOp::Jr: return "jr";
+      case UOp::Clc: return "clc";
+      case UOp::Stc: return "stc";
+      case UOp::Cmc: return "cmc";
+      case UOp::XltX86: return "xltx86";
+      case UOp::MovCsr: return "movcsr";
+      case UOp::CpuidOp: return "cpuid";
+      case UOp::RdtscOp: return "rdtsc";
+      case UOp::ExitVm: return "exitvm";
+      case UOp::Trap: return "trap";
+      default: return "?";
+    }
+}
+
+std::string
+Uop::toString() const
+{
+    std::ostringstream os;
+    if (fusedHead)
+        os << "+";
+    os << uopName(op);
+    if (size != 4 && !isMem())
+        os << "." << static_cast<int>(size * 8);
+    auto reg = [](u8 r) {
+        return r == UREG_NONE ? std::string("-")
+                              : "r" + std::to_string(r);
+    };
+    if (isMem() || op == UOp::Lea) {
+        os << " " << reg(isStore() ? dst : dst) << ", [";
+        bool first = true;
+        if (src1 != UREG_NONE) {
+            os << reg(src1);
+            first = false;
+        }
+        if (src2 != UREG_NONE) {
+            os << (first ? "" : "+") << reg(src2) << "*"
+               << static_cast<int>(scale);
+            first = false;
+        }
+        if (imm || first)
+            os << (first ? "" : "+") << imm;
+        os << "]";
+    } else if (op == UOp::Br) {
+        if (cond < 16)
+            os << x86::condName(static_cast<x86::Cond>(cond));
+        else if (cond == static_cast<u8>(UCond::CsrCmplx))
+            os << ".cpx";
+        else if (cond == static_cast<u8>(UCond::CsrCti))
+            os << ".cti";
+        os << " 0x" << std::hex << target;
+    } else if (op == UOp::Jmp) {
+        os << " 0x" << std::hex << target;
+    } else {
+        if (dst != UREG_NONE)
+            os << " " << reg(dst);
+        if (src1 != UREG_NONE)
+            os << (dst != UREG_NONE ? ", " : " ") << reg(src1);
+        if (src2 != UREG_NONE)
+            os << ", " << reg(src2);
+        if (hasImm)
+            os << ", #" << imm;
+    }
+    if (writeFlags)
+        os << " !f";
+    return os.str();
+}
+
+} // namespace cdvm::uops

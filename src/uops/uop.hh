@@ -1,0 +1,160 @@
+/**
+ * @file
+ * The fusible implementation ISA ("native" ISA) of the co-designed VM.
+ *
+ * Micro-ops are RISC-like operations with 16-bit and 32-bit encodings
+ * (a 32-bit encoding may carry one 32-bit extension word for large
+ * immediates / branch targets). Pairs of dependent micro-ops can be
+ * fused into macro-ops -- the head micro-op carries the fusible bit,
+ * exactly as in the fusible ISA of Hu et al. [HPCA'06].
+ *
+ * Register map (32 integer registers):
+ *   R0..R7   architected x86 GPRs (EAX..EDI)
+ *   R8..R15  cracking temporaries
+ *   R16..R23 VMM-reserved (HAloop bookkeeping etc.)
+ *   R24..R30 unassigned
+ *   R31      "no register"
+ * plus 32 128-bit F registers used by FP/media and by XLTx86.
+ */
+
+#ifndef CDVM_UOPS_UOP_HH
+#define CDVM_UOPS_UOP_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "x86/regs.hh"
+
+namespace cdvm::uops
+{
+
+/** Number of integer registers in the implementation ISA. */
+constexpr unsigned NUM_UREGS = 32;
+/** "No register" sentinel (R31 is reserved for this purpose). */
+constexpr u8 UREG_NONE = 31;
+
+// Architected GPR aliases.
+constexpr u8 R_EAX = 0, R_ECX = 1, R_EDX = 2, R_EBX = 3;
+constexpr u8 R_ESP = 4, R_EBP = 5, R_ESI = 6, R_EDI = 7;
+// Cracking temporaries.
+constexpr u8 R_T0 = 8, R_T1 = 9, R_T2 = 10, R_T3 = 11;
+// VMM-reserved registers (used by the HAloop of paper Fig. 6a).
+constexpr u8 R_X86PC = 16;  //!< architected x86 PC during translation
+constexpr u8 R_CODECACHE = 17;
+constexpr u8 R_V0 = 18, R_V1 = 19, R_V2 = 20;
+
+/** Micro-op opcodes. */
+enum class UOp : u8
+{
+    Nop = 0,
+    // Two-source ALU. Sized; optional flag write (x86 semantics).
+    Add, Adc, Sub, Sbb, And, Or, Xor,
+    Cmp,      //!< flags of Sub, no register write
+    Tst,      //!< flags of And, no register write
+    Shl, Shr, Sar, Rol, Ror,
+    Imul,     //!< truncating signed multiply; flags: CF/OF on overflow
+    Inc, Dec, //!< add/sub 1 with CF preserved
+    Not, Neg,
+    // Widening multiply / divide on implicit EDX:EAX (size-aware).
+    MulWide, ImulWide, DivWide, IdivWide,
+    // Moves and extensions.
+    Mov,      //!< register move
+    Limm,     //!< load immediate
+    Zext8, Zext16, Sext8, Sext16,
+    ExtHi8,   //!< dst = (src1 >> 8) & 0xff   (read AH-style subregister)
+    Ins8,     //!< dst[7:0]   = src1[7:0]     (partial-register merge)
+    InsHi8,   //!< dst[15:8]  = src1[7:0]
+    Ins16,    //!< dst[15:0]  = src1[15:0]
+    Setcc,    //!< dst = cond(flags) ? 1 : 0
+    // Memory. Address is base + index*scale + disp (disp in imm field).
+    Ld,       //!< 32-bit load
+    Ldz8, Ldz16, Lds8, Lds16,
+    St, St8, St16,
+    Lea,      //!< dst = effective address
+    // 128-bit F-register memory ops (XLTx86 operand staging).
+    LdF, StF,
+    // Control transfer (targets are architected x86 addresses).
+    Br,       //!< conditional branch, cond in the cond field
+    Jmp,      //!< direct jump
+    Jr,       //!< indirect jump through src1
+    // Flags.
+    Clc, Stc, Cmc,
+    // VM / system.
+    XltX86,   //!< Table 1: decode x86 insn in F[src1] into F[dst] + CSR
+    MovCsr,   //!< dst = CSR (after XltX86)
+    CpuidOp, RdtscOp,
+    ExitVm,   //!< leave translated code back to the VMM (HLT, exits)
+    Trap,     //!< raise a fault (INT3)
+    NUM_UOPS,
+};
+
+/** Branch condition space: x86 condition codes plus CSR tests. */
+enum class UCond : u8
+{
+    // 0..15 mirror x86::Cond.
+    CsrCmplx = 16, //!< taken if CSR.Flag_cmplx (Fig. 6a "Jcpx")
+    CsrCti = 17,   //!< taken if CSR.Flag_cti   (Fig. 6a "Jcti")
+    Always = 18,
+};
+
+/** One micro-op. */
+struct Uop
+{
+    UOp op = UOp::Nop;
+    u8 dst = UREG_NONE;
+    u8 src1 = UREG_NONE;
+    u8 src2 = UREG_NONE;   //!< also the index register for memory ops
+    u8 size = 4;           //!< operand size for sized ALU ops
+    u8 scale = 1;          //!< memory index scale (1/2/4/8)
+    u8 cond = 0;           //!< UCond for Br / x86 cond for Setcc
+    bool hasImm = false;
+    i32 imm = 0;           //!< immediate or memory displacement
+    bool writeFlags = false;
+    bool fusedHead = false; //!< fused with the following micro-op
+    Addr target = 0;       //!< x86-level target for Br/Jmp
+    Addr x86pc = 0;        //!< owning x86 instruction (precise state tag)
+
+    bool isBranch() const { return op == UOp::Br || op == UOp::Jmp ||
+                                   op == UOp::Jr; }
+    bool isLoad() const
+    {
+        return op == UOp::Ld || op == UOp::Ldz8 || op == UOp::Ldz16 ||
+               op == UOp::Lds8 || op == UOp::Lds16 || op == UOp::LdF;
+    }
+    bool isStore() const
+    {
+        return op == UOp::St || op == UOp::St8 || op == UOp::St16 ||
+               op == UOp::StF;
+    }
+    bool isMem() const { return isLoad() || isStore(); }
+
+    /** True for single-cycle ALU ops eligible as fusion heads. */
+    bool isSimpleAlu() const;
+    /** True for ops eligible as fusion tails (ALU or branch). */
+    bool isFusionTail() const;
+
+    /** Registers read by this micro-op (up to 3, UREG_NONE padded). */
+    void sources(u8 out[3]) const;
+    /** Register written (UREG_NONE if none). */
+    u8 destination() const;
+    bool readsFlags() const;
+
+    /** Encoded size in bytes: 2, 4, or 8 (32-bit + extension word). */
+    unsigned encodedSize() const;
+
+    std::string toString() const;
+};
+
+/** A cracked/translated sequence of micro-ops. */
+using UopVec = std::vector<Uop>;
+
+/** Mnemonic for a micro-opcode. */
+std::string uopName(UOp op);
+
+/** Total encoded bytes of a micro-op sequence. */
+unsigned encodedBytes(const UopVec &v);
+
+} // namespace cdvm::uops
+
+#endif // CDVM_UOPS_UOP_HH

@@ -1,0 +1,300 @@
+#include "vmm/vmm.hh"
+
+#include <cassert>
+
+#include "common/logging.hh"
+#include "uops/encoding.hh"
+
+namespace cdvm::vmm
+{
+
+using dbt::TransKind;
+using dbt::Translation;
+
+Vmm::Vmm(x86::Memory &memory, const VmmConfig &config)
+    : mem(memory),
+      cfg(config),
+      bbtCc("bbt-cache", cfg.bbtCacheBase, cfg.bbtCacheBytes),
+      sbtCc("sbt-cache", cfg.sbtCacheBase, cfg.sbtCacheBytes),
+      bbtXlator(memory, cfg.maxBlockInsns),
+      sbtXlator(cfg.fusion),
+      hotBbb(cfg.bbbParams)
+{
+}
+
+std::optional<double>
+Vmm::branchBias(Addr branch_pc) const
+{
+    auto it = branchProf.find(branch_pc);
+    if (it == branchProf.end())
+        return std::nullopt;
+    u64 taken = it->second.first;
+    u64 total = taken + it->second.second;
+    if (total == 0)
+        return std::nullopt;
+    return static_cast<double>(taken) / static_cast<double>(total);
+}
+
+void
+Vmm::recordBranch(Addr branch_pc, bool taken)
+{
+    auto &p = branchProf[branch_pc];
+    if (taken)
+        ++p.first;
+    else
+        ++p.second;
+}
+
+void
+Vmm::registerTranslation(std::unique_ptr<Translation> t)
+{
+    dbt::CodeCache &cc =
+        t->kind == TransKind::BasicBlock ? bbtCc : sbtCc;
+    Addr at = cc.allocate(t->codeBytes);
+    if (at == 0) {
+        // Arena full: flush it and drop the associated translations
+        // (chains are conservatively reset); then the allocation must
+        // succeed unless the translation is bigger than the arena.
+        cc.flush();
+        map.eraseKind(t->kind);
+        lastTrans = nullptr;
+        if (t->kind == TransKind::BasicBlock)
+            ++st.bbtCacheFlushes;
+        else
+            ++st.sbtCacheFlushes;
+        at = cc.allocate(t->codeBytes);
+        if (at == 0)
+            cdvm_fatal("translation (%u bytes) exceeds code cache '%s'",
+                       t->codeBytes, cc.name().c_str());
+    }
+    t->codeAddr = at;
+    // The encoded body really lives in concealed guest memory.
+    std::vector<u8> bytes = uops::encode(t->uops);
+    mem.writeBlock(at, bytes);
+    map.insert(std::move(t));
+}
+
+Translation *
+Vmm::translateBlock(Addr pc)
+{
+    std::unique_ptr<Translation> t = bbtXlator.translate(pc);
+    if (!t)
+        return nullptr;
+    ++st.bbtTranslations;
+    st.bbtInsnsTranslated += t->numX86Insns;
+    registerTranslation(std::move(t));
+    return map.lookup(pc, TransKind::BasicBlock);
+}
+
+void
+Vmm::invokeSbt(Addr seed_pc)
+{
+    if (!cfg.enableSbt || sbtFailed.count(seed_pc))
+        return;
+    if (map.lookup(seed_pc, TransKind::Superblock))
+        return;
+    ++st.hotspotDetections;
+
+    dbt::SuperblockFormer former(
+        mem,
+        [this](Addr branch_pc) { return branchBias(branch_pc); },
+        cfg.sbPolicy);
+    std::optional<dbt::SuperblockTrace> trace = former.form(seed_pc);
+    if (!trace || trace->insns.empty()) {
+        sbtFailed.insert(seed_pc);
+        ++st.sbtFormationFailures;
+        return;
+    }
+    std::unique_ptr<Translation> t = sbtXlator.translate(*trace);
+    ++st.sbtTranslations;
+    st.sbtInsnsTranslated += t->numX86Insns;
+    registerTranslation(std::move(t));
+}
+
+x86::Exit
+Vmm::runCold(x86::CpuState &cpu, InstCount budget, InstCount &retired)
+{
+    // Execute one basic block's worth of instructions by
+    // interpretation (strategy Interpret) or in hardware x86-mode
+    // (strategy X86Mode) -- functionally identical, profiled
+    // differently and accounted differently.
+    const bool x86mode = cfg.cold == ColdStrategy::X86Mode;
+    const Addr entry = cpu.eip;
+
+    // Entry profiling / hotspot detection. x86-mode has no BBT code to
+    // carry software counters, so it always uses the hardware BBB
+    // (paper Section 4.1).
+    if (x86mode) {
+        if (hotBbb.recordBranch(entry))
+            invokeSbt(entry);
+    } else {
+        u64 &cnt = ++interpBlockCount[entry];
+        if (cnt >= cfg.interpHotThreshold)
+            invokeSbt(entry);
+    }
+
+    x86::Interpreter interp(cpu, mem);
+    for (InstCount n = 0; n < budget; ++n) {
+        x86::StepResult sr = interp.step();
+        if (sr.exit != x86::Exit::None)
+            return sr.exit;
+        ++retired;
+        if (x86mode)
+            ++st.insnsX86Mode;
+        else
+            ++st.insnsInterp;
+        if (sr.insn.isCondBranch())
+            recordBranch(sr.insn.pc, sr.taken);
+        if (sr.insn.isCti())
+            break; // end of dynamic basic block
+    }
+    return x86::Exit::None;
+}
+
+x86::Exit
+Vmm::runTranslated(x86::CpuState &cpu, Translation *t,
+                   InstCount &retired)
+{
+    // Checkpoint for precise-state recovery.
+    const x86::CpuState checkpoint = cpu;
+
+    ustate.loadArch(cpu);
+    uops::UopExecutor exe(ustate, mem);
+    uops::BlockResult br = exe.run(t->uops, t->fallthroughPc);
+    ustate.storeArch(cpu);
+
+    const bool is_sbt = t->kind == TransKind::Superblock;
+
+    if (br.exit == uops::BlockExit::Fault) {
+        // Precise state mapping -- re-execute with the interpreter
+        // from the region entry until the fault re-occurs (Fig. 1).
+        ++st.preciseStateRecoveries;
+        cpu = checkpoint;
+        x86::Interpreter interp(cpu, mem);
+        for (unsigned n = 0; n <= t->numX86Insns + 1; ++n) {
+            x86::StepResult sr = interp.step();
+            if (sr.exit != x86::Exit::None)
+                return sr.exit;
+            ++retired;
+            if (is_sbt)
+                ++st.insnsSbtCode;
+            else
+                ++st.insnsBbtCode;
+        }
+        cdvm_panic("translated fault at pc 0x%llx did not reproduce "
+                   "under interpretation",
+                   static_cast<unsigned long long>(br.faultX86Pc));
+    }
+
+    // Count retired x86 instructions: position of the last completed
+    // instruction within the region.
+    u64 insns = t->numX86Insns;
+    if (br.exit == uops::BlockExit::Branch && is_sbt) {
+        // A side exit may leave the superblock early.
+        int last = br.uopsRun > 0
+                       ? static_cast<int>(br.uopsRun) - 1
+                       : 0;
+        Addr last_pc = t->uops[static_cast<std::size_t>(last)].x86pc;
+        for (std::size_t i = 0; i < t->x86pcs.size(); ++i) {
+            if (t->x86pcs[i] == last_pc) {
+                insns = i + 1;
+                break;
+            }
+        }
+    }
+    retired += insns;
+    cpu.icount += insns;
+    if (is_sbt) {
+        st.insnsSbtCode += insns;
+        st.uopsSbtCode += br.uopsRun;
+    } else {
+        st.insnsBbtCode += insns;
+        st.uopsBbtCode += br.uopsRun;
+    }
+
+    if (br.exit == uops::BlockExit::VmExit) {
+        cpu.eip = static_cast<u32>(br.nextPc);
+        return x86::Exit::Halted;
+    }
+
+    cpu.eip = static_cast<u32>(br.nextPc);
+
+    // Branch-direction profiling on the region's terminating branch.
+    if (t->endsInCondBranch) {
+        if (cpu.eip == t->condBranchTarget) {
+            ++t->takenCount;
+            recordBranch(t->condBranchPc, true);
+        } else if (cpu.eip == t->fallthroughPc) {
+            ++t->notTakenCount;
+            recordBranch(t->condBranchPc, false);
+        }
+    }
+    return x86::Exit::None;
+}
+
+x86::Exit
+Vmm::run(x86::CpuState &cpu, InstCount max_insns)
+{
+    InstCount retired = 0;
+
+    while (retired < max_insns) {
+        const Addr pc = cpu.eip;
+
+        // Dispatch: chain from the previous translation, else look up.
+        Translation *t = nullptr;
+        if (cfg.enableChaining && lastTrans) {
+            const Translation *c = lastTrans->chainedTo(pc);
+            if (c) {
+                t = const_cast<Translation *>(c);
+                ++st.chainFollows;
+            }
+        }
+        if (!t) {
+            ++st.dispatches;
+            t = map.lookup(pc);
+        }
+
+        if (!t && cfg.cold == ColdStrategy::Bbt) {
+            t = translateBlock(pc);
+            if (!t) {
+                // First instruction of the block does not decode.
+                return x86::Exit::DecodeFault;
+            }
+        }
+
+        if (!t) {
+            // Interpreter or x86-mode execution of the cold block.
+            lastTrans = nullptr;
+            x86::Exit e = runCold(cpu, max_insns - retired, retired);
+            if (e != x86::Exit::None)
+                return e;
+            continue;
+        }
+
+        // Execute in the code cache (translated native mode).
+        ++t->execCount;
+        Translation *executed = t;
+        x86::Exit e = runTranslated(cpu, t, retired);
+        if (e != x86::Exit::None)
+            return e;
+
+        // Chaining: link the executed translation to the successor it
+        // actually went to, so the next visit skips the lookup table.
+        if (cfg.enableChaining) {
+            Translation *succ = map.lookup(cpu.eip);
+            if (succ && executed->addChain(cpu.eip, succ))
+                ++st.chainsInstalled;
+        }
+        lastTrans = executed;
+
+        // Software hotspot detection: BBT block crossed the threshold.
+        if (executed->kind == TransKind::BasicBlock &&
+            cfg.cold != ColdStrategy::X86Mode &&
+            executed->execCount >= cfg.hotThreshold) {
+            invokeSbt(executed->entryPc);
+        }
+    }
+    return x86::Exit::None;
+}
+
+} // namespace cdvm::vmm

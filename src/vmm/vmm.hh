@@ -1,0 +1,169 @@
+/**
+ * @file
+ * The VMM runtime: the concealed software layer that orchestrates
+ * staged emulation (paper Fig. 1).
+ *
+ * Responsibilities, as in the paper:
+ *  - select the cold-code strategy (interpreter, BBT, or direct
+ *    x86-mode execution with dual-mode decoders);
+ *  - manage the basic-block and superblock code caches, including
+ *    flush-on-full eviction and retranslation;
+ *  - maintain the translation lookup table and branch chaining;
+ *  - profile execution (software counters, or the hardware BBB for
+ *    VM.fe) and trigger hotspot optimization at the hot threshold;
+ *  - recover precise x86 state on faults in translated code, falling
+ *    back to the interpreter ("may use interpreter", Fig. 1).
+ *
+ * This is the functional VMM: it really translates, really executes
+ * micro-ops from a really-allocated code cache, and is differentially
+ * tested against pure interpretation. Timing is layered separately in
+ * cdvm::timing.
+ */
+
+#ifndef CDVM_VMM_VMM_HH
+#define CDVM_VMM_VMM_HH
+
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "dbt/bbt.hh"
+#include "dbt/codecache.hh"
+#include "dbt/costs.hh"
+#include "dbt/lookup.hh"
+#include "dbt/sbt.hh"
+#include "dbt/superblock.hh"
+#include "hwassist/bbb.hh"
+#include "uops/exec.hh"
+#include "x86/interp.hh"
+#include "x86/memory.hh"
+
+namespace cdvm::vmm
+{
+
+/** Initial-emulation strategy for cold code. */
+enum class ColdStrategy : u8
+{
+    Interpret, //!< one-instruction-at-a-time interpretation (Fig. 2)
+    Bbt,       //!< simple basic block translation (VM.soft / VM.be)
+    X86Mode,   //!< direct execution via dual-mode decoders (VM.fe)
+};
+
+/** VMM configuration. */
+struct VmmConfig
+{
+    ColdStrategy cold = ColdStrategy::Bbt;
+    /** Hot threshold for BBT- or BBB-profiled code (Eq. 2: 8000). */
+    u64 hotThreshold = 8000;
+    /** Hot threshold under interpretation (Section 3.1: 25). */
+    u64 interpHotThreshold = 25;
+    bool enableSbt = true;
+    bool enableChaining = true;
+    /** Use the hardware branch behavior buffer for hotspot detection. */
+    bool useBbb = false;
+
+    Addr bbtCacheBase = 0xe0000000;
+    u64 bbtCacheBytes = u64{4} << 20;
+    Addr sbtCacheBase = 0xe8000000;
+    u64 sbtCacheBytes = u64{4} << 20;
+
+    unsigned maxBlockInsns = 64;
+    dbt::SuperblockPolicy sbPolicy{};
+    uops::FusionConfig fusion{};
+    hwassist::BbbParams bbbParams{};
+};
+
+/** Aggregate VMM statistics. */
+struct VmmStats
+{
+    // x86 instructions retired, by emulation mode.
+    u64 insnsInterp = 0;
+    u64 insnsX86Mode = 0;
+    u64 insnsBbtCode = 0;
+    u64 insnsSbtCode = 0;
+    // Micro-ops retired in translated code.
+    u64 uopsBbtCode = 0;
+    u64 uopsSbtCode = 0;
+    // Translation activity.
+    u64 bbtTranslations = 0;
+    u64 bbtInsnsTranslated = 0;
+    u64 sbtTranslations = 0;
+    u64 sbtInsnsTranslated = 0;
+    u64 sbtFormationFailures = 0;
+    // Dispatch machinery.
+    u64 dispatches = 0;
+    u64 chainFollows = 0;
+    u64 chainsInstalled = 0;
+    // Events.
+    u64 hotspotDetections = 0;
+    u64 preciseStateRecoveries = 0;
+    u64 bbtCacheFlushes = 0;
+    u64 sbtCacheFlushes = 0;
+
+    u64
+    totalRetired() const
+    {
+        return insnsInterp + insnsX86Mode + insnsBbtCode + insnsSbtCode;
+    }
+};
+
+/** The virtual machine monitor. */
+class Vmm
+{
+  public:
+    Vmm(x86::Memory &memory, const VmmConfig &config = {});
+
+    /**
+     * Emulate from the CPU state until program exit, a trap, or at
+     * least max_insns retired x86 instructions (translations complete
+     * atomically, so the count may overshoot by one region).
+     */
+    x86::Exit run(x86::CpuState &cpu, InstCount max_insns);
+
+    const VmmStats &stats() const { return st; }
+    const VmmConfig &config() const { return cfg; }
+    dbt::TranslationMap &translations() { return map; }
+    const dbt::CodeCache &bbtCache() const { return bbtCc; }
+    const dbt::CodeCache &sbtCache() const { return sbtCc; }
+    const hwassist::BranchBehaviorBuffer &bbb() const { return hotBbb; }
+    const dbt::SuperblockTranslator &sbt() const { return sbtXlator; }
+
+    /** Observed taken-bias of the branch at branch_pc, if profiled. */
+    std::optional<double> branchBias(Addr branch_pc) const;
+
+  private:
+    dbt::Translation *translateBlock(Addr pc);
+    void registerTranslation(std::unique_ptr<dbt::Translation> t);
+    void invokeSbt(Addr seed_pc);
+    void recordBranch(Addr branch_pc, bool taken);
+    x86::Exit runCold(x86::CpuState &cpu, InstCount budget,
+                      InstCount &retired);
+    x86::Exit runTranslated(x86::CpuState &cpu, dbt::Translation *t,
+                            InstCount &retired);
+
+    x86::Memory &mem;
+    VmmConfig cfg;
+    VmmStats st;
+
+    dbt::TranslationMap map;
+    dbt::CodeCache bbtCc;
+    dbt::CodeCache sbtCc;
+    dbt::BasicBlockTranslator bbtXlator;
+    dbt::SuperblockTranslator sbtXlator;
+    hwassist::BranchBehaviorBuffer hotBbb;
+
+    uops::UState ustate;
+
+    /** Per-branch direction profile (branch PC -> taken/not-taken). */
+    std::unordered_map<Addr, std::pair<u64, u64>> branchProf;
+    /** Per-block execution counters under interpretation. */
+    std::unordered_map<Addr, u64> interpBlockCount;
+    /** Seeds where superblock formation already failed. */
+    std::unordered_set<Addr> sbtFailed;
+    /** The translation we last exited from (chaining source). */
+    dbt::Translation *lastTrans = nullptr;
+};
+
+} // namespace cdvm::vmm
+
+#endif // CDVM_VMM_VMM_HH

@@ -1,0 +1,331 @@
+#include "workload/program_gen.hh"
+
+#include <cassert>
+
+#include "x86/asm.hh"
+
+namespace cdvm::workload
+{
+
+using x86::Assembler;
+using x86::Cond;
+using x86::MemRef;
+using x86::Op;
+using x86::Reg;
+
+namespace
+{
+
+constexpr Addr CODE_BASE = 0x00400000;
+constexpr Addr DATA_BASE = 0x00800000;
+constexpr u64 DATA_BYTES = 64 * 1024;
+constexpr Addr STACK_TOP = 0x7fff0000;
+
+/**
+ * Register conventions inside generated code:
+ *   EBX  data-segment base (set once in main, never clobbered)
+ *   EBP  frame pointer, ESP stack pointer (standard prologue/epilogue)
+ *   ECX  loop counters (clobber-free inside loop bodies)
+ *   EAX, EDX, ESI, EDI  scratch
+ */
+class Generator
+{
+  public:
+    explicit Generator(const ProgramParams &params)
+        : p(params), rng(params.seed, 0x9e3779b97f4a7c15ULL),
+          as(CODE_BASE)
+    {
+    }
+
+    Program
+    run()
+    {
+        // One label per function, bound as each body is emitted.
+        funcLabels.resize(p.numFuncs);
+        for (unsigned i = 0; i < p.numFuncs; ++i)
+            funcLabels[i] = as.newLabel();
+
+        Assembler::Label main_lbl = as.newLabel();
+        // Entry stub jumps over the function bodies to main.
+        as.jmp(main_lbl);
+
+        for (unsigned i = 0; i < p.numFuncs; ++i)
+            emitFunction(i);
+
+        as.bind(main_lbl);
+        emitMain();
+
+        Program prog;
+        prog.image = as.finalize();
+        prog.codeBase = CODE_BASE;
+        prog.entry = CODE_BASE;
+        prog.dataBase = DATA_BASE;
+        prog.dataBytes = DATA_BYTES;
+        prog.stackTop = STACK_TOP;
+        return prog;
+    }
+
+  private:
+    const ProgramParams &p;
+    Pcg32 rng;
+    Assembler as;
+    std::vector<Assembler::Label> funcLabels;
+
+    Reg
+    scratch()
+    {
+        static const Reg regs[] = {x86::EAX, x86::EDX, x86::ESI,
+                                   x86::EDI};
+        return regs[rng.below(4)];
+    }
+
+    MemRef
+    dataRef()
+    {
+        // [ebx + disp], disp word-aligned within the data segment.
+        MemRef m;
+        m.base = x86::EBX;
+        m.disp = static_cast<i32>(rng.below(DATA_BYTES / 4 - 4) * 4);
+        return m;
+    }
+
+    MemRef
+    indexedDataRef(Reg idx)
+    {
+        // [ebx + idx*4 + disp]; idx is masked to 1023 beforehand.
+        MemRef m;
+        m.base = x86::EBX;
+        m.index = idx;
+        m.scale = 4;
+        m.disp = static_cast<i32>(rng.below(1024) * 4);
+        return m;
+    }
+
+    /** One random safe ALU / memory / misc instruction. */
+    void
+    emitRandomInsn()
+    {
+        switch (rng.below(18)) {
+          case 0:
+            as.aluRR(static_cast<Op>(rng.below(2) ? int(Op::Add)
+                                                  : int(Op::Xor)),
+                     scratch(), scratch());
+            break;
+          case 1:
+            as.aluRI(rng.chance(0.5) ? Op::Add : Op::Sub, scratch(),
+                     static_cast<i32>(rng.range(-4096, 4096)));
+            break;
+          case 2:
+            as.aluRR(rng.chance(0.5) ? Op::And : Op::Or, scratch(),
+                     scratch());
+            break;
+          case 3:
+            as.movRI(scratch(), rng.next());
+            break;
+          case 4:
+            as.movRR(scratch(), scratch());
+            break;
+          case 5: // load
+            as.movRM(scratch(), dataRef());
+            break;
+          case 6: // store
+            as.movMR(dataRef(), scratch());
+            break;
+          case 7: // read-modify-write on memory
+            as.aluMR(rng.chance(0.5) ? Op::Add : Op::Xor, dataRef(),
+                     scratch());
+            break;
+          case 8: { // indexed access, masked index
+            Reg idx = rng.chance(0.5) ? x86::ESI : x86::EDI;
+            as.aluRI(Op::And, idx, 1023);
+            if (rng.chance(0.5))
+                as.movRM(scratch(), indexedDataRef(idx));
+            else
+                as.movMR(indexedDataRef(idx), scratch());
+            break;
+          }
+          case 9:
+            as.lea(scratch(),
+                   MemRef{scratch(), scratch(), 4,
+                          static_cast<i32>(rng.range(-64, 64))});
+            break;
+          case 10:
+            as.shiftRI(rng.chance(0.5) ? Op::Shl : Op::Shr, scratch(),
+                       static_cast<u8>(rng.range(1, 7)));
+            break;
+          case 11:
+            as.imulRRI(scratch(), scratch(),
+                       static_cast<i32>(rng.range(-100, 100)));
+            break;
+          case 12:
+            if (rng.chance(0.5))
+                as.inc(scratch());
+            else
+                as.dec(scratch());
+            break;
+          case 13:
+            if (p.withByteOps) {
+                // Byte subregister traffic: AL/AH/DL/DH.
+                Reg r8 = static_cast<Reg>(rng.below(2) ? 0 : 2);
+                Reg hi = static_cast<Reg>(r8 + 4);
+                as.db(0xb0 + static_cast<u8>(rng.chance(0.5) ? r8 : hi));
+                as.db(static_cast<u8>(rng.next())); // mov r8, imm8
+                as.movzx(scratch(), r8, 1);
+            } else {
+                as.nop();
+            }
+            break;
+          case 14:
+            if (p.with16Bit) {
+                // 0x66-prefixed 16-bit add reg, reg.
+                as.db(0x66);
+                as.aluRR(Op::Add, scratch(), scratch());
+            } else {
+                as.nop();
+            }
+            break;
+          case 15: { // compare + setcc (into AL or DL)
+            as.aluRR(Op::Cmp, scratch(), scratch());
+            as.setcc(static_cast<Cond>(rng.below(16)),
+                     rng.chance(0.5) ? x86::EAX : x86::EDX);
+            break;
+          }
+          case 16:
+            if (p.withDiv) {
+                // Guarded unsigned divide: edx=0, divisor |= 1.
+                Reg dv = rng.chance(0.5) ? x86::ESI : x86::EDI;
+                as.aluRR(Op::Xor, x86::EDX, x86::EDX);
+                as.aluRI(Op::Or, dv, 1);
+                as.divA(dv);
+            } else {
+                as.nop();
+            }
+            break;
+          case 17:
+            as.negReg(scratch());
+            break;
+        }
+    }
+
+    /** A short forward-branch diamond. */
+    void
+    emitDiamond()
+    {
+        Assembler::Label skip = as.newLabel();
+        as.aluRI(Op::Cmp, scratch(),
+                 static_cast<i32>(rng.range(-100, 100)));
+        as.jcc(static_cast<Cond>(rng.below(16)), skip);
+        unsigned n = 1 + rng.below(3);
+        for (unsigned i = 0; i < n; ++i)
+            emitRandomInsn();
+        as.bind(skip);
+    }
+
+    void
+    emitBlock()
+    {
+        for (unsigned i = 0; i < p.insnsPerBlock; ++i)
+            emitRandomInsn();
+        if (rng.chance(0.7))
+            emitDiamond();
+    }
+
+    void
+    emitFunction(unsigned index)
+    {
+        as.bind(funcLabels[index]);
+        as.push(x86::EBP);
+        as.movRR(x86::EBP, x86::ESP);
+        as.push(x86::ESI);
+        as.push(x86::EDI);
+
+        const bool with_loop = p.withLoops && rng.chance(0.8);
+        Assembler::Label loop_top = as.newLabel();
+        if (with_loop) {
+            u32 trips = static_cast<u32>(
+                rng.range(p.loopTripMin, p.loopTripMax));
+            as.movRI(x86::ECX, trips);
+            as.bind(loop_top);
+            as.push(x86::ECX);
+        }
+
+        for (unsigned b = 0; b < p.blocksPerFunc; ++b) {
+            emitBlock();
+            // Calls go strictly downward in function index: no
+            // recursion, guaranteed termination.
+            if (p.withCalls && index + 1 < p.numFuncs &&
+                rng.chance(0.4)) {
+                unsigned callee = index + 1 +
+                                  rng.below(p.numFuncs - index - 1);
+                if (p.withIndirect && rng.chance(0.3)) {
+                    as.movRILabel(x86::ESI, funcLabels[callee]);
+                    as.callInd(x86::ESI);
+                } else {
+                    as.call(funcLabels[callee]);
+                }
+            }
+        }
+
+        if (with_loop) {
+            as.pop(x86::ECX);
+            as.dec(x86::ECX);
+            as.jcc(Cond::NE, loop_top);
+        }
+
+        as.pop(x86::EDI);
+        as.pop(x86::ESI);
+        as.movRR(x86::ESP, x86::EBP);
+        as.pop(x86::EBP);
+        as.ret();
+    }
+
+    void
+    emitMain()
+    {
+        // Establish the data-segment base and clear scratch state.
+        as.movRI(x86::EBX, static_cast<u32>(DATA_BASE));
+        as.movRI(x86::EAX, 0);
+        as.movRI(x86::EDX, 0);
+        as.movRI(x86::ESI, 0);
+        as.movRI(x86::EDI, 0);
+
+        Assembler::Label top = as.newLabel();
+        as.movRI(x86::ECX, p.mainIterations ? p.mainIterations : 1);
+        as.bind(top);
+        as.push(x86::ECX);
+        for (unsigned i = 0; i < p.numFuncs; ++i) {
+            if (rng.chance(0.85))
+                as.call(funcLabels[i]);
+        }
+        emitBlock();
+        as.pop(x86::ECX);
+        as.dec(x86::ECX);
+        as.jcc(Cond::NE, top);
+        as.hlt();
+    }
+};
+
+} // namespace
+
+void
+Program::loadInto(x86::Memory &mem) const
+{
+    mem.writeBlock(codeBase, image);
+}
+
+x86::CpuState
+Program::initialState() const
+{
+    x86::CpuState cpu;
+    cpu.eip = static_cast<u32>(entry);
+    cpu.regs[x86::ESP] = static_cast<u32>(stackTop);
+    return cpu;
+}
+
+Program
+generateProgram(const ProgramParams &params)
+{
+    return Generator(params).run();
+}
+
+} // namespace cdvm::workload

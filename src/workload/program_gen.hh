@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Synthetic x86 program generator.
+ *
+ * Produces genuine, executable x86-subset program images: structured
+ * function bodies with bounded loops, forward branches, (indirect)
+ * calls, guarded divides and memory traffic to a private data segment.
+ * Every generated program terminates at a HLT with a deterministic
+ * final architected state, which makes the generator the engine of the
+ * differential property tests (interpreter vs BBT vs SBT vs VM).
+ */
+
+#ifndef CDVM_WORKLOAD_PROGRAM_GEN_HH
+#define CDVM_WORKLOAD_PROGRAM_GEN_HH
+
+#include <vector>
+
+#include "common/random.hh"
+#include "common/types.hh"
+#include "x86/interp.hh"
+#include "x86/memory.hh"
+
+namespace cdvm::workload
+{
+
+/** Generation knobs. */
+struct ProgramParams
+{
+    u64 seed = 1;
+    unsigned numFuncs = 4;       //!< callable functions (plus main)
+    unsigned blocksPerFunc = 3;  //!< straight-line regions per function
+    unsigned insnsPerBlock = 8;  //!< ALU/memory instructions per region
+    unsigned loopTripMin = 2;
+    unsigned loopTripMax = 10;
+    unsigned mainIterations = 3; //!< times main re-runs its call list
+    bool withLoops = true;
+    bool withCalls = true;
+    bool withIndirect = true;    //!< indirect calls through a register
+    bool withDiv = true;         //!< guarded unsigned divides
+    bool withByteOps = true;     //!< 8-bit subregister traffic
+    bool with16Bit = true;       //!< operand-size-prefixed instructions
+};
+
+/** A generated, loadable program. */
+struct Program
+{
+    std::vector<u8> image;  //!< code bytes
+    Addr codeBase = 0;
+    Addr entry = 0;
+    Addr dataBase = 0;
+    u64 dataBytes = 0;
+    Addr stackTop = 0;
+
+    /** Load code into memory (data segment is zero-filled on demand). */
+    void loadInto(x86::Memory &mem) const;
+
+    /** Architected state at program entry (ESP set, EBX = data base). */
+    x86::CpuState initialState() const;
+};
+
+/** Generate a program from the given parameters. */
+Program generateProgram(const ProgramParams &params);
+
+} // namespace cdvm::workload
+
+#endif // CDVM_WORKLOAD_PROGRAM_GEN_HH

@@ -1,0 +1,111 @@
+#include "workload/trace_gen.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace cdvm::workload
+{
+
+BlockTrace::BlockTrace(const TraceParams &params)
+    : p(params), rng(params.seed, 0xb5ad4eceda1ce2a9ULL)
+{
+    assert(p.numBlocks > 0 && p.totalInsns > 0);
+    info.resize(p.numBlocks);
+    weight.resize(p.numBlocks);
+    arrival.resize(p.numBlocks);
+
+    // Static image layout: blocks packed sequentially from the code
+    // base, as a loader would place them.
+    Addr addr = 0x00400000;
+    const double size_mu =
+        std::log(p.avgBlockInsns) - 0.5 * p.blockSizeSigma * p.blockSizeSigma;
+    const u32 rblocks = std::max<u32>(1, p.regionBlocks);
+    double region_weight = 1.0;
+    u64 region_arrival = 0;
+    for (u32 i = 0; i < p.numBlocks; ++i) {
+        double sz = rng.logNormal(size_mu, p.blockSizeSigma);
+        u16 insns = static_cast<u16>(
+            std::max(1.0, std::min(64.0, std::round(sz))));
+        BlockInfo &b = info[i];
+        b.insns = insns;
+        b.bytes = static_cast<u16>(std::max(
+            1.0, std::round(insns * p.x86BytesPerInsn)));
+        b.x86Addr = addr;
+        addr += static_cast<Addr>(b.bytes * p.x86LayoutGap);
+        b.region = i / rblocks;
+
+        if (i % rblocks == 0) {
+            // New region: draw its popularity and arrival once; the
+            // whole loop/hot-path region arrives together.
+            region_weight = rng.logNormal(0.0, p.weightSigma);
+            if (rng.chance(p.initialFraction)) {
+                region_arrival = 0; // start-up code, live immediately
+                region_weight *= p.earlyHotBoost;
+            } else {
+                double u = rng.uniform();
+                region_arrival = static_cast<u64>(
+                    std::pow(u, p.arrivalGamma) * p.arrivalSpan *
+                    static_cast<double>(p.totalInsns));
+            }
+        }
+        weight[i] = region_weight * rng.logNormal(0.0, p.memberSigma);
+        arrival[i] = region_arrival;
+    }
+
+    buildChunk(0);
+}
+
+void
+BlockTrace::buildChunk(u32 chunk)
+{
+    curChunk = chunk;
+    const u64 chunk_len =
+        std::max<u64>(1, p.totalInsns / p.numChunks);
+    chunkEndInsns = static_cast<u64>(chunk + 1) * chunk_len;
+    const u64 now = static_cast<u64>(chunk) * chunk_len;
+
+    available.clear();
+    std::vector<double> w;
+    for (u32 i = 0; i < p.numBlocks; ++i) {
+        if (arrival[i] <= now) {
+            available.push_back(i);
+            w.push_back(weight[i]);
+        }
+    }
+    if (available.empty()) {
+        // Guarantee progress: the earliest arrival opens the program.
+        u32 first = 0;
+        for (u32 i = 1; i < p.numBlocks; ++i) {
+            if (arrival[i] < arrival[first])
+                first = i;
+        }
+        available.push_back(first);
+        w.push_back(1.0);
+    }
+    sampler = std::make_unique<DiscreteSampler>(w);
+}
+
+u32
+BlockTrace::next()
+{
+    if (streakLeft > 0) {
+        --streakLeft;
+        emittedInsns += info[streakBlock].insns;
+        return streakBlock;
+    }
+    if (emittedInsns >= chunkEndInsns && curChunk + 1 < p.numChunks)
+        buildChunk(curChunk + 1);
+
+    u32 id = available[sampler->sample(rng)];
+    // Geometric repeat streak (loop iterations).
+    double mean = std::max(1.0, p.meanRepeat);
+    streakLeft = static_cast<u32>(rng.geometric(1.0 / mean));
+    streakBlock = id;
+    emittedInsns += info[id].insns;
+    return id;
+}
+
+} // namespace cdvm::workload

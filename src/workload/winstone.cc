@@ -1,0 +1,79 @@
+#include "workload/winstone.hh"
+
+#include <cmath>
+
+namespace cdvm::workload
+{
+
+namespace
+{
+
+/** Static footprint scaling: code touched grows sub-linearly with
+ *  trace length (working sets recur). */
+u32
+blocksFor(double footprint_mul, u64 total_insns)
+{
+    const double base = 38000.0; // ~150 K static insns per 100 M
+    double scale =
+        std::pow(static_cast<double>(total_insns) / 100e6, 0.75);
+    double n = base * footprint_mul * std::max(0.35, scale);
+    return static_cast<u32>(std::max(500.0, n));
+}
+
+AppProfile
+makeApp(const char *name, u64 seed, double footprint_mul,
+        double weight_sigma, double cpi_ref, double gain,
+        double mean_repeat, u64 total_insns)
+{
+    AppProfile a;
+    a.name = name;
+    a.trace.seed = seed;
+    a.trace.totalInsns = total_insns;
+    a.trace.numBlocks = blocksFor(footprint_mul, total_insns);
+    a.trace.weightSigma = weight_sigma;
+    a.trace.meanRepeat = mean_repeat;
+    a.cpiRef = cpi_ref;
+    a.steadyGain = gain;
+    return a;
+}
+
+} // namespace
+
+std::vector<AppProfile>
+winstone2004(u64 total_insns)
+{
+    // Per-app spread around the published suite averages; see the
+    // header comment and DESIGN.md for the calibration targets.
+    return {
+        makeApp("Access", 101, 1.5, 2.30, 1.55, 0.07, 2.6, total_insns),
+        makeApp("Excel", 102, 1.3, 2.35, 1.30, 0.06, 2.8, total_insns),
+        makeApp("FrontPage", 103, 0.9, 2.50, 1.10, 0.09, 3.2,
+                total_insns),
+        makeApp("IE", 104, 0.8, 2.55, 1.05, 0.10, 3.4, total_insns),
+        makeApp("Norton", 105, 0.7, 2.60, 0.75, 0.09, 3.6, total_insns),
+        makeApp("Outlook", 106, 1.1, 2.45, 1.25, 0.08, 3.0,
+                total_insns),
+        makeApp("PowerPoint", 107, 1.0, 2.45, 1.15, 0.08, 3.0,
+                total_insns),
+        makeApp("Project", 108, 1.2, 2.40, 1.35, 0.03, 2.8,
+                total_insns),
+        makeApp("Winzip", 109, 0.5, 2.65, 0.70, 0.11, 4.0, total_insns),
+        makeApp("Word", 110, 1.0, 2.45, 1.20, 0.08, 3.0, total_insns),
+    };
+}
+
+AppProfile
+winstoneAverage(u64 total_insns)
+{
+    return makeApp("Winstone-avg", 100, 1.0, 2.45, 1.20, 0.08, 3.0,
+                   total_insns);
+}
+
+AppProfile
+specIntLike(u64 total_insns)
+{
+    return makeApp("SPECint-like", 200, 0.15, 2.85, 1.00, 0.18, 5.0,
+                   total_insns);
+}
+
+} // namespace cdvm::workload

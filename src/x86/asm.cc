@@ -1,0 +1,627 @@
+#include "x86/asm.hh"
+
+#include <cassert>
+
+#include "common/bitfield.hh"
+#include "common/logging.hh"
+
+namespace cdvm::x86
+{
+
+namespace
+{
+
+/** Row index for the classic ALU opcode pattern. */
+u8
+aluRow(Op op)
+{
+    switch (op) {
+      case Op::Add: return 0;
+      case Op::Or: return 1;
+      case Op::Adc: return 2;
+      case Op::Sbb: return 3;
+      case Op::And: return 4;
+      case Op::Sub: return 5;
+      case Op::Xor: return 6;
+      case Op::Cmp: return 7;
+      default:
+        cdvm_panic("not an ALU-row opcode: %d", static_cast<int>(op));
+    }
+}
+
+u8
+shiftExt(Op op)
+{
+    switch (op) {
+      case Op::Rol: return 0;
+      case Op::Ror: return 1;
+      case Op::Shl: return 4;
+      case Op::Shr: return 5;
+      case Op::Sar: return 7;
+      default:
+        cdvm_panic("not a shift opcode: %d", static_cast<int>(op));
+    }
+}
+
+} // namespace
+
+void
+Assembler::emit16(u16 v)
+{
+    emit8(static_cast<u8>(v));
+    emit8(static_cast<u8>(v >> 8));
+}
+
+void
+Assembler::emit32(u32 v)
+{
+    emit8(static_cast<u8>(v));
+    emit8(static_cast<u8>(v >> 8));
+    emit8(static_cast<u8>(v >> 16));
+    emit8(static_cast<u8>(v >> 24));
+}
+
+void
+Assembler::emitModRm(u8 mod, u8 reg, u8 rm)
+{
+    emit8(static_cast<u8>((mod << 6) | ((reg & 7) << 3) | (rm & 7)));
+}
+
+void
+Assembler::emitRmReg(u8 reg_field, Reg rm)
+{
+    emitModRm(3, reg_field, rm);
+}
+
+void
+Assembler::emitRmMem(u8 reg_field, const MemRef &m)
+{
+    const bool need_sib = m.hasIndex() || m.base == ESP;
+
+    if (!m.hasBase() && !m.hasIndex()) {
+        // Absolute disp32: mod=00 rm=101.
+        emitModRm(0, reg_field, 5);
+        emit32(static_cast<u32>(m.disp));
+        return;
+    }
+    if (!m.hasBase()) {
+        // Index-only requires SIB with base=101, mod=00, disp32.
+        emitModRm(0, reg_field, 4);
+        u8 ss = static_cast<u8>(floorLog2(m.scale));
+        emit8(static_cast<u8>((ss << 6) | ((m.index & 7) << 3) | 5));
+        emit32(static_cast<u32>(m.disp));
+        return;
+    }
+
+    // Pick displacement form. EBP base cannot use mod=00.
+    u8 mod;
+    if (m.disp == 0 && m.base != EBP)
+        mod = 0;
+    else if (fitsSigned(m.disp, 8))
+        mod = 1;
+    else
+        mod = 2;
+
+    if (need_sib) {
+        emitModRm(mod, reg_field, 4);
+        u8 ss = static_cast<u8>(floorLog2(m.scale));
+        u8 index = m.hasIndex() ? static_cast<u8>(m.index) : 4;
+        assert(!(m.hasIndex() && m.index == ESP) && "esp cannot be an index");
+        emit8(static_cast<u8>((ss << 6) | ((index & 7) << 3) | (m.base & 7)));
+    } else {
+        emitModRm(mod, reg_field, static_cast<u8>(m.base));
+    }
+
+    if (mod == 1)
+        emit8(static_cast<u8>(m.disp));
+    else if (mod == 2)
+        emit32(static_cast<u32>(m.disp));
+}
+
+Assembler::Label
+Assembler::newLabel()
+{
+    labels.push_back(-1);
+    return static_cast<Label>(labels.size() - 1);
+}
+
+void
+Assembler::bind(Label l)
+{
+    assert(l < labels.size());
+    assert(labels[l] == -1 && "label bound twice");
+    labels[l] = static_cast<i64>(buf.size());
+}
+
+Addr
+Assembler::labelAddr(Label l) const
+{
+    assert(l < labels.size() && labels[l] >= 0);
+    return base + static_cast<Addr>(labels[l]);
+}
+
+void
+Assembler::emitRel(Label l, bool rel8)
+{
+    fixups.push_back(Fixup{buf.size(), l,
+                           rel8 ? Fixup::Kind::Rel8 : Fixup::Kind::Rel32,
+                           buf.size() + (rel8 ? 1u : 4u)});
+    if (rel8)
+        emit8(0);
+    else
+        emit32(0);
+}
+
+void
+Assembler::emitAbs(Label l)
+{
+    fixups.push_back(
+        Fixup{buf.size(), l, Fixup::Kind::Abs32, buf.size() + 4});
+    emit32(0);
+}
+
+// --- ALU forms -----------------------------------------------------------
+
+void
+Assembler::aluRR(Op op, Reg dst, Reg src)
+{
+    emit8(static_cast<u8>((aluRow(op) << 3) | 0x01));
+    emitRmReg(src, dst);
+}
+
+void
+Assembler::aluRM(Op op, Reg dst, const MemRef &m)
+{
+    emit8(static_cast<u8>((aluRow(op) << 3) | 0x03));
+    emitRmMem(dst, m);
+}
+
+void
+Assembler::aluMR(Op op, const MemRef &m, Reg src)
+{
+    emit8(static_cast<u8>((aluRow(op) << 3) | 0x01));
+    emitRmMem(src, m);
+}
+
+void
+Assembler::aluRI(Op op, Reg dst, i32 imm)
+{
+    if (fitsSigned(imm, 8)) {
+        emit8(0x83);
+        emitRmReg(aluRow(op), dst);
+        emit8(static_cast<u8>(imm));
+    } else {
+        emit8(0x81);
+        emitRmReg(aluRow(op), dst);
+        emit32(static_cast<u32>(imm));
+    }
+}
+
+void
+Assembler::aluMI(Op op, const MemRef &m, i32 imm)
+{
+    if (fitsSigned(imm, 8)) {
+        emit8(0x83);
+        emitRmMem(aluRow(op), m);
+        emit8(static_cast<u8>(imm));
+    } else {
+        emit8(0x81);
+        emitRmMem(aluRow(op), m);
+        emit32(static_cast<u32>(imm));
+    }
+}
+
+void
+Assembler::aluAccI(Op op, i32 imm)
+{
+    emit8(static_cast<u8>((aluRow(op) << 3) | 0x05));
+    emit32(static_cast<u32>(imm));
+}
+
+// --- Data movement ---------------------------------------------------------
+
+void
+Assembler::movRR(Reg dst, Reg src)
+{
+    emit8(0x89);
+    emitRmReg(src, dst);
+}
+
+void
+Assembler::movRI(Reg dst, u32 imm)
+{
+    emit8(static_cast<u8>(0xb8 + dst));
+    emit32(imm);
+}
+
+void
+Assembler::movRILabel(Reg dst, Label l)
+{
+    emit8(static_cast<u8>(0xb8 + dst));
+    emitAbs(l);
+}
+
+void
+Assembler::movRM(Reg dst, const MemRef &m)
+{
+    emit8(0x8b);
+    emitRmMem(dst, m);
+}
+
+void
+Assembler::movMR(const MemRef &m, Reg src)
+{
+    emit8(0x89);
+    emitRmMem(src, m);
+}
+
+void
+Assembler::movMI(const MemRef &m, i32 imm)
+{
+    emit8(0xc7);
+    emitRmMem(0, m);
+    emit32(static_cast<u32>(imm));
+}
+
+void
+Assembler::movzx(Reg dst, Reg src, unsigned src_size)
+{
+    emit8(0x0f);
+    emit8(src_size == 1 ? 0xb6 : 0xb7);
+    emitRmReg(dst, src);
+}
+
+void
+Assembler::movzxM(Reg dst, const MemRef &m, unsigned src_size)
+{
+    emit8(0x0f);
+    emit8(src_size == 1 ? 0xb6 : 0xb7);
+    emitRmMem(dst, m);
+}
+
+void
+Assembler::movsx(Reg dst, Reg src, unsigned src_size)
+{
+    emit8(0x0f);
+    emit8(src_size == 1 ? 0xbe : 0xbf);
+    emitRmReg(dst, src);
+}
+
+void
+Assembler::lea(Reg dst, const MemRef &m)
+{
+    emit8(0x8d);
+    emitRmMem(dst, m);
+}
+
+void
+Assembler::xchg(Reg a, Reg b)
+{
+    emit8(0x87);
+    emitRmReg(b, a);
+}
+
+// --- Stack -------------------------------------------------------------------
+
+void
+Assembler::push(Reg r)
+{
+    emit8(static_cast<u8>(0x50 + r));
+}
+
+void
+Assembler::pushImm(i32 imm)
+{
+    if (fitsSigned(imm, 8)) {
+        emit8(0x6a);
+        emit8(static_cast<u8>(imm));
+    } else {
+        emit8(0x68);
+        emit32(static_cast<u32>(imm));
+    }
+}
+
+void
+Assembler::pushMem(const MemRef &m)
+{
+    emit8(0xff);
+    emitRmMem(6, m);
+}
+
+void
+Assembler::pop(Reg r)
+{
+    emit8(static_cast<u8>(0x58 + r));
+}
+
+// --- One-operand ALU --------------------------------------------------------------
+
+void
+Assembler::inc(Reg r)
+{
+    emit8(static_cast<u8>(0x40 + r));
+}
+
+void
+Assembler::dec(Reg r)
+{
+    emit8(static_cast<u8>(0x48 + r));
+}
+
+void
+Assembler::incMem(const MemRef &m)
+{
+    emit8(0xff);
+    emitRmMem(0, m);
+}
+
+void
+Assembler::decMem(const MemRef &m)
+{
+    emit8(0xff);
+    emitRmMem(1, m);
+}
+
+void
+Assembler::notReg(Reg r)
+{
+    emit8(0xf7);
+    emitRmReg(2, r);
+}
+
+void
+Assembler::negReg(Reg r)
+{
+    emit8(0xf7);
+    emitRmReg(3, r);
+}
+
+// --- Shifts ----------------------------------------------------------------------------
+
+void
+Assembler::shiftRI(Op op, Reg r, u8 count)
+{
+    if (count == 1) {
+        emit8(0xd1);
+        emitRmReg(shiftExt(op), r);
+    } else {
+        emit8(0xc1);
+        emitRmReg(shiftExt(op), r);
+        emit8(count);
+    }
+}
+
+void
+Assembler::shiftRCl(Op op, Reg r)
+{
+    emit8(0xd3);
+    emitRmReg(shiftExt(op), r);
+}
+
+// --- Test -----------------------------------------------------------------------------------
+
+void
+Assembler::testRR(Reg a, Reg b)
+{
+    emit8(0x85);
+    emitRmReg(b, a);
+}
+
+void
+Assembler::testRI(Reg r, i32 imm)
+{
+    emit8(0xf7);
+    emitRmReg(0, r);
+    emit32(static_cast<u32>(imm));
+}
+
+// --- Multiply / divide ---------------------------------------------------------------------------
+
+void
+Assembler::imulRR(Reg dst, Reg src)
+{
+    emit8(0x0f);
+    emit8(0xaf);
+    emitRmReg(dst, src);
+}
+
+void
+Assembler::imulRM(Reg dst, const MemRef &m)
+{
+    emit8(0x0f);
+    emit8(0xaf);
+    emitRmMem(dst, m);
+}
+
+void
+Assembler::imulRRI(Reg dst, Reg src, i32 imm)
+{
+    if (fitsSigned(imm, 8)) {
+        emit8(0x6b);
+        emitRmReg(dst, src);
+        emit8(static_cast<u8>(imm));
+    } else {
+        emit8(0x69);
+        emitRmReg(dst, src);
+        emit32(static_cast<u32>(imm));
+    }
+}
+
+void
+Assembler::mulA(Reg src)
+{
+    emit8(0xf7);
+    emitRmReg(4, src);
+}
+
+void
+Assembler::imulA(Reg src)
+{
+    emit8(0xf7);
+    emitRmReg(5, src);
+}
+
+void
+Assembler::divA(Reg src)
+{
+    emit8(0xf7);
+    emitRmReg(6, src);
+}
+
+void
+Assembler::idivA(Reg src)
+{
+    emit8(0xf7);
+    emitRmReg(7, src);
+}
+
+void
+Assembler::cdq()
+{
+    emit8(0x99);
+}
+
+// --- Control transfer ----------------------------------------------------------------------------------
+
+void
+Assembler::jcc(Cond cc, Label l)
+{
+    emit8(0x0f);
+    emit8(static_cast<u8>(0x80 + static_cast<u8>(cc)));
+    emitRel(l, false);
+}
+
+void
+Assembler::jccShort(Cond cc, Label l)
+{
+    emit8(static_cast<u8>(0x70 + static_cast<u8>(cc)));
+    emitRel(l, true);
+}
+
+void
+Assembler::jmp(Label l)
+{
+    emit8(0xe9);
+    emitRel(l, false);
+}
+
+void
+Assembler::jmpShort(Label l)
+{
+    emit8(0xeb);
+    emitRel(l, true);
+}
+
+void
+Assembler::jmpInd(Reg r)
+{
+    emit8(0xff);
+    emitRmReg(4, r);
+}
+
+void
+Assembler::call(Label l)
+{
+    emit8(0xe8);
+    emitRel(l, false);
+}
+
+void
+Assembler::callInd(Reg r)
+{
+    emit8(0xff);
+    emitRmReg(2, r);
+}
+
+void
+Assembler::ret()
+{
+    emit8(0xc3);
+}
+
+void
+Assembler::retImm(u16 pop_bytes)
+{
+    emit8(0xc2);
+    emit16(pop_bytes);
+}
+
+// --- Misc --------------------------------------------------------------------------------------------------
+
+void
+Assembler::setcc(Cond cc, Reg r8)
+{
+    emit8(0x0f);
+    emit8(static_cast<u8>(0x90 + static_cast<u8>(cc)));
+    emitRmReg(0, r8);
+}
+
+void
+Assembler::nop()
+{
+    emit8(0x90);
+}
+
+void
+Assembler::hlt()
+{
+    emit8(0xf4);
+}
+
+void
+Assembler::int3()
+{
+    emit8(0xcc);
+}
+
+void
+Assembler::clc()
+{
+    emit8(0xf8);
+}
+
+void
+Assembler::stc()
+{
+    emit8(0xf9);
+}
+
+std::vector<u8>
+Assembler::finalize()
+{
+    assert(!finalized && "finalize called twice");
+    for (const Fixup &f : fixups) {
+        if (labels[f.label] < 0)
+            cdvm_panic("unbound label %u", f.label);
+        i64 rel = labels[f.label] - static_cast<i64>(f.end);
+        switch (f.kind) {
+          case Fixup::Kind::Rel8:
+            if (!fitsSigned(rel, 8))
+                cdvm_panic("rel8 fixup out of range (%lld)",
+                           static_cast<long long>(rel));
+            buf[f.at] = static_cast<u8>(rel);
+            break;
+          case Fixup::Kind::Rel32: {
+            u32 v = static_cast<u32>(rel);
+            buf[f.at] = static_cast<u8>(v);
+            buf[f.at + 1] = static_cast<u8>(v >> 8);
+            buf[f.at + 2] = static_cast<u8>(v >> 16);
+            buf[f.at + 3] = static_cast<u8>(v >> 24);
+            break;
+          }
+          case Fixup::Kind::Abs32: {
+            u32 v = static_cast<u32>(base) +
+                    static_cast<u32>(labels[f.label]);
+            buf[f.at] = static_cast<u8>(v);
+            buf[f.at + 1] = static_cast<u8>(v >> 8);
+            buf[f.at + 2] = static_cast<u8>(v >> 16);
+            buf[f.at + 3] = static_cast<u8>(v >> 24);
+            break;
+          }
+        }
+    }
+    finalized = true;
+    return buf;
+}
+
+} // namespace cdvm::x86

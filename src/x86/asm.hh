@@ -1,0 +1,156 @@
+/**
+ * @file
+ * A small x86-subset assembler.
+ *
+ * The assembler emits genuine machine code for the subset the decoder
+ * understands. It exists for three reasons: (1) the synthetic workload
+ * generator builds real executable program images with it, (2) the test
+ * suite uses encode->decode round trips to validate the decoder, and
+ * (3) examples use it to demonstrate translation on readable kernels.
+ */
+
+#ifndef CDVM_X86_ASM_HH
+#define CDVM_X86_ASM_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "x86/insn.hh"
+
+namespace cdvm::x86
+{
+
+/** Forward-reference-capable machine code emitter. */
+class Assembler
+{
+  public:
+    using Label = u32;
+
+    explicit Assembler(Addr origin) : base(origin) {}
+
+    /** Create an unbound label. */
+    Label newLabel();
+
+    /** Bind a label to the current position. */
+    void bind(Label l);
+
+    /** Current emission address. */
+    Addr here() const { return base + buf.size(); }
+
+    /** Address a bound label resolved to (valid after finalize). */
+    Addr labelAddr(Label l) const;
+
+    // ALU: add/or/adc/sbb/and/sub/xor/cmp --------------------------------
+    void aluRR(Op op, Reg dst, Reg src);          //!< op %src, %dst
+    void aluRM(Op op, Reg dst, const MemRef &m);  //!< op mem, %dst (load)
+    void aluMR(Op op, const MemRef &m, Reg src);  //!< op %src, mem (rmw)
+    void aluRI(Op op, Reg dst, i32 imm);
+    void aluMI(Op op, const MemRef &m, i32 imm);
+    /** Accumulator-immediate short form (0x05 etc.). */
+    void aluAccI(Op op, i32 imm);
+
+    // Data movement -------------------------------------------------------
+    void movRR(Reg dst, Reg src);
+    void movRI(Reg dst, u32 imm);
+    /** mov reg, <address of label> (absolute fixup). */
+    void movRILabel(Reg dst, Label l);
+    void movRM(Reg dst, const MemRef &m);
+    void movMR(const MemRef &m, Reg src);
+    void movMI(const MemRef &m, i32 imm);
+    void movzx(Reg dst, Reg src, unsigned src_size);
+    void movzxM(Reg dst, const MemRef &m, unsigned src_size);
+    void movsx(Reg dst, Reg src, unsigned src_size);
+    void lea(Reg dst, const MemRef &m);
+    void xchg(Reg a, Reg b);
+
+    // Stack ----------------------------------------------------------------
+    void push(Reg r);
+    void pushImm(i32 imm);
+    void pushMem(const MemRef &m);
+    void pop(Reg r);
+
+    // One-operand ALU -------------------------------------------------------
+    void inc(Reg r);
+    void dec(Reg r);
+    void incMem(const MemRef &m);
+    void decMem(const MemRef &m);
+    void notReg(Reg r);
+    void negReg(Reg r);
+
+    // Shifts -----------------------------------------------------------------
+    void shiftRI(Op op, Reg r, u8 count);
+    void shiftRCl(Op op, Reg r);
+
+    // Test / compare helpers ---------------------------------------------------
+    void testRR(Reg a, Reg b);
+    void testRI(Reg r, i32 imm);
+
+    // Multiply / divide ----------------------------------------------------------
+    void imulRR(Reg dst, Reg src);
+    void imulRM(Reg dst, const MemRef &m);
+    void imulRRI(Reg dst, Reg src, i32 imm);
+    void mulA(Reg src);
+    void imulA(Reg src);
+    void divA(Reg src);
+    void idivA(Reg src);
+    void cdq();
+
+    // Control transfer ---------------------------------------------------------------
+    void jcc(Cond cc, Label l);      //!< near (rel32) form
+    void jccShort(Cond cc, Label l); //!< rel8 form; target must be near
+    void jmp(Label l);               //!< rel32
+    void jmpShort(Label l);          //!< rel8
+    void jmpInd(Reg r);
+    void call(Label l);
+    void callInd(Reg r);
+    void ret();
+    void retImm(u16 pop_bytes);
+
+    // Misc ---------------------------------------------------------------------------
+    void setcc(Cond cc, Reg r8);
+    void nop();
+    void hlt();
+    void int3();
+    void clc();
+    void stc();
+    void db(u8 byte) { buf.push_back(byte); }
+
+    /**
+     * Resolve all fixups and return the image. Panics on unbound labels
+     * or out-of-range rel8 fixups.
+     */
+    std::vector<u8> finalize();
+
+    Addr origin() const { return base; }
+    std::size_t size() const { return buf.size(); }
+
+  private:
+    struct Fixup
+    {
+        enum class Kind : u8 { Rel8, Rel32, Abs32 };
+        std::size_t at;   //!< offset of the displacement field
+        Label label;
+        Kind kind;
+        std::size_t end;  //!< offset just past the instruction
+    };
+
+    void emit8(u8 v) { buf.push_back(v); }
+    void emit16(u16 v);
+    void emit32(u32 v);
+    void emitModRm(u8 mod, u8 reg, u8 rm);
+    void emitRmReg(u8 reg_field, Reg rm);
+    void emitRmMem(u8 reg_field, const MemRef &m);
+    void emitRel(Label l, bool rel8);
+    void emitAbs(Label l);
+
+    Addr base;
+    std::vector<u8> buf;
+    std::vector<i64> labels; //!< bound offset or -1
+    std::vector<Fixup> fixups;
+    bool finalized = false;
+};
+
+} // namespace cdvm::x86
+
+#endif // CDVM_X86_ASM_HH

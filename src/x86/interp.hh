@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Reference functional interpreter for the x86 subset.
+ *
+ * This is the golden model: the basic block translator, the superblock
+ * optimizer and the XLTx86 hardware-assist model are all validated by
+ * differential execution against it. It is also the component the
+ * "interpretation followed by SBT" staged-emulation strategy of paper
+ * Figure 2 models.
+ *
+ * Flags that real x86 leaves architecturally undefined (e.g. ZF/SF/PF
+ * after IMUL) are given fixed, documented values so that differential
+ * tests are exact; the micro-op executor implements the same choices.
+ */
+
+#ifndef CDVM_X86_INTERP_HH
+#define CDVM_X86_INTERP_HH
+
+#include <array>
+
+#include "common/types.hh"
+#include "x86/insn.hh"
+#include "x86/memory.hh"
+
+namespace cdvm::x86
+{
+
+/** Why execution stopped (or that it has not). */
+enum class Exit : u8
+{
+    None = 0,    //!< still running
+    Halted,      //!< HLT reached: normal program completion
+    Trap,        //!< INT3 or divide fault
+    DecodeFault, //!< bytes did not decode
+};
+
+/** Architected x86 machine state. */
+struct CpuState
+{
+    std::array<u32, NUM_REGS> regs{};
+    u32 eip = 0;
+    u32 eflags = 0x202; //!< IF and the always-one bit, as on real hardware
+    InstCount icount = 0;
+
+    u32 reg(Reg r) const { return regs[r]; }
+    void setReg(Reg r, u32 v) { regs[r] = v; }
+
+    /** Read a register at operand size (handles AH/CH/DH/BH). */
+    u32 readReg(Reg r, unsigned size) const;
+    /** Write a register at operand size, preserving upper bits. */
+    void writeReg(Reg r, unsigned size, u32 v);
+
+    bool flag(u32 bit) const { return eflags & bit; }
+    void
+    setFlag(u32 bit, bool v)
+    {
+        eflags = v ? (eflags | bit) : (eflags & ~bit);
+    }
+
+    /** True if the two states have identical architected contents. */
+    bool sameArchState(const CpuState &o) const;
+};
+
+/** Result of executing one instruction. */
+struct StepResult
+{
+    Exit exit = Exit::None;
+    bool taken = false;   //!< branch outcome, if a conditional branch
+    Insn insn;            //!< the instruction that executed
+};
+
+/**
+ * Interpreter over a CpuState and a Memory. Also exposes the
+ * instruction-execution core so the micro-op layer can reuse the exact
+ * flag semantics.
+ */
+class Interpreter
+{
+  public:
+    Interpreter(CpuState &state, Memory &memory)
+        : cpu(state), mem(memory)
+    {
+    }
+
+    /** Fetch, decode and execute one instruction at cpu.eip. */
+    StepResult step();
+
+    /**
+     * Execute an already decoded instruction (the common core shared
+     * with translated-code validation). Updates eip.
+     */
+    StepResult execute(const Insn &in);
+
+    /** Run until an exit condition or max_insns retired instructions. */
+    Exit run(InstCount max_insns);
+
+  private:
+    u32 readOperand(const Operand &o, unsigned size);
+    void writeOperand(const Operand &o, unsigned size, u32 v);
+    Addr effAddr(const MemRef &m) const;
+
+    CpuState &cpu;
+    Memory &mem;
+};
+
+/**
+ * Flag-computation helpers shared verbatim by the interpreter and the
+ * micro-op executor so that translated code matches the golden model
+ * bit-for-bit.
+ */
+namespace flags
+{
+
+/** Flags after an addition (with optional carry-in), at size bytes. */
+u32 add(u32 a, u32 b, u32 carry_in, unsigned size, u32 &result);
+/** Flags after a subtraction a - b - borrow_in, at size bytes. */
+u32 sub(u32 a, u32 b, u32 borrow_in, unsigned size, u32 &result);
+/** Flags after a bitwise logical op whose result is given. */
+u32 logic(u32 result, unsigned size);
+/** ZF/SF/PF for a result (used by INC/DEC merge and shifts). */
+u32 zsp(u32 result, unsigned size);
+/** Truncate v to size bytes. */
+u32 trunc(u32 v, unsigned size);
+/** Sign bit of v at size bytes. */
+bool signBit(u32 v, unsigned size);
+
+/** Result of a shift/rotate: value plus the complete new EFLAGS. */
+struct ShiftResult
+{
+    u32 result;
+    u32 eflags; //!< full replacement arithmetic-flag set
+};
+
+/**
+ * Execute a shift or rotate (Op::Shl/Shr/Sar/Rol/Ror) with exact x86
+ * flag semantics. count is already masked to 5 bits; count == 0
+ * returns the inputs unchanged.
+ */
+ShiftResult shift(Op op, u32 a, u32 count, unsigned size, u32 old_eflags);
+
+/** Widening multiply outcome. */
+struct WideMul
+{
+    u32 lo;
+    u32 hi;
+    u32 flags; //!< arithmetic flags (CF/OF on overflow + deterministic ZSP)
+};
+
+/** EDX:EAX-style widening multiply at size bytes. */
+WideMul mulWide(bool is_signed, u32 a, u32 b, unsigned size);
+
+/** Widening divide outcome. */
+struct WideDiv
+{
+    u32 quot;
+    u32 rem;
+    bool fault; //!< divide by zero or quotient overflow
+};
+
+/** EDX:EAX-style divide at size bytes; hi:lo / b. */
+WideDiv divWide(bool is_signed, u32 hi, u32 lo, u32 b, unsigned size);
+
+/** Truncating signed multiply (IMUL r, r/m) with flag computation. */
+u32 imulTrunc(u32 a, u32 b, unsigned size, u32 &flags_out);
+
+} // namespace flags
+
+} // namespace cdvm::x86
+
+#endif // CDVM_X86_INTERP_HH

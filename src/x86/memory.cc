@@ -1,0 +1,117 @@
+#include "x86/memory.hh"
+
+#include <cstring>
+
+namespace cdvm::x86
+{
+
+Memory::Page *
+Memory::getPage(Addr a)
+{
+    Addr key = a >> PAGE_SHIFT;
+    auto it = pages.find(key);
+    if (it == pages.end())
+        it = pages.emplace(key, Page(PAGE_SIZE, 0)).first;
+    return &it->second;
+}
+
+const Memory::Page *
+Memory::findPage(Addr a) const
+{
+    auto it = pages.find(a >> PAGE_SHIFT);
+    return it == pages.end() ? nullptr : &it->second;
+}
+
+u8
+Memory::read8(Addr a) const
+{
+    const Page *p = findPage(a);
+    return p ? (*p)[a & (PAGE_SIZE - 1)] : 0;
+}
+
+u16
+Memory::read16(Addr a) const
+{
+    return static_cast<u16>(read8(a) | (read8(a + 1) << 8));
+}
+
+u32
+Memory::read32(Addr a) const
+{
+    // Fast path: fully inside one page.
+    const Page *p = findPage(a);
+    Addr off = a & (PAGE_SIZE - 1);
+    if (p && off + 4 <= PAGE_SIZE) {
+        u32 v;
+        std::memcpy(&v, p->data() + off, 4);
+        return v;
+    }
+    return static_cast<u32>(read16(a)) | (static_cast<u32>(read16(a + 2)) << 16);
+}
+
+void
+Memory::write8(Addr a, u8 v)
+{
+    (*getPage(a))[a & (PAGE_SIZE - 1)] = v;
+    ++written;
+}
+
+void
+Memory::write16(Addr a, u16 v)
+{
+    write8(a, static_cast<u8>(v));
+    write8(a + 1, static_cast<u8>(v >> 8));
+}
+
+void
+Memory::write32(Addr a, u32 v)
+{
+    Page *p = getPage(a);
+    Addr off = a & (PAGE_SIZE - 1);
+    if (off + 4 <= PAGE_SIZE) {
+        std::memcpy(p->data() + off, &v, 4);
+        written += 4;
+        return;
+    }
+    write16(a, static_cast<u16>(v));
+    write16(a + 2, static_cast<u16>(v >> 16));
+}
+
+void
+Memory::writeBlock(Addr a, std::span<const u8> data)
+{
+    for (std::size_t i = 0; i < data.size();) {
+        Page *p = getPage(a + i);
+        Addr off = (a + i) & (PAGE_SIZE - 1);
+        std::size_t chunk = std::min<std::size_t>(PAGE_SIZE - off,
+                                                  data.size() - i);
+        std::memcpy(p->data() + off, data.data() + i, chunk);
+        written += chunk;
+        i += chunk;
+    }
+}
+
+std::vector<u8>
+Memory::readBlock(Addr a, std::size_t len) const
+{
+    std::vector<u8> out(len, 0);
+    fetchWindow(a, out.data(), len);
+    return out;
+}
+
+void
+Memory::fetchWindow(Addr a, u8 *out, std::size_t n) const
+{
+    for (std::size_t i = 0; i < n;) {
+        const Page *p = findPage(a + i);
+        Addr off = (a + i) & (PAGE_SIZE - 1);
+        std::size_t chunk = std::min<std::size_t>(PAGE_SIZE - off, n - i);
+        if (p)
+            std::memcpy(out + i, p->data() + off, chunk);
+        else
+            std::memset(out + i, 0, chunk);
+        i += chunk;
+    }
+}
+
+} // namespace cdvm::x86

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Sparse guest physical memory for functional execution.
+ *
+ * Pages are allocated on first touch; unwritten bytes read as zero.
+ * Both the architected program image and the VMM's concealed code-cache
+ * region live in the same Memory object, matching the paper's framing
+ * of the code cache as a hidden area of main memory.
+ */
+
+#ifndef CDVM_X86_MEMORY_HH
+#define CDVM_X86_MEMORY_HH
+
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace cdvm::x86
+{
+
+/** Byte-addressed sparse memory with on-demand page allocation. */
+class Memory
+{
+  public:
+    static constexpr unsigned PAGE_SHIFT = 12;
+    static constexpr Addr PAGE_SIZE = Addr{1} << PAGE_SHIFT;
+
+    u8 read8(Addr a) const;
+    u16 read16(Addr a) const;
+    u32 read32(Addr a) const;
+
+    void write8(Addr a, u8 v);
+    void write16(Addr a, u16 v);
+    void write32(Addr a, u32 v);
+
+    /** Bulk copy into memory (e.g., loading a program image). */
+    void writeBlock(Addr a, std::span<const u8> data);
+
+    /** Bulk copy out of memory; returns bytes (zero-filled holes). */
+    std::vector<u8> readBlock(Addr a, std::size_t len) const;
+
+    /**
+     * Read up to n bytes into out (used for instruction fetch windows).
+     * Always fills n bytes; holes read as zero.
+     */
+    void fetchWindow(Addr a, u8 *out, std::size_t n) const;
+
+    /** Number of pages currently allocated. */
+    std::size_t numPages() const { return pages.size(); }
+
+    /** Total bytes written through this interface (stat). */
+    u64 bytesWritten() const { return written; }
+
+  private:
+    using Page = std::vector<u8>;
+    Page *getPage(Addr a);
+    const Page *findPage(Addr a) const;
+
+    std::unordered_map<Addr, Page> pages;
+    u64 written = 0;
+};
+
+} // namespace cdvm::x86
+
+#endif // CDVM_X86_MEMORY_HH

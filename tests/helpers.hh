@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Shared helpers for the test suite.
+ */
+
+#ifndef CDVM_TESTS_HELPERS_HH
+#define CDVM_TESTS_HELPERS_HH
+
+#include <vector>
+
+#include "vmm/vmm.hh"
+#include "workload/program_gen.hh"
+#include "x86/asm.hh"
+#include "x86/interp.hh"
+#include "x86/memory.hh"
+
+namespace cdvm::test
+{
+
+/** Outcome of a full program run. */
+struct RunResult
+{
+    x86::Exit exit = x86::Exit::None;
+    x86::CpuState cpu;
+    InstCount retired = 0;
+};
+
+/** Run a program to completion under pure interpretation. */
+inline RunResult
+runInterp(const workload::Program &prog, x86::Memory &mem,
+          InstCount max_insns = 10'000'000)
+{
+    prog.loadInto(mem);
+    RunResult r;
+    r.cpu = prog.initialState();
+    x86::Interpreter interp(r.cpu, mem);
+    r.exit = interp.run(max_insns);
+    r.retired = r.cpu.icount;
+    return r;
+}
+
+/** Run a program to completion under a VMM configuration. */
+inline RunResult
+runVmm(const workload::Program &prog, x86::Memory &mem,
+       const vmm::VmmConfig &cfg, vmm::VmmStats *stats_out = nullptr,
+       InstCount max_insns = 10'000'000)
+{
+    prog.loadInto(mem);
+    RunResult r;
+    r.cpu = prog.initialState();
+    vmm::Vmm monitor(mem, cfg);
+    r.exit = monitor.run(r.cpu, max_insns);
+    r.retired = r.cpu.icount;
+    if (stats_out)
+        *stats_out = monitor.stats();
+    return r;
+}
+
+/** Assemble a single snippet at a fixed origin and load it. */
+inline workload::Program
+snippetProgram(x86::Assembler &as)
+{
+    workload::Program p;
+    p.codeBase = as.origin();
+    p.entry = as.origin();
+    p.image = as.finalize();
+    p.dataBase = 0x00800000;
+    p.dataBytes = 64 * 1024;
+    p.stackTop = 0x7fff0000;
+    return p;
+}
+
+} // namespace cdvm::test
+
+#endif // CDVM_TESTS_HELPERS_HH

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Assembler <-> decoder round-trip property tests: everything the
+ * assembler emits must decode back to the same semantic instruction,
+ * with exactly the emitted length.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "x86/asm.hh"
+#include "x86/decoder.hh"
+
+namespace cdvm::x86
+{
+namespace
+{
+
+/** Decode every instruction in a buffer; fail on any gap or error. */
+std::vector<Insn>
+decodeAllInsns(const std::vector<u8> &buf, Addr base)
+{
+    std::vector<Insn> out;
+    std::size_t pos = 0;
+    while (pos < buf.size()) {
+        std::vector<u8> win(buf.begin() + static_cast<long>(pos),
+                            buf.end());
+        win.resize(std::max<std::size_t>(win.size(), MAX_INSN_LEN + 1),
+                   0x90);
+        DecodeResult r = decode(
+            std::span<const u8>(win.data(), win.size()), base + pos);
+        EXPECT_TRUE(r.ok) << "undecodable at +" << pos << ": "
+                          << r.error;
+        if (!r.ok)
+            break;
+        out.push_back(r.insn);
+        pos += r.insn.length;
+    }
+    return out;
+}
+
+TEST(AsmRoundtrip, EveryEmitterFormDecodes)
+{
+    Assembler as(0x1000);
+    MemRef simple{EBX, REG_NONE, 1, 0x40};
+    MemRef sib{EBX, ESI, 4, -8};
+    MemRef abs{REG_NONE, REG_NONE, 1, 0x00800000};
+    MemRef idx_only{REG_NONE, EDI, 8, 0x100};
+    MemRef esp_base{ESP, REG_NONE, 1, 8};
+    MemRef ebp_zero{EBP, REG_NONE, 1, 0};
+
+    as.aluRR(Op::Add, EAX, ECX);
+    as.aluRM(Op::Sub, EDX, sib);
+    as.aluMR(Op::Xor, simple, ESI);
+    as.aluRI(Op::And, EDI, 0x7f);      // imm8 form
+    as.aluRI(Op::Or, EAX, 0x12345);    // imm32 form
+    as.aluMI(Op::Cmp, simple, -3);
+    as.aluAccI(Op::Adc, 0x1000);
+    as.movRR(EBP, ESP);
+    as.movRI(ESI, 0xcafebabe);
+    as.movRM(EAX, esp_base);
+    as.movMR(ebp_zero, EDX);
+    as.movMI(abs, 0x55);
+    as.movzx(EAX, ECX, 1);
+    as.movzx(EDX, EBX, 2);
+    as.movzxM(ESI, simple, 1);
+    as.movsx(EDI, EAX, 1);
+    as.lea(EAX, sib);
+    as.xchg(EBX, ECX);
+    as.push(EAX);
+    as.pushImm(5);
+    as.pushImm(0x4000);
+    as.pushMem(simple);
+    as.pop(EDX);
+    as.inc(ESI);
+    as.dec(EDI);
+    as.incMem(simple);
+    as.decMem(sib);
+    as.notReg(EAX);
+    as.negReg(ECX);
+    as.shiftRI(Op::Shl, EAX, 1);
+    as.shiftRI(Op::Shr, EBX, 9);
+    as.shiftRI(Op::Sar, ECX, 31);
+    as.shiftRI(Op::Rol, EDX, 3);
+    as.shiftRI(Op::Ror, ESI, 5);
+    as.shiftRCl(Op::Shl, EDI);
+    as.testRR(EAX, EBX);
+    as.testRI(ECX, 0xff00);
+    as.imulRR(EAX, EDX);
+    as.imulRM(EBX, idx_only);
+    as.imulRRI(ECX, ESI, 9);
+    as.imulRRI(EDX, EDI, 100000);
+    as.mulA(EBX);
+    as.imulA(ECX);
+    as.divA(ESI);
+    as.idivA(EDI);
+    as.cdq();
+    as.setcc(Cond::G, EAX);
+    as.nop();
+    as.clc();
+    as.stc();
+    as.jmpInd(EAX);
+    as.callInd(EDX);
+    as.retImm(12);
+    as.ret();
+    as.int3();
+    as.hlt();
+
+    std::vector<u8> buf = as.finalize();
+    std::vector<Insn> insns = decodeAllInsns(buf, 0x1000);
+    // Count: every emitter call above decodes to exactly one insn.
+    EXPECT_EQ(insns.size(), 56u);
+}
+
+TEST(AsmRoundtrip, BranchFixups)
+{
+    Assembler as(0x2000);
+    auto fwd = as.newLabel();
+    auto back = as.newLabel();
+
+    as.bind(back);
+    as.nop();
+    as.jcc(Cond::E, fwd);      // forward near
+    as.jccShort(Cond::NE, fwd); // forward short
+    as.jmp(fwd);
+    as.jmpShort(back);          // backward short
+    as.call(back);
+    as.bind(fwd);
+    as.hlt();
+
+    std::vector<u8> buf = as.finalize();
+    std::vector<Insn> insns = decodeAllInsns(buf, 0x2000);
+    ASSERT_EQ(insns.size(), 7u);
+
+    Addr fwd_addr = as.labelAddr(fwd);
+    Addr back_addr = as.labelAddr(back);
+    EXPECT_EQ(insns[1].target, fwd_addr);
+    EXPECT_EQ(insns[2].target, fwd_addr);
+    EXPECT_EQ(insns[3].target, fwd_addr);
+    EXPECT_EQ(insns[4].target, back_addr);
+    EXPECT_EQ(insns[5].target, back_addr);
+}
+
+TEST(AsmRoundtrip, RandomAluMatrix)
+{
+    // Property sweep: random ALU ops with random operand forms must
+    // round-trip with matching semantics.
+    Pcg32 rng(99);
+    static const Op ops[] = {Op::Add, Op::Or, Op::Adc, Op::Sbb,
+                             Op::And, Op::Sub, Op::Xor, Op::Cmp};
+    for (int iter = 0; iter < 300; ++iter) {
+        Assembler as(0x3000);
+        Op op = ops[rng.below(8)];
+        Reg r1 = static_cast<Reg>(rng.below(8));
+        Reg r2 = static_cast<Reg>(rng.below(8));
+        int form = static_cast<int>(rng.below(4));
+        MemRef m;
+        m.base = static_cast<Reg>(rng.below(8));
+        if (rng.chance(0.5)) {
+            Reg idx = static_cast<Reg>(rng.below(8));
+            if (idx != ESP) {
+                m.index = idx;
+                m.scale = static_cast<u8>(1u << rng.below(4));
+            }
+        }
+        m.disp = static_cast<i32>(rng.next()) >> (rng.below(2) ? 20 : 4);
+
+        switch (form) {
+          case 0: as.aluRR(op, r1, r2); break;
+          case 1: as.aluRM(op, r1, m); break;
+          case 2: as.aluMR(op, m, r2); break;
+          case 3:
+            as.aluRI(op, r1, static_cast<i32>(rng.next()) >> 8);
+            break;
+        }
+        as.hlt();
+        std::vector<u8> buf = as.finalize();
+        std::vector<Insn> insns = decodeAllInsns(buf, 0x3000);
+        ASSERT_EQ(insns.size(), 2u) << "iter " << iter;
+        const Insn &in = insns[0];
+        EXPECT_EQ(in.op, op) << "iter " << iter;
+        switch (form) {
+          case 0:
+            EXPECT_EQ(in.dst.reg, r1);
+            EXPECT_EQ(in.src.reg, r2);
+            break;
+          case 1:
+            EXPECT_EQ(in.dst.reg, r1);
+            ASSERT_TRUE(in.src.isMem());
+            EXPECT_EQ(in.src.mem.base, m.base);
+            EXPECT_EQ(in.src.mem.disp, m.disp);
+            if (m.hasIndex()) {
+                EXPECT_EQ(in.src.mem.index, m.index);
+                EXPECT_EQ(in.src.mem.scale, m.scale);
+            }
+            break;
+          case 2:
+            ASSERT_TRUE(in.dst.isMem());
+            EXPECT_EQ(in.dst.mem.base, m.base);
+            EXPECT_EQ(in.src.reg, r2);
+            break;
+          case 3:
+            EXPECT_EQ(in.dst.reg, r1);
+            ASSERT_TRUE(in.src.isImm());
+            break;
+        }
+    }
+}
+
+} // namespace
+} // namespace cdvm::x86

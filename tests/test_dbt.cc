@@ -1,0 +1,360 @@
+/**
+ * @file
+ * DBT unit tests: code cache arenas, translation lookup & chaining,
+ * BBT block formation, superblock formation, SBT linearization, and
+ * the optimization passes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dbt/bbt.hh"
+#include "dbt/codecache.hh"
+#include "dbt/lookup.hh"
+#include "dbt/optimize.hh"
+#include "dbt/sbt.hh"
+#include "uops/exec.hh"
+#include "x86/asm.hh"
+
+namespace cdvm
+{
+namespace
+{
+
+using namespace cdvm::x86;
+
+TEST(CodeCache, BumpAllocationAndFlush)
+{
+    dbt::CodeCache cc("t", 0x1000, 256);
+    Addr a = cc.allocate(100);
+    EXPECT_EQ(a, 0x1000u);
+    Addr b = cc.allocate(60);
+    EXPECT_EQ(b, 0x1064u); // 100 is already 4-byte aligned
+    EXPECT_EQ(cc.used(), 100u + 60u);
+    EXPECT_EQ(cc.allocate(200), 0u); // full
+    cc.flush();
+    EXPECT_EQ(cc.flushes(), 1u);
+    EXPECT_EQ(cc.used(), 0u);
+    EXPECT_EQ(cc.allocate(200), 0x1000u);
+}
+
+TEST(TranslationMap, PrefersSuperblocks)
+{
+    dbt::TranslationMap map;
+    auto bb = std::make_unique<dbt::Translation>();
+    bb->kind = dbt::TransKind::BasicBlock;
+    bb->entryPc = 0x100;
+    map.insert(std::move(bb));
+    EXPECT_EQ(map.lookup(0x100)->kind, dbt::TransKind::BasicBlock);
+
+    auto sb = std::make_unique<dbt::Translation>();
+    sb->kind = dbt::TransKind::Superblock;
+    sb->entryPc = 0x100;
+    map.insert(std::move(sb));
+    EXPECT_EQ(map.lookup(0x100)->kind, dbt::TransKind::Superblock);
+    EXPECT_EQ(map.numBasicBlocks(), 1u);
+    EXPECT_EQ(map.numSuperblocks(), 1u);
+
+    // Kind-filtered lookup.
+    EXPECT_EQ(map.lookup(0x100, dbt::TransKind::BasicBlock)->kind,
+              dbt::TransKind::BasicBlock);
+    EXPECT_EQ(map.lookup(0x200), nullptr);
+    EXPECT_GT(map.lookupMisses(), 0u);
+}
+
+TEST(TranslationMap, EraseKindUnchains)
+{
+    dbt::TranslationMap map;
+    auto a = std::make_unique<dbt::Translation>();
+    a->kind = dbt::TransKind::Superblock;
+    a->entryPc = 0x100;
+    auto b = std::make_unique<dbt::Translation>();
+    b->kind = dbt::TransKind::BasicBlock;
+    b->entryPc = 0x200;
+    dbt::Translation *pa = map.insert(std::move(a));
+    dbt::Translation *pb = map.insert(std::move(b));
+    EXPECT_TRUE(pa->addChain(0x200, pb));
+    EXPECT_EQ(pa->chainedTo(0x200), pb);
+
+    map.eraseKind(dbt::TransKind::BasicBlock);
+    // The superblock survives but its chain into the erased arena is
+    // gone (conservative unchain-all).
+    EXPECT_EQ(map.lookup(0x100), pa);
+    EXPECT_EQ(pa->chainedTo(0x200), nullptr);
+}
+
+TEST(Translation, ChainSlots)
+{
+    dbt::Translation t;
+    dbt::Translation x, y, z;
+    EXPECT_TRUE(t.addChain(1, &x));
+    EXPECT_TRUE(t.addChain(2, &y));
+    EXPECT_FALSE(t.addChain(3, &z)); // only two exits
+    EXPECT_TRUE(t.addChain(2, &z));  // retarget an existing slot
+    EXPECT_EQ(t.chainedTo(2), &z);
+    EXPECT_EQ(t.chainedTo(1), &x);
+    EXPECT_EQ(t.chainedTo(9), nullptr);
+}
+
+TEST(Bbt, BlockEndsAtCti)
+{
+    Memory mem;
+    Assembler as(0x1000);
+    as.movRI(EAX, 1);
+    as.aluRI(Op::Add, EAX, 2);
+    as.ret();
+    as.movRI(EDX, 9); // next block, must not be included
+    std::vector<u8> img = as.finalize();
+    mem.writeBlock(0x1000, img);
+
+    dbt::BasicBlockTranslator bbt(mem);
+    auto t = bbt.translate(0x1000);
+    ASSERT_NE(t, nullptr);
+    EXPECT_EQ(t->numX86Insns, 3u);
+    EXPECT_TRUE(t->endsInCti);
+    EXPECT_FALSE(t->endsInCondBranch);
+    EXPECT_EQ(t->x86pcs.size(), 3u);
+    EXPECT_GT(t->codeBytes, 0u);
+    EXPECT_EQ(t->uops.back().op, uops::UOp::Jr); // ret cracks to Jr
+}
+
+TEST(Bbt, CondBranchMetadata)
+{
+    Memory mem;
+    Assembler as(0x1000);
+    auto l = as.newLabel();
+    as.aluRI(Op::Cmp, EAX, 0);
+    as.jcc(Cond::E, l);
+    as.nop();
+    as.bind(l);
+    as.hlt();
+    mem.writeBlock(0x1000, as.finalize());
+
+    dbt::BasicBlockTranslator bbt(mem);
+    auto t = bbt.translate(0x1000);
+    ASSERT_NE(t, nullptr);
+    EXPECT_TRUE(t->endsInCondBranch);
+    EXPECT_EQ(t->condBranchTarget, t->fallthroughPc + 1); // over the nop
+}
+
+TEST(Bbt, MaxInsnsCut)
+{
+    Memory mem;
+    Assembler as(0x1000);
+    for (int i = 0; i < 100; ++i)
+        as.nop();
+    as.ret();
+    mem.writeBlock(0x1000, as.finalize());
+    dbt::BasicBlockTranslator bbt(mem, 16);
+    auto t = bbt.translate(0x1000);
+    ASSERT_NE(t, nullptr);
+    EXPECT_EQ(t->numX86Insns, 16u);
+    EXPECT_FALSE(t->endsInCti);
+    EXPECT_EQ(t->fallthroughPc, 0x1010u);
+}
+
+TEST(Bbt, UndecodableEntryReturnsNull)
+{
+    Memory mem;
+    mem.write8(0x1000, 0x0f);
+    mem.write8(0x1001, 0x0b); // UD2
+    dbt::BasicBlockTranslator bbt(mem);
+    EXPECT_EQ(bbt.translate(0x1000), nullptr);
+}
+
+TEST(Superblock, FollowsBiasedPath)
+{
+    Memory mem;
+    Assembler as(0x1000);
+    auto hot = as.newLabel();
+    auto cold = as.newLabel();
+    as.aluRI(Op::Cmp, EAX, 5);
+    as.jcc(Cond::E, hot); // strongly taken per our fake profile
+    as.bind(cold);
+    as.movRI(EDX, 0);
+    as.hlt();
+    as.bind(hot);
+    as.movRI(EDX, 1);
+    as.ret();
+    mem.writeBlock(0x1000, as.finalize());
+
+    dbt::SuperblockFormer former(
+        mem, [](Addr) { return std::optional<double>(0.95); });
+    auto trace = former.form(0x1000);
+    ASSERT_TRUE(trace.has_value());
+    // The trace should include cmp, jcc (taken on trace), mov edx,1,
+    // ret -- not the cold path.
+    ASSERT_GE(trace->insns.size(), 4u);
+    EXPECT_TRUE(trace->insns[1].takenOnTrace);
+    EXPECT_EQ(trace->insns[2].insn.op, Op::Mov);
+    EXPECT_EQ(trace->insns[2].insn.src.imm, 1);
+    EXPECT_TRUE(trace->endsInCti);
+}
+
+TEST(Superblock, StopsAtUnprofiledBranch)
+{
+    Memory mem;
+    Assembler as(0x1000);
+    auto l = as.newLabel();
+    as.aluRI(Op::Cmp, EAX, 5);
+    as.jcc(Cond::E, l);
+    as.nop();
+    as.bind(l);
+    as.hlt();
+    mem.writeBlock(0x1000, as.finalize());
+
+    dbt::SuperblockFormer former(
+        mem, [](Addr) { return std::optional<double>(); });
+    auto trace = former.form(0x1000);
+    ASSERT_TRUE(trace.has_value());
+    // Unprofiled: include the branch and stop.
+    EXPECT_EQ(trace->insns.size(), 2u);
+    EXPECT_FALSE(trace->insns[1].takenOnTrace);
+}
+
+TEST(Superblock, LoopClosure)
+{
+    Memory mem;
+    Assembler as(0x1000);
+    auto top = as.newLabel();
+    as.bind(top);
+    as.dec(ECX);
+    as.jcc(Cond::NE, top);
+    as.hlt();
+    mem.writeBlock(0x1000, as.finalize());
+
+    dbt::SuperblockFormer former(
+        mem, [](Addr) { return std::optional<double>(0.99); });
+    auto trace = former.form(0x1000);
+    ASSERT_TRUE(trace.has_value());
+    // The trace follows the backedge once and closes on itself.
+    EXPECT_EQ(trace->blockEntries.size(), 1u);
+    EXPECT_EQ(trace->fallthroughPc, 0x1000u); // continues at entry
+}
+
+TEST(Sbt, InvertsTakenBranches)
+{
+    Memory mem;
+    Assembler as(0x1000);
+    auto hot = as.newLabel();
+    as.aluRI(Op::Cmp, EAX, 5);
+    as.jcc(Cond::E, hot);
+    as.movRI(EDX, 0); // off-trace
+    as.hlt();
+    as.bind(hot);
+    as.hlt();
+    mem.writeBlock(0x1000, as.finalize());
+
+    dbt::SuperblockFormer former(
+        mem, [](Addr) { return std::optional<double>(0.95); });
+    auto trace = former.form(0x1000);
+    ASSERT_TRUE(trace.has_value());
+
+    dbt::SuperblockTranslator sbt;
+    auto t = sbt.translate(*trace);
+    // Find the branch micro-op: it must be inverted (JNE) and target
+    // the off-trace fall-through.
+    const uops::Uop *br = nullptr;
+    for (const uops::Uop &u : t->uops) {
+        if (u.op == uops::UOp::Br)
+            br = &u;
+    }
+    ASSERT_NE(br, nullptr);
+    EXPECT_EQ(static_cast<x86::Cond>(br->cond), Cond::NE);
+    // Off-trace target is the instruction after the jcc.
+    EXPECT_EQ(br->target, trace->insns[1].insn.nextPc());
+}
+
+TEST(Sbt, ElidesFollowedJumpsAndCallJumps)
+{
+    Memory mem;
+    Assembler as(0x1000);
+    auto fn = as.newLabel();
+    auto after = as.newLabel();
+    as.call(fn);
+    as.bind(after);
+    as.hlt();
+    as.bind(fn);
+    as.movRI(EAX, 7);
+    as.ret();
+    mem.writeBlock(0x1000, as.finalize());
+
+    dbt::SuperblockFormer former(
+        mem, [](Addr) { return std::optional<double>(0.95); });
+    auto trace = former.form(0x1000);
+    ASSERT_TRUE(trace.has_value());
+
+    dbt::SuperblockTranslator sbt;
+    auto t = sbt.translate(*trace);
+    // Followed call: return-address push kept, but no Jmp micro-op to
+    // the callee (the body follows inline).
+    unsigned jmps = 0, stores = 0;
+    for (const uops::Uop &u : t->uops) {
+        jmps += u.op == uops::UOp::Jmp;
+        stores += u.isStore();
+    }
+    EXPECT_EQ(jmps, 0u);
+    EXPECT_GE(stores, 1u); // the pushed return address
+}
+
+TEST(Optimize, DeadFlagElimination)
+{
+    using uops::UOp;
+    using uops::Uop;
+    uops::UopVec v;
+    auto alu = [](UOp op, u8 d, bool wf) {
+        Uop u;
+        u.op = op;
+        u.dst = d;
+        u.src1 = d;
+        u.src2 = d;
+        u.writeFlags = wf;
+        return u;
+    };
+    // add (flags dead: overwritten by the next add before any read)
+    v.push_back(alu(UOp::Add, 0, true));
+    v.push_back(alu(UOp::Add, 1, true));
+    // cmp feeding a branch: must survive
+    Uop cmp;
+    cmp.op = UOp::Cmp;
+    cmp.src1 = 0;
+    cmp.src2 = 1;
+    v.push_back(cmp);
+    Uop br;
+    br.op = UOp::Br;
+    br.cond = 4; // E
+    v.push_back(br);
+
+    unsigned removed = 0;
+    unsigned killed = dbt::killDeadFlags(v, &removed);
+    // Both adds' flag results are overwritten by the cmp before the
+    // branch can observe them.
+    EXPECT_EQ(killed, 2u);
+    EXPECT_EQ(removed, 0u); // cmp survives (the branch reads it)
+    EXPECT_FALSE(v[0].writeFlags);
+    EXPECT_FALSE(v[1].writeFlags);
+}
+
+TEST(Optimize, RemovesDeadPureFlagProducers)
+{
+    using uops::UOp;
+    using uops::Uop;
+    uops::UopVec v;
+    Uop cmp;
+    cmp.op = UOp::Cmp;
+    cmp.src1 = 0;
+    cmp.src2 = 1;
+    v.push_back(cmp); // dead: immediately overwritten
+    Uop tst;
+    tst.op = UOp::Tst;
+    tst.src1 = 2;
+    tst.src2 = 3;
+    v.push_back(tst); // live at sequence end (conservative)
+    unsigned removed = 0;
+    dbt::killDeadFlags(v, &removed);
+    EXPECT_EQ(removed, 1u);
+    ASSERT_EQ(v.size(), 1u);
+    EXPECT_EQ(v[0].op, UOp::Tst);
+}
+
+} // namespace
+} // namespace cdvm

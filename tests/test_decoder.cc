@@ -1,0 +1,266 @@
+/** @file Decoder unit tests: lengths, operands, prefixes, failures. */
+
+#include <gtest/gtest.h>
+
+#include "x86/decoder.hh"
+
+namespace cdvm::x86
+{
+namespace
+{
+
+DecodeResult
+dec(std::initializer_list<u8> bytes, Addr pc = 0x1000)
+{
+    std::vector<u8> v(bytes);
+    v.resize(MAX_INSN_LEN + 1, 0x90);
+    return decode(std::span<const u8>(v.data(), v.size()), pc);
+}
+
+TEST(Decoder, AluRegReg)
+{
+    // add ecx, eax  (01 c1: add r/m32, r32)
+    DecodeResult r = dec({0x01, 0xc1});
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.insn.op, Op::Add);
+    EXPECT_EQ(r.insn.length, 2u);
+    EXPECT_EQ(r.insn.dst.reg, ECX);
+    EXPECT_EQ(r.insn.src.reg, EAX);
+    EXPECT_EQ(r.insn.opSize, 4u);
+}
+
+TEST(Decoder, AluLoadForm)
+{
+    // sub edx, [ebx+8]  (2b 53 08)
+    DecodeResult r = dec({0x2b, 0x53, 0x08});
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.insn.op, Op::Sub);
+    EXPECT_EQ(r.insn.dst.reg, EDX);
+    ASSERT_TRUE(r.insn.src.isMem());
+    EXPECT_EQ(r.insn.src.mem.base, EBX);
+    EXPECT_EQ(r.insn.src.mem.disp, 8);
+    EXPECT_EQ(r.insn.length, 3u);
+}
+
+TEST(Decoder, SibFullForm)
+{
+    // mov eax, [ebx+esi*4+0x12345678]  (8b 84 b3 78 56 34 12)
+    DecodeResult r = dec({0x8b, 0x84, 0xb3, 0x78, 0x56, 0x34, 0x12});
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.insn.op, Op::Mov);
+    ASSERT_TRUE(r.insn.src.isMem());
+    EXPECT_EQ(r.insn.src.mem.base, EBX);
+    EXPECT_EQ(r.insn.src.mem.index, ESI);
+    EXPECT_EQ(r.insn.src.mem.scale, 4u);
+    EXPECT_EQ(r.insn.src.mem.disp, 0x12345678);
+    EXPECT_EQ(r.insn.length, 7u);
+}
+
+TEST(Decoder, SibNoBaseDisp32)
+{
+    // mov eax, [esi*8+0x100]  (8b 04 f5 00 01 00 00)
+    DecodeResult r = dec({0x8b, 0x04, 0xf5, 0x00, 0x01, 0x00, 0x00});
+    ASSERT_TRUE(r.ok) << r.error;
+    ASSERT_TRUE(r.insn.src.isMem());
+    EXPECT_FALSE(r.insn.src.mem.hasBase());
+    EXPECT_EQ(r.insn.src.mem.index, ESI);
+    EXPECT_EQ(r.insn.src.mem.scale, 8u);
+    EXPECT_EQ(r.insn.src.mem.disp, 0x100);
+}
+
+TEST(Decoder, AbsoluteDisp32)
+{
+    // mov eax, [0xdeadbeef]  (8b 05 ef be ad de)
+    DecodeResult r = dec({0x8b, 0x05, 0xef, 0xbe, 0xad, 0xde});
+    ASSERT_TRUE(r.ok) << r.error;
+    ASSERT_TRUE(r.insn.src.isMem());
+    EXPECT_FALSE(r.insn.src.mem.hasBase());
+    EXPECT_FALSE(r.insn.src.mem.hasIndex());
+    EXPECT_EQ(static_cast<u32>(r.insn.src.mem.disp), 0xdeadbeefu);
+}
+
+TEST(Decoder, EbpBaseNeedsDisp)
+{
+    // mov eax, [ebp]  must encode as disp8=0: 8b 45 00
+    DecodeResult r = dec({0x8b, 0x45, 0x00});
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.insn.src.mem.base, EBP);
+    EXPECT_EQ(r.insn.src.mem.disp, 0);
+    EXPECT_EQ(r.insn.length, 3u);
+}
+
+TEST(Decoder, OperandSizePrefix)
+{
+    // 66 01 c8 -> add ax, cx
+    DecodeResult r = dec({0x66, 0x01, 0xc8});
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.insn.op, Op::Add);
+    EXPECT_EQ(r.insn.opSize, 2u);
+    EXPECT_EQ(r.insn.length, 3u);
+}
+
+TEST(Decoder, ByteAlu)
+{
+    // 00 d8 -> add al, bl
+    DecodeResult r = dec({0x00, 0xd8});
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.insn.op, Op::Add);
+    EXPECT_EQ(r.insn.opSize, 1u);
+    EXPECT_EQ(r.insn.dst.reg, EAX);
+    EXPECT_EQ(r.insn.src.reg, EBX);
+}
+
+TEST(Decoder, Group1SignExtendedImm8)
+{
+    // 83 e8 ff -> sub eax, -1
+    DecodeResult r = dec({0x83, 0xe8, 0xff});
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.insn.op, Op::Sub);
+    EXPECT_EQ(r.insn.src.imm, -1);
+}
+
+TEST(Decoder, JccShortTargets)
+{
+    // 74 05 at pc 0x1000 -> je 0x1007
+    DecodeResult r = dec({0x74, 0x05});
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.insn.op, Op::Jcc);
+    EXPECT_EQ(r.insn.cond, Cond::E);
+    EXPECT_EQ(r.insn.target, 0x1007u);
+
+    // backward: 75 fe -> jne 0x1000
+    r = dec({0x75, 0xfe});
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.insn.target, 0x1000u);
+}
+
+TEST(Decoder, JccNearTargets)
+{
+    // 0f 84 10 00 00 00 -> je 0x1016
+    DecodeResult r = dec({0x0f, 0x84, 0x10, 0x00, 0x00, 0x00});
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.insn.op, Op::Jcc);
+    EXPECT_EQ(r.insn.length, 6u);
+    EXPECT_EQ(r.insn.target, 0x1016u);
+}
+
+TEST(Decoder, CallAndRet)
+{
+    DecodeResult r = dec({0xe8, 0x00, 0x01, 0x00, 0x00});
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.insn.op, Op::Call);
+    EXPECT_EQ(r.insn.target, 0x1105u);
+
+    r = dec({0xc3});
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.insn.op, Op::Ret);
+
+    r = dec({0xc2, 0x08, 0x00});
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.insn.op, Op::Ret);
+    EXPECT_EQ(r.insn.src.imm, 8);
+}
+
+TEST(Decoder, Group3AndGroup5)
+{
+    // f7 d8 -> neg eax
+    DecodeResult r = dec({0xf7, 0xd8});
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.insn.op, Op::Neg);
+
+    // f7 e1 -> mul ecx
+    r = dec({0xf7, 0xe1});
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.insn.op, Op::MulA);
+
+    // ff d6 -> call esi
+    r = dec({0xff, 0xd6});
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.insn.op, Op::CallInd);
+
+    // ff 36 ... push [esi]? rm=110 -> push dword [esi]
+    r = dec({0xff, 0x36});
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.insn.op, Op::Push);
+    EXPECT_TRUE(r.insn.src.isMem());
+}
+
+TEST(Decoder, TwoByteForms)
+{
+    // 0f b6 c1 -> movzx eax, cl
+    DecodeResult r = dec({0x0f, 0xb6, 0xc1});
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.insn.op, Op::Movzx);
+    EXPECT_EQ(r.insn.opSize, 1u);
+
+    // 0f af c3 -> imul eax, ebx
+    r = dec({0x0f, 0xaf, 0xc3});
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.insn.op, Op::Imul);
+
+    // 0f 94 c0 -> sete al
+    r = dec({0x0f, 0x94, 0xc0});
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.insn.op, Op::Setcc);
+    EXPECT_EQ(r.insn.cond, Cond::E);
+}
+
+TEST(Decoder, Shifts)
+{
+    // c1 e0 04 -> shl eax, 4
+    DecodeResult r = dec({0xc1, 0xe0, 0x04});
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.insn.op, Op::Shl);
+    EXPECT_EQ(r.insn.src.imm, 4);
+
+    // d1 f8 -> sar eax, 1
+    r = dec({0xd1, 0xf8});
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.insn.op, Op::Sar);
+    EXPECT_EQ(r.insn.src.imm, 1);
+
+    // d3 e8 -> shr eax, cl
+    r = dec({0xd3, 0xe8});
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.insn.op, Op::Shr);
+    EXPECT_TRUE(r.insn.src.isReg());
+}
+
+TEST(Decoder, RejectsUnknownOpcodes)
+{
+    EXPECT_FALSE(dec({0x0f, 0x0b}).ok); // UD2
+    EXPECT_FALSE(dec({0xd8, 0xc0}).ok); // x87
+}
+
+TEST(Decoder, RejectsPrefixFlood)
+{
+    std::vector<u8> v(12, 0x66);
+    v.push_back(0x90);
+    v.resize(MAX_INSN_LEN + 4, 0x90);
+    EXPECT_FALSE(decode(std::span<const u8>(v.data(), v.size()), 0).ok);
+}
+
+TEST(Decoder, ClassifiesCtisAndComplex)
+{
+    EXPECT_TRUE(dec({0xc3}).insn.isCti());
+    EXPECT_TRUE(dec({0xe9, 0, 0, 0, 0}).insn.isCti());
+    EXPECT_TRUE(dec({0xf4}).insn.isCti());       // HLT ends blocks
+    EXPECT_TRUE(dec({0x0f, 0xa2}).insn.isComplex()); // CPUID
+    EXPECT_TRUE(dec({0xf7, 0xf1}).insn.isComplex()); // DIV
+    EXPECT_FALSE(dec({0x01, 0xc1}).insn.isComplex());
+}
+
+TEST(Decoder, InsnLengthHelper)
+{
+    std::vector<u8> v{0x8b, 0x84, 0xb3, 0x78, 0x56, 0x34, 0x12};
+    v.resize(MAX_INSN_LEN + 1, 0x90);
+    EXPECT_EQ(insnLength(std::span<const u8>(v.data(), v.size()), 0),
+              7u);
+    std::vector<u8> bad{0x0f, 0x0b};
+    bad.resize(MAX_INSN_LEN + 1, 0x90);
+    EXPECT_EQ(insnLength(std::span<const u8>(bad.data(), bad.size()), 0),
+              0u);
+}
+
+} // namespace
+} // namespace cdvm::x86

@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Micro-op encoding tests: exact round-trips across formats (16-bit
+ * compact, 32-bit, extension words), size accounting, and the
+ * whole-program property that every cracked instruction's encoding
+ * decodes back to semantically identical micro-ops.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "uops/crack.hh"
+#include "uops/encoding.hh"
+#include "workload/program_gen.hh"
+#include "x86/decoder.hh"
+
+namespace cdvm::uops
+{
+namespace
+{
+
+/** Semantic equality (ignores the x86pc provenance tag). */
+void
+expectSameUop(const Uop &a, const Uop &b, const std::string &label)
+{
+    EXPECT_EQ(static_cast<int>(a.op), static_cast<int>(b.op)) << label;
+    EXPECT_EQ(a.dst, b.dst) << label;
+    EXPECT_EQ(a.src1, b.src1) << label;
+    EXPECT_EQ(a.src2, b.src2) << label;
+    EXPECT_EQ(a.size, b.size) << label;
+    if (a.isMem())
+        EXPECT_EQ(a.scale, b.scale) << label;
+    EXPECT_EQ(a.cond, b.cond) << label;
+    EXPECT_EQ(a.hasImm, b.hasImm) << label;
+    if (a.hasImm)
+        EXPECT_EQ(a.imm, b.imm) << label;
+    EXPECT_EQ(a.writeFlags, b.writeFlags) << label;
+    EXPECT_EQ(a.fusedHead, b.fusedHead) << label;
+    if (a.op == UOp::Br || a.op == UOp::Jmp)
+        EXPECT_EQ(a.target, b.target) << label;
+}
+
+void
+roundTrip(const Uop &u, unsigned expect_bytes, const std::string &label)
+{
+    u8 buf[MAX_UOP_BYTES];
+    unsigned n = encodeOne(u, buf);
+    EXPECT_EQ(n, expect_bytes) << label;
+    EXPECT_EQ(u.encodedSize(), n) << label;
+    Uop out;
+    unsigned m = decodeOne(std::span<const u8>(buf, n), out);
+    ASSERT_EQ(m, n) << label;
+    expectSameUop(u, out, label);
+}
+
+Uop
+mk(UOp op)
+{
+    Uop u;
+    u.op = op;
+    return u;
+}
+
+TEST(Encoding, CompactSixteenBit)
+{
+    Uop add = mk(UOp::Add);
+    add.dst = add.src1 = 3;
+    add.src2 = 7;
+    add.writeFlags = true;
+    roundTrip(add, 2, "compact add");
+
+    Uop mov = mk(UOp::Mov);
+    mov.dst = 4;
+    mov.src1 = 12;
+    roundTrip(mov, 2, "compact mov");
+
+    Uop cmp = mk(UOp::Cmp);
+    cmp.src1 = 1;
+    cmp.src2 = 2;
+    cmp.writeFlags = true;
+    roundTrip(cmp, 2, "compact cmp");
+
+    roundTrip(mk(UOp::Nop), 2, "nop");
+
+    // Fused head still fits the compact format.
+    add.fusedHead = true;
+    roundTrip(add, 2, "fused compact add");
+}
+
+TEST(Encoding, CompactIneligibleFallsBack)
+{
+    // Three-address add cannot use the two-address compact form.
+    Uop add = mk(UOp::Add);
+    add.dst = 0;
+    add.src1 = 1;
+    add.src2 = 2;
+    add.writeFlags = true;
+    roundTrip(add, 4, "3-address add");
+
+    // High register numbers need the 32-bit form.
+    Uop hi = mk(UOp::Add);
+    hi.dst = hi.src1 = 20;
+    hi.src2 = 21;
+    hi.writeFlags = true;
+    roundTrip(hi, 4, "high regs");
+
+    // Sized ALU needs the size field.
+    Uop sized = mk(UOp::Add);
+    sized.dst = sized.src1 = 0;
+    sized.src2 = 1;
+    sized.size = 1;
+    sized.writeFlags = true;
+    roundTrip(sized, 4, "8-bit add");
+}
+
+TEST(Encoding, ImmediateForms)
+{
+    // Inline 6-bit immediate.
+    Uop small = mk(UOp::Add);
+    small.dst = small.src1 = 4;
+    small.hasImm = true;
+    small.imm = -17;
+    small.writeFlags = true;
+    roundTrip(small, 4, "imm6");
+
+    // 16-bit extension.
+    Uop med = mk(UOp::Add);
+    med.dst = med.src1 = 4;
+    med.hasImm = true;
+    med.imm = 1000;
+    med.writeFlags = true;
+    roundTrip(med, 6, "imm16");
+
+    // 32-bit extension.
+    Uop big = mk(UOp::Limm);
+    big.dst = 2;
+    big.hasImm = true;
+    big.imm = static_cast<i32>(0xdeadbeef);
+    roundTrip(big, 8, "imm32");
+}
+
+TEST(Encoding, MemoryForms)
+{
+    Uop ld = mk(UOp::Ld);
+    ld.dst = 0;
+    ld.src1 = 3; // base
+    ld.hasImm = true;
+    ld.imm = 8;
+    roundTrip(ld, 4, "ld base+disp8");
+
+    Uop ldx = mk(UOp::Ldz8);
+    ldx.dst = 8;
+    ldx.src1 = 3;
+    ldx.src2 = 6; // index
+    ldx.scale = 4;
+    ldx.hasImm = true;
+    ldx.imm = 0; // indexed, zero disp: three-specifier form
+    roundTrip(ldx, 4, "indexed zero disp");
+
+    Uop ldd = mk(UOp::Lds16);
+    ldd.dst = 8;
+    ldd.src1 = 3;
+    ldd.src2 = 6;
+    ldd.scale = 8;
+    ldd.hasImm = true;
+    ldd.imm = 0x1234; // indexed with disp: needs the extension
+    roundTrip(ldd, 6, "indexed disp16");
+
+    Uop st = mk(UOp::St);
+    st.dst = 5; // data register
+    st.src1 = 4;
+    st.hasImm = true;
+    st.imm = -4;
+    roundTrip(st, 4, "store");
+
+    Uop lea = mk(UOp::Lea);
+    lea.dst = 1;
+    lea.src1 = 2;
+    lea.src2 = 3;
+    lea.scale = 2;
+    lea.hasImm = true;
+    lea.imm = 100000;
+    roundTrip(lea, 8, "lea disp32");
+}
+
+TEST(Encoding, ControlTransfer)
+{
+    Uop br = mk(UOp::Br);
+    br.cond = 5; // NE
+    br.target = 0x00401234;
+    roundTrip(br, 8, "br");
+
+    Uop brc = mk(UOp::Br);
+    brc.cond = static_cast<u8>(UCond::CsrCmplx);
+    brc.target = 0xffff0001;
+    roundTrip(brc, 8, "br.cpx");
+
+    Uop jmp = mk(UOp::Jmp);
+    jmp.target = 0x00400000;
+    roundTrip(jmp, 8, "jmp");
+
+    Uop jr = mk(UOp::Jr);
+    jr.src1 = 9;
+    roundTrip(jr, 4, "jr");
+}
+
+TEST(Encoding, SetccAndSpecials)
+{
+    Uop s = mk(UOp::Setcc);
+    s.dst = 8;
+    s.cond = 0xf; // G
+    roundTrip(s, 4, "setcc");
+
+    Uop x = mk(UOp::XltX86);
+    x.dst = 1;
+    x.src1 = 0;
+    roundTrip(x, 4, "xltx86");
+
+    Uop mc = mk(UOp::MovCsr);
+    mc.dst = 18;
+    roundTrip(mc, 4, "movcsr");
+
+    roundTrip(mk(UOp::ExitVm), 4, "exitvm");
+}
+
+TEST(Encoding, WholeProgramRoundTrip)
+{
+    // Property: crack + encode + decode every instruction of a
+    // generated program and compare semantics.
+    workload::ProgramParams pp;
+    pp.seed = 23;
+    workload::Program prog = workload::generateProgram(pp);
+    std::size_t pos = 0;
+    unsigned checked = 0;
+    while (pos + x86::MAX_INSN_LEN < prog.image.size()) {
+        x86::DecodeResult dr = x86::decode(
+            std::span<const u8>(prog.image.data() + pos,
+                                x86::MAX_INSN_LEN + 1),
+            prog.codeBase + pos);
+        if (!dr.ok) {
+            ++pos;
+            continue;
+        }
+        CrackResult cr = crack(dr.insn);
+        std::vector<u8> bytes = encode(cr.uops);
+        EXPECT_EQ(bytes.size(), encodedBytes(cr.uops));
+        UopVec out;
+        ASSERT_TRUE(decodeAll(
+            std::span<const u8>(bytes.data(), bytes.size()), out));
+        ASSERT_EQ(out.size(), cr.uops.size());
+        for (std::size_t i = 0; i < out.size(); ++i)
+            expectSameUop(cr.uops[i], out[i],
+                          "insn @" + std::to_string(pos) + " uop " +
+                              std::to_string(i));
+        pos += dr.insn.length;
+        ++checked;
+    }
+    EXPECT_GT(checked, 200u);
+}
+
+} // namespace
+} // namespace cdvm::uops

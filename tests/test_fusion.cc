@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Macro-op fusion tests: pairing rules, legality of tail hoisting,
+ * flag-dependence (compare-and-branch) fusion, and the semantic
+ * property that fusion never changes execution results.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "uops/crack.hh"
+#include "uops/exec.hh"
+#include "uops/fusion.hh"
+#include "workload/program_gen.hh"
+#include "x86/decoder.hh"
+
+namespace cdvm::uops
+{
+namespace
+{
+
+Uop
+alu(UOp op, u8 d, u8 s1, u8 s2, bool wf = true)
+{
+    Uop u;
+    u.op = op;
+    u.dst = d;
+    u.src1 = s1;
+    u.src2 = s2;
+    u.writeFlags = wf;
+    return u;
+}
+
+TEST(Fusion, AdjacentRegisterDependence)
+{
+    UopVec v;
+    v.push_back(alu(UOp::Add, 0, 1, 2));
+    v.push_back(alu(UOp::Sub, 3, 0, 4)); // consumes r0
+    FusionStats st = fusePairs(v);
+    EXPECT_EQ(st.pairs, 1u);
+    EXPECT_TRUE(v[0].fusedHead);
+    EXPECT_FALSE(v[1].fusedHead);
+}
+
+TEST(Fusion, CompareAndBranch)
+{
+    UopVec v;
+    Uop cmp;
+    cmp.op = UOp::Cmp;
+    cmp.src1 = 0;
+    cmp.src2 = 1;
+    v.push_back(cmp);
+    Uop br;
+    br.op = UOp::Br;
+    br.cond = 4;
+    br.target = 0x1000;
+    v.push_back(br);
+    FusionStats st = fusePairs(v);
+    EXPECT_EQ(st.pairs, 1u);
+    EXPECT_TRUE(v[0].fusedHead);
+}
+
+TEST(Fusion, IndependentOpsDoNotFuse)
+{
+    UopVec v;
+    v.push_back(alu(UOp::Add, 0, 1, 2));
+    v.push_back(alu(UOp::Sub, 3, 4, 5));
+    FusionStats st = fusePairs(v);
+    EXPECT_EQ(st.pairs, 0u);
+}
+
+TEST(Fusion, TailHoistedOverIndependentOp)
+{
+    UopVec v;
+    v.push_back(alu(UOp::Add, 0, 1, 2)); // head
+    v.push_back(alu(UOp::Xor, 5, 6, 7)); // independent filler
+    v.push_back(alu(UOp::Sub, 3, 0, 4)); // consumer of r0
+    // The consumer's flag write would clobber flags the filler also
+    // writes... actually both write flags: check WAW-on-flags rule.
+    FusionStats st = fusePairs(v);
+    // flags WAW between tail and filler forbids the hoist.
+    EXPECT_EQ(st.pairs, 0u);
+
+    // Without flag writes the hoist is legal.
+    UopVec w;
+    w.push_back(alu(UOp::Add, 0, 1, 2, false));
+    w.push_back(alu(UOp::Xor, 5, 6, 7, false));
+    w.push_back(alu(UOp::Sub, 3, 0, 4, false));
+    st = fusePairs(w);
+    EXPECT_EQ(st.pairs, 1u);
+    EXPECT_TRUE(w[0].fusedHead);
+    EXPECT_EQ(w[1].op, UOp::Sub); // hoisted next to the head
+    EXPECT_EQ(w[2].op, UOp::Xor);
+}
+
+TEST(Fusion, HoistBlockedByHazards)
+{
+    // RAW: the tail reads a value produced in between, so it cannot
+    // be hoisted next to the first head. (The middle op and the tail
+    // form their own legitimate adjacent pair instead.)
+    UopVec v;
+    v.push_back(alu(UOp::Add, 0, 1, 2, false));
+    v.push_back(alu(UOp::Mov, 4, 9, UREG_NONE, false));
+    v.push_back(alu(UOp::Sub, 3, 0, 4, false)); // reads r4 from mid
+    EXPECT_EQ(fusePairs(v).pairs, 1u);
+    EXPECT_FALSE(v[0].fusedHead); // the Add must not have hoisted Sub
+    EXPECT_TRUE(v[1].fusedHead);  // Mov :: Sub is the legal pair
+
+    // WAR: the tail writes a register the middle op still reads.
+    UopVec w;
+    w.push_back(alu(UOp::Add, 0, 1, 2, false));
+    w.push_back(alu(UOp::Mov, 5, 3, UREG_NONE, false)); // reads r3
+    w.push_back(alu(UOp::Sub, 3, 0, 4, false));         // writes r3
+    EXPECT_EQ(fusePairs(w).pairs, 0u);
+
+    // Barrier: never hoist across a store.
+    UopVec s;
+    s.push_back(alu(UOp::Add, 0, 1, 2, false));
+    Uop st;
+    st.op = UOp::St;
+    st.dst = 6;
+    st.src1 = 7;
+    st.hasImm = true;
+    s.push_back(st);
+    s.push_back(alu(UOp::Sub, 3, 0, 4, false));
+    EXPECT_EQ(fusePairs(s).pairs, 0u);
+}
+
+TEST(Fusion, BranchTailOnlyWhenAdjacent)
+{
+    UopVec v;
+    Uop cmp;
+    cmp.op = UOp::Cmp;
+    cmp.src1 = 0;
+    cmp.src2 = 1;
+    v.push_back(cmp);
+    v.push_back(alu(UOp::Mov, 4, 5, UREG_NONE, false));
+    Uop br;
+    br.op = UOp::Br;
+    br.cond = 4;
+    v.push_back(br);
+    // The branch cannot be hoisted (it would move the exit point).
+    FusionStats st = fusePairs(v);
+    // cmp may not fuse with the branch; mov doesn't read cmp's output.
+    for (const Uop &u : v) {
+        if (u.op == UOp::Cmp)
+            EXPECT_FALSE(u.fusedHead);
+    }
+    (void)st;
+}
+
+TEST(Fusion, EachUopInAtMostOnePair)
+{
+    UopVec v;
+    v.push_back(alu(UOp::Add, 0, 1, 2)); // head A
+    v.push_back(alu(UOp::Sub, 3, 0, 4)); // tail of A, also produces r3
+    v.push_back(alu(UOp::Xor, 5, 3, 6)); // would-be tail of the tail
+    FusionStats st = fusePairs(v);
+    EXPECT_EQ(st.pairs, 1u);
+    EXPECT_TRUE(v[0].fusedHead);
+    EXPECT_FALSE(v[1].fusedHead); // already a tail, cannot head a pair
+}
+
+TEST(Fusion, MemOpsNeverHeads)
+{
+    UopVec v;
+    Uop ld;
+    ld.op = UOp::Ld;
+    ld.dst = 0;
+    ld.src1 = 3;
+    ld.hasImm = true;
+    v.push_back(ld);
+    v.push_back(alu(UOp::Add, 2, 0, 1));
+    FusionStats st = fusePairs(v);
+    EXPECT_EQ(st.pairs, 0u); // loads are multi-cycle: not head-eligible
+}
+
+TEST(Fusion, SemanticsPreservedOnRealPrograms)
+{
+    // Property: executing the fused (reordered) body produces the same
+    // state as the original crack output, block by block.
+    for (u64 seed = 50; seed < 56; ++seed) {
+        workload::ProgramParams pp;
+        pp.seed = seed;
+        workload::Program prog = workload::generateProgram(pp);
+        x86::Memory mem0;
+        prog.loadInto(mem0);
+
+        Pcg32 rng(seed);
+        std::size_t pos = 0;
+        unsigned blocks = 0;
+        std::vector<x86::Insn> block;
+        while (pos + x86::MAX_INSN_LEN < prog.image.size() &&
+               blocks < 40) {
+            x86::DecodeResult dr = x86::decode(
+                std::span<const u8>(prog.image.data() + pos,
+                                    x86::MAX_INSN_LEN + 1),
+                prog.codeBase + pos);
+            if (!dr.ok) {
+                ++pos;
+                block.clear();
+                continue;
+            }
+            pos += dr.insn.length;
+            if (dr.insn.isCti()) {
+                block.clear();
+                continue; // straight-line bodies only
+            }
+            block.push_back(dr.insn);
+            if (block.size() < 6)
+                continue;
+
+            CrackResult cr = crackAll(block);
+            UopVec fused = cr.uops;
+            FusionStats st = fusePairs(fused);
+            ++blocks;
+            block.clear();
+            if (st.pairs == 0)
+                continue;
+
+            // Execute both versions from a random state.
+            UState s0;
+            for (unsigned r = 0; r < 8; ++r)
+                s0.regs[r] = rng.next();
+            s0.regs[3] = 0x00800000;          // EBX data base
+            s0.regs[4] = 0x7ffe0000;          // ESP
+            s0.regs[6] &= 1023;               // masked indices
+            s0.regs[7] &= 1023;
+            s0.eflags = 0x202 | (rng.next() & x86::FLAG_ALL);
+
+            x86::Memory mem_a = mem0;
+            UState sa = s0;
+            UopExecutor ea(sa, mem_a);
+            BlockResult ra = ea.run(cr.uops, 0);
+
+            x86::Memory mem_b = mem0;
+            UState sb = s0;
+            UopExecutor eb(sb, mem_b);
+            BlockResult rb = eb.run(fused, 0);
+
+            ASSERT_EQ(static_cast<int>(ra.exit),
+                      static_cast<int>(rb.exit));
+            if (ra.exit == BlockExit::Fault)
+                continue; // both fault: precise recovery handles it
+            for (unsigned r = 0; r < 8; ++r)
+                EXPECT_EQ(sa.regs[r], sb.regs[r])
+                    << "seed " << seed << " reg " << r;
+            EXPECT_EQ(sa.eflags & x86::FLAG_ALL,
+                      sb.eflags & x86::FLAG_ALL)
+                << "seed " << seed;
+        }
+        EXPECT_GT(blocks, 5u);
+    }
+}
+
+} // namespace
+} // namespace cdvm::uops

@@ -1,0 +1,286 @@
+/** @file Interpreter semantics: flags, partial registers, stack ops. */
+
+#include <gtest/gtest.h>
+
+#include "helpers.hh"
+#include "x86/asm.hh"
+#include "x86/interp.hh"
+
+namespace cdvm::x86
+{
+namespace
+{
+
+struct Machine
+{
+    Memory mem;
+    CpuState cpu;
+
+    explicit Machine(Assembler &as)
+    {
+        std::vector<u8> img = as.finalize();
+        mem.writeBlock(as.origin(), img);
+        cpu.eip = static_cast<u32>(as.origin());
+        cpu.regs[ESP] = 0x7fff0000;
+    }
+
+    Exit
+    run()
+    {
+        Interpreter in(cpu, mem);
+        return in.run(100000);
+    }
+};
+
+TEST(Interp, AddCarryAndOverflow)
+{
+    Assembler as(0x1000);
+    as.movRI(EAX, 0xffffffff);
+    as.aluRI(Op::Add, EAX, 1);
+    as.hlt();
+    Machine m(as);
+    EXPECT_EQ(m.run(), Exit::Halted);
+    EXPECT_EQ(m.cpu.regs[EAX], 0u);
+    EXPECT_TRUE(m.cpu.flag(FLAG_CF));
+    EXPECT_TRUE(m.cpu.flag(FLAG_ZF));
+    EXPECT_FALSE(m.cpu.flag(FLAG_OF));
+    EXPECT_TRUE(m.cpu.flag(FLAG_AF));
+}
+
+TEST(Interp, SignedOverflow)
+{
+    Assembler as(0x1000);
+    as.movRI(EAX, 0x7fffffff);
+    as.aluRI(Op::Add, EAX, 1);
+    as.hlt();
+    Machine m(as);
+    m.run();
+    EXPECT_EQ(m.cpu.regs[EAX], 0x80000000u);
+    EXPECT_TRUE(m.cpu.flag(FLAG_OF));
+    EXPECT_TRUE(m.cpu.flag(FLAG_SF));
+    EXPECT_FALSE(m.cpu.flag(FLAG_CF));
+}
+
+TEST(Interp, SubBorrowChain)
+{
+    Assembler as(0x1000);
+    as.movRI(EAX, 0);
+    as.movRI(EDX, 5);
+    as.aluRI(Op::Sub, EAX, 1); // EAX=-1, CF=1
+    as.aluRI(Op::Sbb, EDX, 0); // EDX=4
+    as.hlt();
+    Machine m(as);
+    m.run();
+    EXPECT_EQ(m.cpu.regs[EAX], 0xffffffffu);
+    EXPECT_EQ(m.cpu.regs[EDX], 4u);
+}
+
+TEST(Interp, IncPreservesCarry)
+{
+    Assembler as(0x1000);
+    as.stc();
+    as.movRI(EAX, 7);
+    as.inc(EAX);
+    as.hlt();
+    Machine m(as);
+    m.run();
+    EXPECT_EQ(m.cpu.regs[EAX], 8u);
+    EXPECT_TRUE(m.cpu.flag(FLAG_CF));
+}
+
+TEST(Interp, HighByteRegisters)
+{
+    Assembler as(0x1000);
+    as.movRI(EAX, 0x11223344);
+    // mov ah, 0x99  (b4 99)
+    as.db(0xb4);
+    as.db(0x99);
+    // add al, ah  (00 e0)
+    as.db(0x00);
+    as.db(0xe0);
+    as.hlt();
+    Machine m(as);
+    m.run();
+    // AL = 0x44 + 0x99 = 0xdd; AH = 0x99.
+    EXPECT_EQ(m.cpu.regs[EAX], 0x112299ddu);
+}
+
+TEST(Interp, SixteenBitPreservesUpper)
+{
+    Assembler as(0x1000);
+    as.movRI(EAX, 0xaaaa0001);
+    as.movRI(ECX, 0x5555ffff);
+    as.db(0x66); // add ax, cx
+    as.aluRR(Op::Add, EAX, ECX);
+    as.hlt();
+    Machine m(as);
+    m.run();
+    EXPECT_EQ(m.cpu.regs[EAX], 0xaaaa0000u);
+    EXPECT_TRUE(m.cpu.flag(FLAG_CF));
+    EXPECT_TRUE(m.cpu.flag(FLAG_ZF));
+}
+
+TEST(Interp, PushPopCallRet)
+{
+    Assembler as(0x1000);
+    auto fn = as.newLabel();
+    auto over = as.newLabel();
+    as.movRI(EAX, 1);
+    as.call(fn);
+    as.aluRI(Op::Add, EAX, 100);
+    as.jmp(over);
+    as.bind(fn);
+    as.push(EAX);
+    as.movRI(EAX, 42);
+    as.pop(EDX); // EDX = 1
+    as.ret();
+    as.bind(over);
+    as.hlt();
+    Machine m(as);
+    EXPECT_EQ(m.run(), Exit::Halted);
+    EXPECT_EQ(m.cpu.regs[EAX], 142u);
+    EXPECT_EQ(m.cpu.regs[EDX], 1u);
+    EXPECT_EQ(m.cpu.regs[ESP], 0x7fff0000u); // balanced
+}
+
+TEST(Interp, MulWideAndDiv)
+{
+    Assembler as(0x1000);
+    as.movRI(EAX, 0x10000);
+    as.movRI(ECX, 0x10000);
+    as.mulA(ECX); // EDX:EAX = 0x1_0000_0000
+    as.hlt();
+    Machine m(as);
+    m.run();
+    EXPECT_EQ(m.cpu.regs[EAX], 0u);
+    EXPECT_EQ(m.cpu.regs[EDX], 1u);
+    EXPECT_TRUE(m.cpu.flag(FLAG_CF));
+    EXPECT_TRUE(m.cpu.flag(FLAG_OF));
+
+    Assembler as2(0x1000);
+    as2.movRI(EDX, 0);
+    as2.movRI(EAX, 100);
+    as2.movRI(ECX, 7);
+    as2.divA(ECX);
+    as2.hlt();
+    Machine m2(as2);
+    m2.run();
+    EXPECT_EQ(m2.cpu.regs[EAX], 14u);
+    EXPECT_EQ(m2.cpu.regs[EDX], 2u);
+}
+
+TEST(Interp, DivideByZeroTraps)
+{
+    Assembler as(0x1000);
+    as.movRI(ECX, 0);
+    as.divA(ECX);
+    as.hlt();
+    Machine m(as);
+    EXPECT_EQ(m.run(), Exit::Trap);
+}
+
+TEST(Interp, IdivOverflowTraps)
+{
+    Assembler as(0x1000);
+    as.movRI(EAX, 0x80000000); // EDX:EAX = INT_MIN (sign-extended)
+    as.movRI(EDX, 0xffffffff);
+    as.movRI(ECX, 0xffffffff); // -1
+    as.idivA(ECX);             // INT_MIN / -1 overflows
+    as.hlt();
+    Machine m(as);
+    EXPECT_EQ(m.run(), Exit::Trap);
+}
+
+TEST(Interp, ShiftFlagSemantics)
+{
+    Assembler as(0x1000);
+    as.movRI(EAX, 0x80000001);
+    as.shiftRI(Op::Shl, EAX, 1); // CF = old MSB
+    as.hlt();
+    Machine m(as);
+    m.run();
+    EXPECT_EQ(m.cpu.regs[EAX], 2u);
+    EXPECT_TRUE(m.cpu.flag(FLAG_CF));
+
+    Assembler as2(0x1000);
+    as2.movRI(EAX, 0xf0000000);
+    as2.shiftRI(Op::Sar, EAX, 4);
+    as2.hlt();
+    Machine m2(as2);
+    m2.run();
+    EXPECT_EQ(m2.cpu.regs[EAX], 0xff000000u);
+
+    // Shift by zero leaves flags untouched.
+    Assembler as3(0x1000);
+    as3.stc();
+    as3.movRI(ECX, 0); // CL = 0
+    as3.movRI(EAX, 5);
+    as3.shiftRCl(Op::Shl, EAX);
+    as3.hlt();
+    Machine m3(as3);
+    m3.run();
+    EXPECT_EQ(m3.cpu.regs[EAX], 5u);
+    EXPECT_TRUE(m3.cpu.flag(FLAG_CF));
+}
+
+TEST(Interp, CondBranchMatrix)
+{
+    // For each cc, set flags via cmp and verify the branch agrees with
+    // condTrue.
+    struct Case
+    {
+        u32 a, b;
+    };
+    const Case cases[] = {{5, 5}, {3, 5}, {5, 3}, {0x80000000, 1},
+                          {1, 0x80000000}, {0, 0}};
+    for (const Case &c : cases) {
+        for (unsigned cc = 0; cc < 16; ++cc) {
+            Assembler as(0x1000);
+            auto yes = as.newLabel();
+            as.movRI(EAX, c.a);
+            as.aluRI(Op::Cmp, EAX, static_cast<i32>(c.b));
+            as.jcc(static_cast<Cond>(cc), yes);
+            as.movRI(EDX, 0);
+            as.hlt();
+            as.bind(yes);
+            as.movRI(EDX, 1);
+            as.hlt();
+            Machine m(as);
+            m.run();
+
+            CpuState ref;
+            u32 junk;
+            ref.eflags = flags::sub(c.a, c.b, 0, 4, junk);
+            bool expect = condTrue(static_cast<Cond>(cc), ref.eflags);
+            EXPECT_EQ(m.cpu.regs[EDX], expect ? 1u : 0u)
+                << "cc=" << cc << " a=" << c.a << " b=" << c.b;
+        }
+    }
+}
+
+TEST(Interp, XchgAndLea)
+{
+    Assembler as(0x1000);
+    as.movRI(EAX, 1);
+    as.movRI(EDX, 2);
+    as.xchg(EAX, EDX);
+    as.lea(ECX, MemRef{EAX, EDX, 4, 10}); // 2 + 1*4 + 10
+    as.hlt();
+    Machine m(as);
+    m.run();
+    EXPECT_EQ(m.cpu.regs[EAX], 2u);
+    EXPECT_EQ(m.cpu.regs[EDX], 1u);
+    EXPECT_EQ(m.cpu.regs[ECX], 16u);
+}
+
+TEST(Interp, DecodeFaultReported)
+{
+    Assembler as(0x1000);
+    as.db(0x0f);
+    as.db(0x0b); // UD2
+    Machine m(as);
+    EXPECT_EQ(m.run(), Exit::DecodeFault);
+}
+
+} // namespace
+} // namespace cdvm::x86

@@ -1,0 +1,114 @@
+/** @file Cache model tests: geometry, LRU, hierarchy latencies. */
+
+#include <gtest/gtest.h>
+
+#include "memsys/hierarchy.hh"
+
+namespace cdvm::memsys
+{
+namespace
+{
+
+TEST(Cache, HitAfterMiss)
+{
+    Cache c(CacheParams{"t", 1024, 2, 64, 1});
+    EXPECT_FALSE(c.access(0x1000));
+    EXPECT_TRUE(c.access(0x1000));
+    EXPECT_TRUE(c.access(0x103f)); // same line
+    EXPECT_FALSE(c.access(0x1040)); // next line
+    EXPECT_EQ(c.hits(), 2u);
+    EXPECT_EQ(c.misses(), 2u);
+}
+
+TEST(Cache, LruEviction)
+{
+    // 2-way, 64B lines, 2 sets (256B total).
+    Cache c(CacheParams{"t", 256, 2, 64, 1});
+    // Three lines mapping to set 0: 0x0, 0x80, 0x100.
+    c.access(0x000);
+    c.access(0x080);
+    EXPECT_TRUE(c.access(0x000));  // refresh 0x0; LRU is now 0x80
+    c.access(0x100);               // evicts 0x80
+    EXPECT_TRUE(c.probe(0x000));
+    EXPECT_FALSE(c.probe(0x080));
+    EXPECT_TRUE(c.probe(0x100));
+}
+
+TEST(Cache, ProbeDoesNotDisturb)
+{
+    Cache c(CacheParams{"t", 256, 2, 64, 1});
+    c.access(0x000);
+    c.access(0x080);
+    // Probing 0x0 must not refresh it for LRU purposes.
+    for (int i = 0; i < 10; ++i)
+        EXPECT_TRUE(c.probe(0x000));
+    c.access(0x100); // evicts LRU = 0x000
+    EXPECT_FALSE(c.probe(0x000));
+}
+
+TEST(Cache, FlushAndInvalidate)
+{
+    Cache c(CacheParams{"t", 1024, 2, 64, 1});
+    c.access(0x0);
+    c.access(0x40);
+    c.invalidate(0x0);
+    EXPECT_FALSE(c.probe(0x0));
+    EXPECT_TRUE(c.probe(0x40));
+    c.flush();
+    EXPECT_FALSE(c.probe(0x40));
+}
+
+TEST(Cache, SetIndexingIsolation)
+{
+    Cache c(CacheParams{"t", 64 * 1024, 2, 64, 2});
+    EXPECT_EQ(c.numSets(), 512u);
+    // Fill many distinct sets; all should still hit.
+    for (Addr a = 0; a < 512 * 64; a += 64)
+        c.access(a);
+    for (Addr a = 0; a < 512 * 64; a += 64)
+        EXPECT_TRUE(c.probe(a)) << a;
+}
+
+TEST(Hierarchy, LatenciesPerLevel)
+{
+    Hierarchy h; // Table 2 defaults
+    // Cold: memory latency.
+    EXPECT_EQ(h.access(0x1000, Side::Fetch), 168u);
+    // Now L1I hit.
+    EXPECT_EQ(h.access(0x1000, Side::Fetch), 2u);
+    // Data side: the same line is in L2 (filled on the fetch miss).
+    EXPECT_EQ(h.access(0x1000, Side::Data), 12u);
+    // And now L1D hit.
+    EXPECT_EQ(h.access(0x1000, Side::Data), 3u);
+}
+
+TEST(Hierarchy, SplitL1)
+{
+    Hierarchy h;
+    h.access(0x2000, Side::Data); // fills L1D + L2
+    // Fetch of the same line misses L1I but hits L2.
+    EXPECT_EQ(h.access(0x2000, Side::Fetch), 12u);
+}
+
+TEST(Hierarchy, AccessRangeCountsLines)
+{
+    Hierarchy h;
+    // 3 lines cold: 3 * 168.
+    EXPECT_EQ(h.accessRange(0x3000, 192, Side::Fetch), 3u * 168u);
+    // Same range again: 3 L1 hits.
+    EXPECT_EQ(h.accessRange(0x3000, 192, Side::Fetch), 3u * 2u);
+    // Unaligned range spanning two lines.
+    EXPECT_EQ(h.accessRange(0x4030, 40, Side::Fetch), 2u * 168u);
+    EXPECT_EQ(h.accessRange(0x5000, 0, Side::Fetch), 0u);
+}
+
+TEST(Hierarchy, FlushAllRestoresColdStart)
+{
+    Hierarchy h;
+    h.access(0x1000, Side::Fetch);
+    h.flushAll();
+    EXPECT_EQ(h.access(0x1000, Side::Fetch), 168u);
+}
+
+} // namespace
+} // namespace cdvm::memsys

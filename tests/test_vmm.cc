@@ -1,0 +1,199 @@
+/**
+ * @file
+ * VMM runtime tests beyond the differential suite: precise-state
+ * recovery through faults in translated code, staged-transition
+ * behaviour, chaining, and the analytical model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/model.hh"
+#include "helpers.hh"
+#include "x86/asm.hh"
+
+namespace cdvm
+{
+namespace
+{
+
+using namespace cdvm::x86;
+
+TEST(Model, Eq2PaperNumbers)
+{
+    EXPECT_NEAR(analysis::paperHotThreshold(), 8000.0, 1e-6);
+    EXPECT_NEAR(analysis::hotThreshold(1152.0, 1.15), 7680.0, 1.0);
+    EXPECT_NEAR(analysis::hotThreshold(1200.0, 1.20), 6000.0, 1.0);
+}
+
+TEST(Model, Eq1PaperNumbers)
+{
+    analysis::Eq1Breakdown e = analysis::paperEq1();
+    EXPECT_NEAR(e.bbtComponent, 15.75e6, 1e3);
+    EXPECT_NEAR(e.sbtComponent, 5.022e6, 1e3);
+    EXPECT_GT(e.bbtComponent, e.sbtComponent * 3.0);
+}
+
+TEST(Vmm, PreciseStateOnDivideFault)
+{
+    // A block whose middle instruction faults: the VM must recover the
+    // exact architected state the interpreter produces.
+    Assembler as(0x1000);
+    as.movRI(EAX, 100);
+    as.movRI(EDX, 0);
+    as.movRI(EBX, 7);          // some state before the fault
+    as.aluRI(Op::Add, EBX, 1);
+    as.movRI(ECX, 0);
+    as.divA(ECX);              // #DE
+    as.movRI(ESI, 0x999);      // must NOT execute
+    as.hlt();
+
+    workload::Program prog;
+    {
+        Assembler as2(0x1000);
+        as2.movRI(EAX, 100);
+        as2.movRI(EDX, 0);
+        as2.movRI(EBX, 7);
+        as2.aluRI(Op::Add, EBX, 1);
+        as2.movRI(ECX, 0);
+        as2.divA(ECX);
+        as2.movRI(ESI, 0x999);
+        as2.hlt();
+        prog = test::snippetProgram(as2);
+    }
+
+    x86::Memory ref_mem;
+    test::RunResult ref = test::runInterp(prog, ref_mem);
+    ASSERT_EQ(static_cast<int>(ref.exit),
+              static_cast<int>(Exit::Trap));
+
+    vmm::VmmConfig cfg;
+    x86::Memory mem;
+    vmm::VmmStats stats;
+    test::RunResult got = test::runVmm(prog, mem, cfg, &stats);
+    EXPECT_EQ(static_cast<int>(got.exit), static_cast<int>(Exit::Trap));
+    EXPECT_EQ(got.cpu.eip, ref.cpu.eip); // points at the div
+    for (unsigned r = 0; r < NUM_REGS; ++r)
+        EXPECT_EQ(got.cpu.regs[r], ref.cpu.regs[r]) << r;
+    EXPECT_GT(stats.preciseStateRecoveries, 0u);
+}
+
+TEST(Vmm, Int3PreciseState)
+{
+    Assembler as(0x1000);
+    as.movRI(EAX, 42);
+    as.int3();
+    as.hlt();
+    workload::Program prog = test::snippetProgram(as);
+
+    x86::Memory mem;
+    vmm::VmmStats stats;
+    test::RunResult got = test::runVmm(prog, mem, vmm::VmmConfig{},
+                                       &stats);
+    EXPECT_EQ(static_cast<int>(got.exit), static_cast<int>(Exit::Trap));
+    EXPECT_EQ(got.cpu.regs[EAX], 42u);
+}
+
+TEST(Vmm, StagedTransitionCounts)
+{
+    // A two-phase program: phase 1 loops block A hot; phase 2 touches
+    // fresh code. Verifies the staged pipeline acted as configured.
+    Assembler as(0x1000);
+    auto loop = as.newLabel();
+    as.movRI(ECX, 3000);
+    as.bind(loop);
+    as.aluRI(Op::Add, EAX, 1);
+    as.aluRI(Op::Xor, EDX, 3);
+    as.dec(ECX);
+    as.jcc(Cond::NE, loop);
+    for (int i = 0; i < 50; ++i)
+        as.aluRI(Op::Add, ESI, i); // cold tail, BBT only
+    as.hlt();
+    workload::Program prog = test::snippetProgram(as);
+
+    vmm::VmmConfig cfg;
+    cfg.hotThreshold = 500;
+    x86::Memory mem;
+    vmm::VmmStats st;
+    test::RunResult r = test::runVmm(prog, mem, cfg, &st);
+    ASSERT_EQ(static_cast<int>(r.exit), static_cast<int>(Exit::Halted));
+
+    EXPECT_GT(st.bbtTranslations, 0u);
+    EXPECT_EQ(st.sbtTranslations, 1u); // exactly the hot loop
+    EXPECT_GT(st.insnsSbtCode, st.insnsBbtCode);
+    EXPECT_GT(st.chainFollows, st.dispatches); // loop chains to itself
+    EXPECT_EQ(st.insnsInterp, 0u);
+    EXPECT_EQ(st.insnsX86Mode, 0u);
+}
+
+TEST(Vmm, NoSbtBelowThreshold)
+{
+    Assembler as(0x1000);
+    auto loop = as.newLabel();
+    as.movRI(ECX, 50); // well below the threshold
+    as.bind(loop);
+    as.aluRI(Op::Add, EAX, 1);
+    as.dec(ECX);
+    as.jcc(Cond::NE, loop);
+    as.hlt();
+    workload::Program prog = test::snippetProgram(as);
+
+    vmm::VmmConfig cfg;
+    cfg.hotThreshold = 8000;
+    x86::Memory mem;
+    vmm::VmmStats st;
+    test::runVmm(prog, mem, cfg, &st);
+    EXPECT_EQ(st.sbtTranslations, 0u);
+    EXPECT_EQ(st.hotspotDetections, 0u);
+}
+
+TEST(Vmm, X86ModeUsesBbbAndNoBbt)
+{
+    Assembler as(0x1000);
+    auto loop = as.newLabel();
+    as.movRI(ECX, 2000);
+    as.bind(loop);
+    as.aluRI(Op::Add, EAX, 1);
+    as.dec(ECX);
+    as.jcc(Cond::NE, loop);
+    as.hlt();
+    workload::Program prog = test::snippetProgram(as);
+
+    vmm::VmmConfig cfg;
+    cfg.cold = vmm::ColdStrategy::X86Mode;
+    cfg.useBbb = true;
+    cfg.bbbParams.hotThreshold = 300;
+    x86::Memory mem;
+    vmm::VmmStats st;
+    test::RunResult r = test::runVmm(prog, mem, cfg, &st);
+    ASSERT_EQ(static_cast<int>(r.exit), static_cast<int>(Exit::Halted));
+    EXPECT_EQ(st.bbtTranslations, 0u);
+    EXPECT_GT(st.insnsX86Mode, 0u);
+    EXPECT_GT(st.sbtTranslations, 0u); // BBB found the loop
+    EXPECT_GT(st.insnsSbtCode, 0u);
+}
+
+TEST(Vmm, BudgetOvershootIsBounded)
+{
+    Assembler as(0x1000);
+    auto loop = as.newLabel();
+    as.movRI(ECX, 100000);
+    as.bind(loop);
+    as.dec(ECX);
+    as.jcc(Cond::NE, loop);
+    as.hlt();
+    workload::Program prog = test::snippetProgram(as);
+
+    x86::Memory mem;
+    prog.loadInto(mem);
+    x86::CpuState cpu = prog.initialState();
+    vmm::Vmm vm(mem, vmm::VmmConfig{});
+    x86::Exit e = vm.run(cpu, 1000);
+    EXPECT_EQ(static_cast<int>(e), static_cast<int>(Exit::None));
+    // Translations complete atomically: overshoot stays within one
+    // region (64 insns max by default).
+    EXPECT_GE(vm.stats().totalRetired(), 1000u);
+    EXPECT_LE(vm.stats().totalRetired(), 1000u + 200u);
+}
+
+} // namespace
+} // namespace cdvm
