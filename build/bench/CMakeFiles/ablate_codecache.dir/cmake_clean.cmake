@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_codecache.dir/ablate_codecache.cc.o"
+  "CMakeFiles/ablate_codecache.dir/ablate_codecache.cc.o.d"
+  "ablate_codecache"
+  "ablate_codecache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_codecache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

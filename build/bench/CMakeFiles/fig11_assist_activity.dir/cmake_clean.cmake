@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_assist_activity.dir/fig11_assist_activity.cc.o"
+  "CMakeFiles/fig11_assist_activity.dir/fig11_assist_activity.cc.o.d"
+  "fig11_assist_activity"
+  "fig11_assist_activity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_assist_activity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

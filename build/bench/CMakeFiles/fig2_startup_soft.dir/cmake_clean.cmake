@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_startup_soft.dir/fig2_startup_soft.cc.o"
+  "CMakeFiles/fig2_startup_soft.dir/fig2_startup_soft.cc.o.d"
+  "fig2_startup_soft"
+  "fig2_startup_soft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_startup_soft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

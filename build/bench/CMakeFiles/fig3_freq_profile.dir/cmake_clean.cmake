@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_freq_profile.dir/fig3_freq_profile.cc.o"
+  "CMakeFiles/fig3_freq_profile.dir/fig3_freq_profile.cc.o.d"
+  "fig3_freq_profile"
+  "fig3_freq_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_freq_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

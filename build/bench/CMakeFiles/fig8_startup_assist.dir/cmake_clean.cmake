@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_startup_assist.dir/fig8_startup_assist.cc.o"
+  "CMakeFiles/fig8_startup_assist.dir/fig8_startup_assist.cc.o.d"
+  "fig8_startup_assist"
+  "fig8_startup_assist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_startup_assist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_breakeven.dir/fig9_breakeven.cc.o"
+  "CMakeFiles/fig9_breakeven.dir/fig9_breakeven.cc.o.d"
+  "fig9_breakeven"
+  "fig9_breakeven.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_breakeven.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_translators.dir/micro_translators.cc.o"
+  "CMakeFiles/micro_translators.dir/micro_translators.cc.o.d"
+  "micro_translators"
+  "micro_translators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_translators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

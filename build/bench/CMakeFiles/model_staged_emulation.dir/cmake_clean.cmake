@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_staged_emulation.dir/model_staged_emulation.cc.o"
+  "CMakeFiles/model_staged_emulation.dir/model_staged_emulation.cc.o.d"
+  "model_staged_emulation"
+  "model_staged_emulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_staged_emulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

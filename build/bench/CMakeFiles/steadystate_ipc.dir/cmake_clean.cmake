@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/steadystate_ipc.dir/steadystate_ipc.cc.o"
+  "CMakeFiles/steadystate_ipc.dir/steadystate_ipc.cc.o.d"
+  "steadystate_ipc"
+  "steadystate_ipc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/steadystate_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

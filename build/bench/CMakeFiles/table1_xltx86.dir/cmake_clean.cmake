@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_xltx86.dir/table1_xltx86.cc.o"
+  "CMakeFiles/table1_xltx86.dir/table1_xltx86.cc.o.d"
+  "table1_xltx86"
+  "table1_xltx86.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_xltx86.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/startup_race.dir/startup_race.cpp.o"
+  "CMakeFiles/startup_race.dir/startup_race.cpp.o.d"
+  "startup_race"
+  "startup_race.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/startup_race.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

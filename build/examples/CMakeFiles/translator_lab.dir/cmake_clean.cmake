@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/translator_lab.dir/translator_lab.cpp.o"
+  "CMakeFiles/translator_lab.dir/translator_lab.cpp.o.d"
+  "translator_lab"
+  "translator_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/translator_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

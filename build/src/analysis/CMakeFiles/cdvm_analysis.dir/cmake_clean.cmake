@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdvm_analysis.dir/freq_profile.cc.o"
+  "CMakeFiles/cdvm_analysis.dir/freq_profile.cc.o.d"
+  "CMakeFiles/cdvm_analysis.dir/startup_curve.cc.o"
+  "CMakeFiles/cdvm_analysis.dir/startup_curve.cc.o.d"
+  "libcdvm_analysis.a"
+  "libcdvm_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdvm_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdvm_common.dir/cli.cc.o"
+  "CMakeFiles/cdvm_common.dir/cli.cc.o.d"
+  "CMakeFiles/cdvm_common.dir/logging.cc.o"
+  "CMakeFiles/cdvm_common.dir/logging.cc.o.d"
+  "CMakeFiles/cdvm_common.dir/random.cc.o"
+  "CMakeFiles/cdvm_common.dir/random.cc.o.d"
+  "CMakeFiles/cdvm_common.dir/stats.cc.o"
+  "CMakeFiles/cdvm_common.dir/stats.cc.o.d"
+  "CMakeFiles/cdvm_common.dir/table.cc.o"
+  "CMakeFiles/cdvm_common.dir/table.cc.o.d"
+  "libcdvm_common.a"
+  "libcdvm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdvm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

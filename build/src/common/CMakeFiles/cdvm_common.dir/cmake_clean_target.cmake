@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcdvm_common.a"
+)

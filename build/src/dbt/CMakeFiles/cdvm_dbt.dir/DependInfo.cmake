@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dbt/bbt.cc" "src/dbt/CMakeFiles/cdvm_dbt.dir/bbt.cc.o" "gcc" "src/dbt/CMakeFiles/cdvm_dbt.dir/bbt.cc.o.d"
+  "/root/repo/src/dbt/codecache.cc" "src/dbt/CMakeFiles/cdvm_dbt.dir/codecache.cc.o" "gcc" "src/dbt/CMakeFiles/cdvm_dbt.dir/codecache.cc.o.d"
+  "/root/repo/src/dbt/lookup.cc" "src/dbt/CMakeFiles/cdvm_dbt.dir/lookup.cc.o" "gcc" "src/dbt/CMakeFiles/cdvm_dbt.dir/lookup.cc.o.d"
+  "/root/repo/src/dbt/optimize.cc" "src/dbt/CMakeFiles/cdvm_dbt.dir/optimize.cc.o" "gcc" "src/dbt/CMakeFiles/cdvm_dbt.dir/optimize.cc.o.d"
+  "/root/repo/src/dbt/sbt.cc" "src/dbt/CMakeFiles/cdvm_dbt.dir/sbt.cc.o" "gcc" "src/dbt/CMakeFiles/cdvm_dbt.dir/sbt.cc.o.d"
+  "/root/repo/src/dbt/superblock.cc" "src/dbt/CMakeFiles/cdvm_dbt.dir/superblock.cc.o" "gcc" "src/dbt/CMakeFiles/cdvm_dbt.dir/superblock.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/uops/CMakeFiles/cdvm_uops.dir/DependInfo.cmake"
+  "/root/repo/build/src/x86/CMakeFiles/cdvm_x86.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cdvm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

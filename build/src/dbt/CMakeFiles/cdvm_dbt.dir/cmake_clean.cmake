@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdvm_dbt.dir/bbt.cc.o"
+  "CMakeFiles/cdvm_dbt.dir/bbt.cc.o.d"
+  "CMakeFiles/cdvm_dbt.dir/codecache.cc.o"
+  "CMakeFiles/cdvm_dbt.dir/codecache.cc.o.d"
+  "CMakeFiles/cdvm_dbt.dir/lookup.cc.o"
+  "CMakeFiles/cdvm_dbt.dir/lookup.cc.o.d"
+  "CMakeFiles/cdvm_dbt.dir/optimize.cc.o"
+  "CMakeFiles/cdvm_dbt.dir/optimize.cc.o.d"
+  "CMakeFiles/cdvm_dbt.dir/sbt.cc.o"
+  "CMakeFiles/cdvm_dbt.dir/sbt.cc.o.d"
+  "CMakeFiles/cdvm_dbt.dir/superblock.cc.o"
+  "CMakeFiles/cdvm_dbt.dir/superblock.cc.o.d"
+  "libcdvm_dbt.a"
+  "libcdvm_dbt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdvm_dbt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

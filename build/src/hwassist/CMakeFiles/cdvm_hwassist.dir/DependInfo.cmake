@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hwassist/bbb.cc" "src/hwassist/CMakeFiles/cdvm_hwassist.dir/bbb.cc.o" "gcc" "src/hwassist/CMakeFiles/cdvm_hwassist.dir/bbb.cc.o.d"
+  "/root/repo/src/hwassist/dualmode.cc" "src/hwassist/CMakeFiles/cdvm_hwassist.dir/dualmode.cc.o" "gcc" "src/hwassist/CMakeFiles/cdvm_hwassist.dir/dualmode.cc.o.d"
+  "/root/repo/src/hwassist/haloop.cc" "src/hwassist/CMakeFiles/cdvm_hwassist.dir/haloop.cc.o" "gcc" "src/hwassist/CMakeFiles/cdvm_hwassist.dir/haloop.cc.o.d"
+  "/root/repo/src/hwassist/xlt.cc" "src/hwassist/CMakeFiles/cdvm_hwassist.dir/xlt.cc.o" "gcc" "src/hwassist/CMakeFiles/cdvm_hwassist.dir/xlt.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/uops/CMakeFiles/cdvm_uops.dir/DependInfo.cmake"
+  "/root/repo/build/src/x86/CMakeFiles/cdvm_x86.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cdvm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdvm_hwassist.dir/bbb.cc.o"
+  "CMakeFiles/cdvm_hwassist.dir/bbb.cc.o.d"
+  "CMakeFiles/cdvm_hwassist.dir/dualmode.cc.o"
+  "CMakeFiles/cdvm_hwassist.dir/dualmode.cc.o.d"
+  "CMakeFiles/cdvm_hwassist.dir/haloop.cc.o"
+  "CMakeFiles/cdvm_hwassist.dir/haloop.cc.o.d"
+  "CMakeFiles/cdvm_hwassist.dir/xlt.cc.o"
+  "CMakeFiles/cdvm_hwassist.dir/xlt.cc.o.d"
+  "libcdvm_hwassist.a"
+  "libcdvm_hwassist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdvm_hwassist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdvm_memsys.dir/cache.cc.o"
+  "CMakeFiles/cdvm_memsys.dir/cache.cc.o.d"
+  "CMakeFiles/cdvm_memsys.dir/hierarchy.cc.o"
+  "CMakeFiles/cdvm_memsys.dir/hierarchy.cc.o.d"
+  "libcdvm_memsys.a"
+  "libcdvm_memsys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdvm_memsys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdvm_timing.dir/machine_config.cc.o"
+  "CMakeFiles/cdvm_timing.dir/machine_config.cc.o.d"
+  "CMakeFiles/cdvm_timing.dir/pipeline.cc.o"
+  "CMakeFiles/cdvm_timing.dir/pipeline.cc.o.d"
+  "CMakeFiles/cdvm_timing.dir/startup_sim.cc.o"
+  "CMakeFiles/cdvm_timing.dir/startup_sim.cc.o.d"
+  "libcdvm_timing.a"
+  "libcdvm_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdvm_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

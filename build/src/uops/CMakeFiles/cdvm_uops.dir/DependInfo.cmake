@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/uops/crack.cc" "src/uops/CMakeFiles/cdvm_uops.dir/crack.cc.o" "gcc" "src/uops/CMakeFiles/cdvm_uops.dir/crack.cc.o.d"
+  "/root/repo/src/uops/encoding.cc" "src/uops/CMakeFiles/cdvm_uops.dir/encoding.cc.o" "gcc" "src/uops/CMakeFiles/cdvm_uops.dir/encoding.cc.o.d"
+  "/root/repo/src/uops/exec.cc" "src/uops/CMakeFiles/cdvm_uops.dir/exec.cc.o" "gcc" "src/uops/CMakeFiles/cdvm_uops.dir/exec.cc.o.d"
+  "/root/repo/src/uops/fusion.cc" "src/uops/CMakeFiles/cdvm_uops.dir/fusion.cc.o" "gcc" "src/uops/CMakeFiles/cdvm_uops.dir/fusion.cc.o.d"
+  "/root/repo/src/uops/uop.cc" "src/uops/CMakeFiles/cdvm_uops.dir/uop.cc.o" "gcc" "src/uops/CMakeFiles/cdvm_uops.dir/uop.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/x86/CMakeFiles/cdvm_x86.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cdvm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdvm_uops.dir/crack.cc.o"
+  "CMakeFiles/cdvm_uops.dir/crack.cc.o.d"
+  "CMakeFiles/cdvm_uops.dir/encoding.cc.o"
+  "CMakeFiles/cdvm_uops.dir/encoding.cc.o.d"
+  "CMakeFiles/cdvm_uops.dir/exec.cc.o"
+  "CMakeFiles/cdvm_uops.dir/exec.cc.o.d"
+  "CMakeFiles/cdvm_uops.dir/fusion.cc.o"
+  "CMakeFiles/cdvm_uops.dir/fusion.cc.o.d"
+  "CMakeFiles/cdvm_uops.dir/uop.cc.o"
+  "CMakeFiles/cdvm_uops.dir/uop.cc.o.d"
+  "libcdvm_uops.a"
+  "libcdvm_uops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdvm_uops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

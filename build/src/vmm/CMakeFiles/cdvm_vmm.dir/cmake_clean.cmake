@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdvm_vmm.dir/vmm.cc.o"
+  "CMakeFiles/cdvm_vmm.dir/vmm.cc.o.d"
+  "libcdvm_vmm.a"
+  "libcdvm_vmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdvm_vmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

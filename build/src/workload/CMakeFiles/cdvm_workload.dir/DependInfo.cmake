@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/program_gen.cc" "src/workload/CMakeFiles/cdvm_workload.dir/program_gen.cc.o" "gcc" "src/workload/CMakeFiles/cdvm_workload.dir/program_gen.cc.o.d"
+  "/root/repo/src/workload/trace_gen.cc" "src/workload/CMakeFiles/cdvm_workload.dir/trace_gen.cc.o" "gcc" "src/workload/CMakeFiles/cdvm_workload.dir/trace_gen.cc.o.d"
+  "/root/repo/src/workload/winstone.cc" "src/workload/CMakeFiles/cdvm_workload.dir/winstone.cc.o" "gcc" "src/workload/CMakeFiles/cdvm_workload.dir/winstone.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/x86/CMakeFiles/cdvm_x86.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cdvm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

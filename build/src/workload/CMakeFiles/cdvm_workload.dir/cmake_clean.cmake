@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdvm_workload.dir/program_gen.cc.o"
+  "CMakeFiles/cdvm_workload.dir/program_gen.cc.o.d"
+  "CMakeFiles/cdvm_workload.dir/trace_gen.cc.o"
+  "CMakeFiles/cdvm_workload.dir/trace_gen.cc.o.d"
+  "CMakeFiles/cdvm_workload.dir/winstone.cc.o"
+  "CMakeFiles/cdvm_workload.dir/winstone.cc.o.d"
+  "libcdvm_workload.a"
+  "libcdvm_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdvm_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

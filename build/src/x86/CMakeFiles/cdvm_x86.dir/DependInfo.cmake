@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/x86/asm.cc" "src/x86/CMakeFiles/cdvm_x86.dir/asm.cc.o" "gcc" "src/x86/CMakeFiles/cdvm_x86.dir/asm.cc.o.d"
+  "/root/repo/src/x86/decoder.cc" "src/x86/CMakeFiles/cdvm_x86.dir/decoder.cc.o" "gcc" "src/x86/CMakeFiles/cdvm_x86.dir/decoder.cc.o.d"
+  "/root/repo/src/x86/insn.cc" "src/x86/CMakeFiles/cdvm_x86.dir/insn.cc.o" "gcc" "src/x86/CMakeFiles/cdvm_x86.dir/insn.cc.o.d"
+  "/root/repo/src/x86/interp.cc" "src/x86/CMakeFiles/cdvm_x86.dir/interp.cc.o" "gcc" "src/x86/CMakeFiles/cdvm_x86.dir/interp.cc.o.d"
+  "/root/repo/src/x86/memory.cc" "src/x86/CMakeFiles/cdvm_x86.dir/memory.cc.o" "gcc" "src/x86/CMakeFiles/cdvm_x86.dir/memory.cc.o.d"
+  "/root/repo/src/x86/regs.cc" "src/x86/CMakeFiles/cdvm_x86.dir/regs.cc.o" "gcc" "src/x86/CMakeFiles/cdvm_x86.dir/regs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cdvm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

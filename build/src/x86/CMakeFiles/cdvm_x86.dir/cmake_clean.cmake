@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdvm_x86.dir/asm.cc.o"
+  "CMakeFiles/cdvm_x86.dir/asm.cc.o.d"
+  "CMakeFiles/cdvm_x86.dir/decoder.cc.o"
+  "CMakeFiles/cdvm_x86.dir/decoder.cc.o.d"
+  "CMakeFiles/cdvm_x86.dir/insn.cc.o"
+  "CMakeFiles/cdvm_x86.dir/insn.cc.o.d"
+  "CMakeFiles/cdvm_x86.dir/interp.cc.o"
+  "CMakeFiles/cdvm_x86.dir/interp.cc.o.d"
+  "CMakeFiles/cdvm_x86.dir/memory.cc.o"
+  "CMakeFiles/cdvm_x86.dir/memory.cc.o.d"
+  "CMakeFiles/cdvm_x86.dir/regs.cc.o"
+  "CMakeFiles/cdvm_x86.dir/regs.cc.o.d"
+  "libcdvm_x86.a"
+  "libcdvm_x86.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdvm_x86.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcdvm_x86.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crack_exec.dir/test_crack_exec.cc.o"
+  "CMakeFiles/test_crack_exec.dir/test_crack_exec.cc.o.d"
+  "test_crack_exec"
+  "test_crack_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crack_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

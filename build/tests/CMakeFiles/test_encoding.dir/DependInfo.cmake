@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_encoding.cc" "tests/CMakeFiles/test_encoding.dir/test_encoding.cc.o" "gcc" "tests/CMakeFiles/test_encoding.dir/test_encoding.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/cdvm_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/cdvm_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmm/CMakeFiles/cdvm_vmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/cdvm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsys/CMakeFiles/cdvm_memsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbt/CMakeFiles/cdvm_dbt.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwassist/CMakeFiles/cdvm_hwassist.dir/DependInfo.cmake"
+  "/root/repo/build/src/uops/CMakeFiles/cdvm_uops.dir/DependInfo.cmake"
+  "/root/repo/build/src/x86/CMakeFiles/cdvm_x86.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cdvm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

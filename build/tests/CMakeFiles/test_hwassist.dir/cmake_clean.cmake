@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hwassist.dir/test_hwassist.cc.o"
+  "CMakeFiles/test_hwassist.dir/test_hwassist.cc.o.d"
+  "test_hwassist"
+  "test_hwassist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hwassist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_asm_roundtrip "/root/repo/build/tests/test_asm_roundtrip")
+set_tests_properties(test_asm_roundtrip PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;26;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_common "/root/repo/build/tests/test_common")
+set_tests_properties(test_common PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;26;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_crack_exec "/root/repo/build/tests/test_crack_exec")
+set_tests_properties(test_crack_exec PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;26;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_dbt "/root/repo/build/tests/test_dbt")
+set_tests_properties(test_dbt PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;26;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_decoder "/root/repo/build/tests/test_decoder")
+set_tests_properties(test_decoder PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;26;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_differential "/root/repo/build/tests/test_differential")
+set_tests_properties(test_differential PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;26;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_encoding "/root/repo/build/tests/test_encoding")
+set_tests_properties(test_encoding PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;26;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_fusion "/root/repo/build/tests/test_fusion")
+set_tests_properties(test_fusion PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;26;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_hwassist "/root/repo/build/tests/test_hwassist")
+set_tests_properties(test_hwassist PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;26;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_interp "/root/repo/build/tests/test_interp")
+set_tests_properties(test_interp PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;26;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_memsys "/root/repo/build/tests/test_memsys")
+set_tests_properties(test_memsys PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;26;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_timing "/root/repo/build/tests/test_timing")
+set_tests_properties(test_timing PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;26;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_vmm "/root/repo/build/tests/test_vmm")
+set_tests_properties(test_vmm PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;26;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_workload "/root/repo/build/tests/test_workload")
+set_tests_properties(test_workload PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;26;add_test;/root/repo/tests/CMakeLists.txt;0;")
