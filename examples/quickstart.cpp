@@ -5,11 +5,22 @@
  * the reference interpreter.
  *
  *   $ ./build/examples/quickstart
+ *
+ * With the observability flags the run also exports the VM-wide stats
+ * registry and a Chrome-trace timeline of the emulation phases:
+ *
+ *   $ ./build/examples/quickstart --stats-json=out.json \
+ *         --trace-out=trace.json
  */
 
 #include <cstdio>
 
+#include "analysis/startup_curve.hh"
+#include "common/cli.hh"
+#include "common/statreg.hh"
+#include "timing/startup_sim.hh"
 #include "vmm/vmm.hh"
+#include "workload/winstone.hh"
 #include "x86/asm.hh"
 #include "x86/interp.hh"
 
@@ -17,8 +28,15 @@ using namespace cdvm;
 using namespace cdvm::x86;
 
 int
-main()
+main(int argc, char **argv)
 {
+    Cli cli("Run a small program under the co-designed VM and the "
+            "reference interpreter, then a startup-transient timing "
+            "simulation; optionally export stats and a phase trace.");
+    addObservabilityFlags(cli);
+    cli.parse(argc, argv);
+    applyObservabilityFlags(cli);
+
     // A tiny program: sum = sum(i*i for i in 1..100), looped enough
     // times that the VM's hotspot optimizer kicks in.
     Assembler as(0x00400000);
@@ -88,6 +106,31 @@ main()
     std::printf("  dispatches / chained:   %llu / %llu\n",
                 static_cast<unsigned long long>(st.dispatches),
                 static_cast<unsigned long long>(st.chainFollows));
+
+    // --- startup-transient timing simulation --------------------------
+    // A short VM.soft run over the suite-average workload, plus the
+    // reference superscalar for the breakeven point: publishes
+    // timing.startup.* (per-stage cycles, milestone ladder) and traces
+    // the cycle-timebase phases on track 1.
+    workload::AppProfile app = workload::winstoneAverage(2'000'000);
+    timing::StartupSim sim(timing::MachineConfig::vmSoft(), app);
+    timing::StartupResult sr = sim.run();
+    timing::StartupSim ref_sim(timing::MachineConfig::refSuperscalar(),
+                               app);
+    timing::StartupResult ref_sr = ref_sim.run();
+    std::printf("\nstartup sim (%s, %s): %llu insns in %llu cycles "
+                "(ref: %llu)\n",
+                sr.machine.c_str(), sr.app.c_str(),
+                static_cast<unsigned long long>(sr.totalInsns),
+                static_cast<unsigned long long>(sr.totalCycles),
+                static_cast<unsigned long long>(ref_sr.totalCycles));
+
+    // --- observability export -----------------------------------------
+    StatRegistry &reg = StatRegistry::global();
+    vm.exportStats(reg);
+    analysis::exportStartupStats(sr, reg, "timing.startup", &ref_sr);
+    analysis::exportStartupStats(ref_sr, reg, "timing.ref_startup");
+    dumpObservability();
 
     bool ok = ref_cpu.regs[EBX] == vm_cpu.regs[EBX] &&
               ref_cpu.eip == vm_cpu.eip;

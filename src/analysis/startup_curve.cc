@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/statreg.hh"
+
 namespace cdvm::analysis
 {
 
@@ -215,6 +217,79 @@ averageDecodeActivity(const std::vector<StartupResult> &runs,
         s.y.push_back(act / static_cast<double>(runs.size()));
     }
     return s;
+}
+
+double
+cyclesToInsns(const StartupResult &r, double n)
+{
+    const std::vector<CurveSample> &s = r.samples;
+    if (s.empty() || n > static_cast<double>(r.totalInsns))
+        return -1.0;
+    if (n <= 0.0)
+        return 0.0;
+    // First sample at or beyond the target, then interpolate within
+    // the bracketing interval (the curve is monotonic in both axes).
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        if (static_cast<double>(s[i].insns) < n)
+            continue;
+        double c1 = static_cast<double>(s[i].cycles);
+        double n1 = static_cast<double>(s[i].insns);
+        double c0 = 0.0, n0 = 0.0;
+        if (i > 0) {
+            c0 = static_cast<double>(s[i - 1].cycles);
+            n0 = static_cast<double>(s[i - 1].insns);
+        }
+        if (n1 <= n0)
+            return c1;
+        return c0 + (c1 - c0) * (n - n0) / (n1 - n0);
+    }
+    return -1.0;
+}
+
+std::vector<StartupMilestone>
+startupMilestones(const StartupResult &r)
+{
+    std::vector<StartupMilestone> out;
+    for (u64 n = 1000; n <= u64{100'000'000}; n *= 10) {
+        StartupMilestone m;
+        m.insns = n;
+        m.cycles = cyclesToInsns(r, static_cast<double>(n));
+        out.push_back(m);
+        // Keep one unreached rung so the run's end is visible.
+        if (m.cycles < 0.0)
+            break;
+    }
+    return out;
+}
+
+void
+exportStartupStats(const StartupResult &r, StatRegistry &reg,
+                   const std::string &prefix,
+                   const StartupResult *ref)
+{
+    r.exportStats(reg, prefix);
+
+    for (const StartupMilestone &m : startupMilestones(r)) {
+        // Name the rung by its human-readable target: insns_10k, ...
+        std::string label;
+        if (m.insns >= 1'000'000)
+            label = std::to_string(m.insns / 1'000'000) + "m";
+        else
+            label = std::to_string(m.insns / 1000) + "k";
+        reg.set(prefix + ".cycles_to.insns_" + label, m.cycles,
+                "cycles to reach this many instructions "
+                "(negative: not reached)");
+    }
+
+    if (ref) {
+        reg.set(prefix + ".breakeven_cycle", breakevenCycle(r, *ref),
+                "first cycle where cumulative insns catch the "
+                "reference (negative: never)");
+        reg.set(prefix + ".half_gain_cycle",
+                halfGainCycle(r, r.steadyGain),
+                "first cycle at half the steady-state gain "
+                "(negative: never)");
+    }
 }
 
 } // namespace cdvm::analysis

@@ -21,6 +21,11 @@
 #include "common/table.hh"
 #include "timing/startup_sim.hh"
 
+namespace cdvm
+{
+class StatRegistry;
+}
+
 namespace cdvm::analysis
 {
 
@@ -70,6 +75,38 @@ Series averageNormalizedIpc(
 Series averageDecodeActivity(
     const std::vector<timing::StartupResult> &runs,
     const std::string &name);
+
+/**
+ * Cycle at which the run first reaches n cumulative instructions
+ * (interpolated between curve samples).
+ * @return the cycle, or a negative value if the run never got there.
+ */
+double cyclesToInsns(const timing::StartupResult &r, double n);
+
+/** One startup milestone: cycles to reach `insns` instructions. */
+struct StartupMilestone
+{
+    u64 insns = 0;
+    double cycles = 0.0; //!< negative if not reached
+};
+
+/**
+ * Milestones at 1k/10k/.../100M instructions, up to the first target
+ * beyond the run's instruction count (that one is reported as
+ * unreached so the curve's end is visible).
+ */
+std::vector<StartupMilestone>
+startupMilestones(const timing::StartupResult &r);
+
+/**
+ * Publish the startup transient into a StatRegistry under prefix.*:
+ * per-stage cycle accounting (via StartupResult::exportStats), the
+ * milestone ladder (prefix.cycles_to.insns_1m, ...), and breakeven /
+ * half-gain points when a reference run is given.
+ */
+void exportStartupStats(const timing::StartupResult &r,
+                        StatRegistry &reg, const std::string &prefix,
+                        const timing::StartupResult *ref = nullptr);
 
 } // namespace cdvm::analysis
 

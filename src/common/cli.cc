@@ -5,6 +5,8 @@
 #include <cstring>
 
 #include "common/logging.hh"
+#include "common/statreg.hh"
+#include "common/trace.hh"
 
 namespace cdvm
 {
@@ -82,6 +84,52 @@ Cli::on(const std::string &name) const
 {
     std::string v = str(name);
     return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+namespace
+{
+std::string statsJsonPath;
+std::string traceOutPath;
+} // namespace
+
+void
+addObservabilityFlags(Cli &cli)
+{
+    cli.flag("stats-json", "", "dump the stat registry as JSON to PATH");
+    cli.flag("trace-out", "",
+             "dump the phase tracer as Chrome trace JSON to PATH");
+    cli.flag("trace-buffer-events", "262144",
+             "phase tracer ring-buffer capacity in events");
+}
+
+void
+applyObservabilityFlags(const Cli &cli)
+{
+    statsJsonPath = cli.str("stats-json");
+    traceOutPath = cli.str("trace-out");
+    if (!traceOutPath.empty()) {
+        i64 cap = cli.num("trace-buffer-events");
+        if (cap <= 0)
+            cdvm_fatal("--trace-buffer-events must be positive");
+        Tracer::global().enable(static_cast<std::size_t>(cap));
+    }
+}
+
+void
+dumpObservability()
+{
+    if (!statsJsonPath.empty()) {
+        if (StatRegistry::global().writeJson(statsJsonPath))
+            cdvm_inform("stats dumped to %s", statsJsonPath.c_str());
+    }
+    if (!traceOutPath.empty()) {
+        Tracer &tr = Tracer::global();
+        if (tr.writeChromeJson(traceOutPath)) {
+            cdvm_inform("trace dumped to %s (%zu events, %llu dropped)",
+                        traceOutPath.c_str(), tr.size(),
+                        static_cast<unsigned long long>(tr.dropped()));
+        }
+    }
 }
 
 double

@@ -58,6 +58,27 @@ class Cli
  */
 double envScale();
 
+/**
+ * Register the standard observability flags on a Cli:
+ *   --stats-json=PATH           dump the global StatRegistry as JSON
+ *   --trace-out=PATH            dump the phase tracer as Chrome JSON
+ *   --trace-buffer-events=N     tracer ring capacity (default 262144)
+ */
+void addObservabilityFlags(Cli &cli);
+
+/**
+ * Act on the observability flags after parse(): enables the global
+ * tracer if --trace-out was given and remembers the dump paths for
+ * dumpObservability().
+ */
+void applyObservabilityFlags(const Cli &cli);
+
+/**
+ * Write the artifacts requested by applyObservabilityFlags (no-op if
+ * neither flag was given). Call once, after the workload finishes.
+ */
+void dumpObservability();
+
 } // namespace cdvm
 
 #endif // CDVM_COMMON_CLI_HH

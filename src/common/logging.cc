@@ -2,25 +2,61 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 namespace cdvm
 {
 
 namespace
 {
-bool quietFlag = false;
+
+/** Verbosity from CDVM_LOG_LEVEL (names or 0-3); Info if unset/bad. */
+LogLevel
+envLogLevel()
+{
+    const char *s = std::getenv("CDVM_LOG_LEVEL");
+    if (!s || !*s)
+        return LogLevel::Info;
+    if (!std::strcmp(s, "silent") || !std::strcmp(s, "quiet") ||
+        !std::strcmp(s, "0")) {
+        return LogLevel::Silent;
+    }
+    if (!std::strcmp(s, "warn") || !std::strcmp(s, "1"))
+        return LogLevel::Warn;
+    if (!std::strcmp(s, "info") || !std::strcmp(s, "2"))
+        return LogLevel::Info;
+    if (!std::strcmp(s, "debug") || !std::strcmp(s, "3"))
+        return LogLevel::Debug;
+    std::fprintf(stderr, "warn: ignoring unknown CDVM_LOG_LEVEL=%s\n", s);
+    return LogLevel::Info;
+}
+
+LogLevel curLevel = envLogLevel();
+
 } // namespace
+
+LogLevel
+logLevel()
+{
+    return curLevel;
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    curLevel = level;
+}
 
 void
 setQuiet(bool q)
 {
-    quietFlag = q;
+    curLevel = q ? LogLevel::Silent : envLogLevel();
 }
 
 bool
 quiet()
 {
-    return quietFlag;
+    return curLevel == LogLevel::Silent;
 }
 
 void
@@ -50,7 +86,7 @@ fatalImpl(const char *file, int line, const char *fmt, ...)
 void
 warnImpl(const char *fmt, ...)
 {
-    if (quietFlag)
+    if (curLevel < LogLevel::Warn)
         return;
     std::fprintf(stderr, "warn: ");
     va_list args;
@@ -63,9 +99,22 @@ warnImpl(const char *fmt, ...)
 void
 informImpl(const char *fmt, ...)
 {
-    if (quietFlag)
+    if (curLevel < LogLevel::Info)
         return;
     std::fprintf(stderr, "info: ");
+    va_list args;
+    va_start(args, fmt);
+    std::vfprintf(stderr, fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "\n");
+}
+
+void
+debugImpl(const char *fmt, ...)
+{
+    if (curLevel < LogLevel::Debug)
+        return;
+    std::fprintf(stderr, "debug: ");
     va_list args;
     va_start(args, fmt);
     std::vfprintf(stderr, fmt, args);

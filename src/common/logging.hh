@@ -7,6 +7,11 @@
  *             configuration, malformed workload); exits with status 1.
  * warn()   -- something is suspicious but the run can continue.
  * inform() -- plain status output.
+ * debug()  -- developer diagnostics, off by default.
+ *
+ * Verbosity is controlled by the CDVM_LOG_LEVEL environment variable
+ * ("silent"/"warn"/"info"/"debug" or 0-3; default "info") and can be
+ * overridden programmatically with setLogLevel()/setQuiet().
  */
 
 #ifndef CDVM_COMMON_LOGGING_HH
@@ -18,14 +23,34 @@
 namespace cdvm
 {
 
+/** Output verbosity, in increasing order of chattiness. */
+enum class LogLevel : int
+{
+    Silent = 0, //!< suppress warn/inform/debug (panic/fatal always print)
+    Warn = 1,   //!< warnings only
+    Info = 2,   //!< warnings + status (the default)
+    Debug = 3,  //!< everything, including debug()
+};
+
 [[noreturn]] void panicImpl(const char *file, int line, const char *fmt, ...)
     __attribute__((format(printf, 3, 4)));
 [[noreturn]] void fatalImpl(const char *file, int line, const char *fmt, ...)
     __attribute__((format(printf, 3, 4)));
 void warnImpl(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 void informImpl(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+void debugImpl(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
-/** Suppress warn()/inform() output (used by tests). */
+/** Current verbosity (CDVM_LOG_LEVEL unless explicitly overridden). */
+LogLevel logLevel();
+
+/** Override the verbosity for this process. */
+void setLogLevel(LogLevel level);
+
+/**
+ * Suppress warn()/inform()/debug() output (used by tests).
+ * setQuiet(false) restores the CDVM_LOG_LEVEL-derived default, not
+ * unconditionally Info.
+ */
 void setQuiet(bool quiet);
 bool quiet();
 
@@ -35,5 +60,6 @@ bool quiet();
 #define cdvm_fatal(...) ::cdvm::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
 #define cdvm_warn(...) ::cdvm::warnImpl(__VA_ARGS__)
 #define cdvm_inform(...) ::cdvm::informImpl(__VA_ARGS__)
+#define cdvm_debug(...) ::cdvm::debugImpl(__VA_ARGS__)
 
 #endif // CDVM_COMMON_LOGGING_HH

@@ -1,0 +1,357 @@
+#include "common/statreg.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace cdvm
+{
+
+namespace
+{
+
+/** Segment characters allowed by the naming convention. */
+bool
+validSegmentChar(char c)
+{
+    return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_';
+}
+
+void
+validateName(const std::string &name)
+{
+    if (name.empty())
+        cdvm_panic("stat name must not be empty");
+    bool seg_empty = true;
+    for (char c : name) {
+        if (c == '.') {
+            if (seg_empty)
+                cdvm_panic("stat name '%s': empty path segment",
+                           name.c_str());
+            seg_empty = true;
+        } else if (validSegmentChar(c)) {
+            seg_empty = false;
+        } else {
+            cdvm_panic("stat name '%s': invalid character '%c' "
+                       "(want [a-z0-9_.])",
+                       name.c_str(), c);
+        }
+    }
+    if (seg_empty)
+        cdvm_panic("stat name '%s': trailing dot", name.c_str());
+}
+
+const char *
+kindName(StatKind k)
+{
+    switch (k) {
+      case StatKind::Scalar:
+        return "scalar";
+      case StatKind::Gauge:
+        return "gauge";
+      case StatKind::Running:
+        return "running";
+      case StatKind::Histogram:
+        return "histogram";
+    }
+    return "?";
+}
+
+/** JSON number: integral values without a fraction, no NaN/inf. */
+std::string
+jsonNum(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    char buf[64];
+    if (v == std::floor(v) && std::fabs(v) < 1e15) {
+        std::snprintf(buf, sizeof(buf), "%.0f", v);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.10g", v);
+    }
+    return buf;
+}
+
+} // namespace
+
+StatRegistry &
+StatRegistry::global()
+{
+    static StatRegistry reg;
+    return reg;
+}
+
+StatRegistry::Entry &
+StatRegistry::findOrCreate(const std::string &name, StatKind kind,
+                           const std::string &desc)
+{
+    auto it = entries.find(name);
+    if (it != entries.end()) {
+        if (it->second.kind != kind) {
+            cdvm_panic("stat '%s' registered as %s, reused as %s",
+                       name.c_str(), kindName(it->second.kind),
+                       kindName(kind));
+        }
+        if (it->second.desc.empty() && !desc.empty())
+            it->second.desc = desc;
+        return it->second;
+    }
+
+    validateName(name);
+    // A name may not be both a leaf and a group: reject "a.b" when
+    // "a.b.c" exists and vice versa. The sorted map makes both checks
+    // one lower_bound away.
+    auto nb = entries.lower_bound(name);
+    if (nb != entries.end() &&
+        nb->first.size() > name.size() &&
+        nb->first.compare(0, name.size(), name) == 0 &&
+        nb->first[name.size()] == '.') {
+        cdvm_panic("stat '%s' conflicts with existing group '%s'",
+                   name.c_str(), nb->first.c_str());
+    }
+    for (std::size_t dot = name.find('.'); dot != std::string::npos;
+         dot = name.find('.', dot + 1)) {
+        if (entries.count(name.substr(0, dot))) {
+            cdvm_panic("stat '%s' conflicts with existing leaf '%s'",
+                       name.c_str(), name.substr(0, dot).c_str());
+        }
+    }
+
+    Entry &e = entries[name];
+    e.kind = kind;
+    e.desc = desc;
+    return e;
+}
+
+double &
+StatRegistry::scalar(const std::string &name, const std::string &desc)
+{
+    return findOrCreate(name, StatKind::Scalar, desc).scalarVal;
+}
+
+void
+StatRegistry::set(const std::string &name, double value,
+                  const std::string &desc)
+{
+    scalar(name, desc) = value;
+}
+
+void
+StatRegistry::add(const std::string &name, double delta,
+                  const std::string &desc)
+{
+    scalar(name, desc) += delta;
+}
+
+void
+StatRegistry::gauge(const std::string &name, std::function<double()> fn,
+                    const std::string &desc)
+{
+    findOrCreate(name, StatKind::Gauge, desc).fn = std::move(fn);
+}
+
+RunningStat &
+StatRegistry::running(const std::string &name, const std::string &desc)
+{
+    Entry &e = findOrCreate(name, StatKind::Running, desc);
+    if (!e.run)
+        e.run = std::make_unique<RunningStat>();
+    return *e.run;
+}
+
+LogHistogram &
+StatRegistry::histogram(const std::string &name, double base,
+                        unsigned buckets, const std::string &desc)
+{
+    Entry &e = findOrCreate(name, StatKind::Histogram, desc);
+    if (!e.hist)
+        e.hist = std::make_unique<LogHistogram>(base, buckets);
+    return *e.hist;
+}
+
+double
+StatRegistry::value(const std::string &name) const
+{
+    auto it = entries.find(name);
+    if (it == entries.end())
+        return 0.0;
+    const Entry &e = it->second;
+    switch (e.kind) {
+      case StatKind::Scalar:
+        return e.scalarVal;
+      case StatKind::Gauge:
+        return e.fn ? e.fn() : 0.0;
+      case StatKind::Running:
+        return e.run ? e.run->mean() : 0.0;
+      case StatKind::Histogram:
+        return e.hist ? e.hist->totalWeight() : 0.0;
+    }
+    return 0.0;
+}
+
+bool
+StatRegistry::has(const std::string &name) const
+{
+    return entries.count(name) != 0;
+}
+
+std::vector<std::string>
+StatRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(entries.size());
+    for (const auto &kv : entries)
+        out.push_back(kv.first);
+    return out;
+}
+
+std::string
+StatRegistry::dumpTable() const
+{
+    std::ostringstream os;
+    for (const auto &kv : entries) {
+        const Entry &e = kv.second;
+        os << kv.first << " ";
+        switch (e.kind) {
+          case StatKind::Scalar:
+          case StatKind::Gauge:
+            os << jsonNum(value(kv.first));
+            break;
+          case StatKind::Running:
+            os << jsonNum(e.run ? e.run->mean() : 0.0) << " (n="
+               << (e.run ? e.run->count() : 0) << ")";
+            break;
+          case StatKind::Histogram:
+            os << jsonNum(e.hist ? e.hist->totalWeight() : 0.0)
+               << " (total weight)";
+            break;
+        }
+        if (!e.desc.empty())
+            os << " # " << e.desc;
+        os << "\n";
+    }
+    return os.str();
+}
+
+std::string
+StatRegistry::dumpJson() const
+{
+    // Build the segment tree; registration already rejected
+    // leaf/group conflicts.
+    struct TreeNode
+    {
+        std::map<std::string, TreeNode> kids;
+        const Entry *leaf = nullptr;
+        const std::string *name = nullptr;
+    };
+    TreeNode root;
+    for (const auto &kv : entries) {
+        TreeNode *n = &root;
+        const std::string &full = kv.first;
+        std::size_t pos = 0;
+        while (true) {
+            std::size_t dot = full.find('.', pos);
+            std::string seg = full.substr(
+                pos, dot == std::string::npos ? dot : dot - pos);
+            n = &n->kids[seg];
+            if (dot == std::string::npos)
+                break;
+            pos = dot + 1;
+        }
+        n->leaf = &kv.second;
+        n->name = &kv.first;
+    }
+
+    std::ostringstream os;
+    auto emitLeaf = [&](const Entry &e, const std::string &full) {
+        switch (e.kind) {
+          case StatKind::Scalar:
+          case StatKind::Gauge:
+            os << jsonNum(e.kind == StatKind::Scalar
+                              ? e.scalarVal
+                              : (e.fn ? e.fn() : 0.0));
+            break;
+          case StatKind::Running: {
+            const RunningStat rs = e.run ? *e.run : RunningStat{};
+            os << "{\"count\": " << rs.count()
+               << ", \"mean\": " << jsonNum(rs.mean())
+               << ", \"min\": " << jsonNum(rs.min())
+               << ", \"max\": " << jsonNum(rs.max())
+               << ", \"stddev\": " << jsonNum(rs.stddev())
+               << ", \"total\": " << jsonNum(rs.total()) << "}";
+            break;
+          }
+          case StatKind::Histogram: {
+            if (!e.hist) {
+                os << "null";
+                break;
+            }
+            const LogHistogram &h = *e.hist;
+            os << "{\"total_weight\": " << jsonNum(h.totalWeight())
+               << ", \"bucket_low\": [";
+            for (unsigned k = 0; k < h.numBuckets(); ++k) {
+                os << (k ? ", " : "") << h.bucketLow(k);
+            }
+            os << "], \"bucket_weight\": [";
+            for (unsigned k = 0; k < h.numBuckets(); ++k) {
+                os << (k ? ", " : "") << jsonNum(h.bucketWeight(k));
+            }
+            os << "], \"p50\": " << jsonNum(h.percentile(50))
+               << ", \"p90\": " << jsonNum(h.percentile(90))
+               << ", \"p99\": " << jsonNum(h.percentile(99)) << "}";
+            break;
+          }
+        }
+        (void)full;
+    };
+
+    std::function<void(const TreeNode &, int)> emit =
+        [&](const TreeNode &n, int depth) {
+            os << "{";
+            bool first = true;
+            std::string pad(static_cast<std::size_t>(depth + 1) * 2,
+                            ' ');
+            for (const auto &kv : n.kids) {
+                os << (first ? "\n" : ",\n") << pad << "\"" << kv.first
+                   << "\": ";
+                first = false;
+                if (kv.second.leaf)
+                    emitLeaf(*kv.second.leaf, *kv.second.name);
+                else
+                    emit(kv.second, depth + 1);
+            }
+            if (!first) {
+                os << "\n"
+                   << std::string(static_cast<std::size_t>(depth) * 2,
+                                  ' ');
+            }
+            os << "}";
+        };
+    emit(root, 0);
+    os << "\n";
+    return os.str();
+}
+
+bool
+StatRegistry::writeJson(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        cdvm_warn("cannot open stats output '%s'", path.c_str());
+        return false;
+    }
+    std::string doc = dumpJson();
+    std::size_t n = std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fclose(f);
+    return n == doc.size();
+}
+
+void
+StatRegistry::clear()
+{
+    entries.clear();
+}
+
+} // namespace cdvm

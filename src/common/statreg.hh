@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Hierarchical statistics registry.
+ *
+ * Every subsystem publishes its counters under a dotted path
+ * ("vmm.bbt.translations", "dbt.codecache.bbt.flushes",
+ * "timing.startup.cycles_to_1m_insns"), giving one uniform namespace
+ * for everything the benches and examples measure. Four kinds of
+ * statistic are supported:
+ *
+ *  - scalar: an owned double, settable/accumulable by name;
+ *  - gauge: a pull-model callback evaluated at dump time;
+ *  - running: a RunningStat (count/mean/min/max/stddev);
+ *  - histogram: a LogHistogram (buckets + percentiles).
+ *
+ * Dump formats: a flat "name value # desc" table (dumpTable) and a
+ * nested JSON document keyed by path segment (dumpJson), the latter
+ * consumed by the --stats-json= CLI flag.
+ *
+ * Naming conventions (enforced): lower-case dotted paths, segments
+ * matching [a-z0-9_]+, the first segment naming the subsystem (vmm,
+ * dbt, hwassist, memsys, timing, analysis, workload). A name may not
+ * be both a leaf and a group ("a.b" and "a.b.c" conflict).
+ */
+
+#ifndef CDVM_COMMON_STATREG_HH
+#define CDVM_COMMON_STATREG_HH
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace cdvm
+{
+
+/** Kind of a registered statistic. */
+enum class StatKind : u8
+{
+    Scalar,    //!< owned double
+    Gauge,     //!< callback evaluated at dump time
+    Running,   //!< RunningStat distribution
+    Histogram, //!< LogHistogram distribution
+};
+
+/** The hierarchical registry. */
+class StatRegistry
+{
+  public:
+    StatRegistry() = default;
+    StatRegistry(const StatRegistry &) = delete;
+    StatRegistry &operator=(const StatRegistry &) = delete;
+
+    /** The process-wide registry used by the CLI dump flags. */
+    static StatRegistry &global();
+
+    /**
+     * The owned scalar under name, created on first use. The returned
+     * reference stays valid for the registry's lifetime, so hot paths
+     * can cache it and increment without a lookup.
+     */
+    double &scalar(const std::string &name, const std::string &desc = "");
+
+    /** Set the named scalar to an absolute value. */
+    void set(const std::string &name, double value,
+             const std::string &desc = "");
+
+    /** Accumulate into the named scalar. */
+    void add(const std::string &name, double delta,
+             const std::string &desc = "");
+
+    /** Register a pull-model gauge, evaluated at dump time. */
+    void gauge(const std::string &name, std::function<double()> fn,
+               const std::string &desc = "");
+
+    /** The RunningStat under name, created on first use. */
+    RunningStat &running(const std::string &name,
+                         const std::string &desc = "");
+
+    /** The LogHistogram under name, created on first use. */
+    LogHistogram &histogram(const std::string &name, double base = 10.0,
+                            unsigned buckets = 10,
+                            const std::string &desc = "");
+
+    /** Current value of a scalar or gauge (0 if absent). */
+    double value(const std::string &name) const;
+
+    bool has(const std::string &name) const;
+    std::size_t size() const { return entries.size(); }
+
+    /** All registered names, sorted. */
+    std::vector<std::string> names() const;
+
+    /** Flat "name value # desc" dump, sorted by name. */
+    std::string dumpTable() const;
+
+    /** Nested JSON document keyed by dotted-path segment. */
+    std::string dumpJson() const;
+
+    /** Write dumpJson() to path. @return false on I/O failure. */
+    bool writeJson(const std::string &path) const;
+
+    /** Drop every entry (tests and fresh runs). */
+    void clear();
+
+  private:
+    struct Entry
+    {
+        StatKind kind = StatKind::Scalar;
+        std::string desc;
+        double scalarVal = 0.0;
+        std::function<double()> fn;
+        std::unique_ptr<RunningStat> run;
+        std::unique_ptr<LogHistogram> hist;
+    };
+
+    Entry &findOrCreate(const std::string &name, StatKind kind,
+                        const std::string &desc);
+
+    /** Sorted by full dotted name; ordering drives the JSON nesting. */
+    std::map<std::string, Entry> entries;
+};
+
+} // namespace cdvm
+
+#endif // CDVM_COMMON_STATREG_HH

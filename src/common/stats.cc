@@ -49,6 +49,48 @@ LogHistogram::add(u64 value, double weight)
 }
 
 double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+LogHistogram::percentile(double p) const
+{
+    if (total <= 0.0)
+        return 0.0;
+    if (p < 0.0)
+        p = 0.0;
+    if (p > 100.0)
+        p = 100.0;
+    const double target = total * p / 100.0;
+    double cum = 0.0;
+    for (unsigned k = 0; k < counts.size(); ++k) {
+        if (counts[k] <= 0.0)
+            continue;
+        if (cum + counts[k] >= target) {
+            // Interpolate within [low, high) by the fraction of the
+            // bucket's weight needed to reach the target.
+            double low = static_cast<double>(bucketLow(k));
+            double high =
+                k + 1 < counts.size()
+                    ? static_cast<double>(bucketLow(k + 1))
+                    : low * base;
+            if (k == 0)
+                high = base; // bucket 0 covers [0, base)
+            double frac = counts[k] > 0.0
+                              ? (target - cum) / counts[k]
+                              : 0.0;
+            return low + frac * (high - low);
+        }
+        cum += counts[k];
+    }
+    // All weight below target (p == 100 with rounding): top edge.
+    unsigned last = static_cast<unsigned>(counts.size()) - 1;
+    return static_cast<double>(bucketLow(last)) * base;
+}
+
+double
 LogHistogram::weightAtOrAbove(u64 threshold) const
 {
     double sum = 0.0;

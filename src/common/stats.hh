@@ -18,7 +18,7 @@
 namespace cdvm
 {
 
-/** A running mean / min / max over double samples. */
+/** A running mean / min / max / variance over double samples. */
 class RunningStat
 {
   public:
@@ -30,6 +30,7 @@ class RunningStat
         if (n == 0 || v > mx)
             mx = v;
         sum += v;
+        sumSq += v * v;
         ++n;
     }
 
@@ -39,9 +40,24 @@ class RunningStat
     double max() const { return mx; }
     double total() const { return sum; }
 
+    /** Population variance (0 with fewer than two samples). */
+    double
+    variance() const
+    {
+        if (n < 2)
+            return 0.0;
+        double m = mean();
+        double v = sumSq / n - m * m;
+        return v > 0.0 ? v : 0.0; // clamp catastrophic cancellation
+    }
+
+    /** Population standard deviation. */
+    double stddev() const;
+
   private:
     u64 n = 0;
     double sum = 0.0;
+    double sumSq = 0.0;
     double mn = 0.0;
     double mx = 0.0;
 };
@@ -71,6 +87,13 @@ class LogHistogram
 
     /** Sum of bucket weights for buckets whose low edge >= threshold. */
     double weightAtOrAbove(u64 threshold) const;
+
+    /**
+     * Approximate p-th percentile (p in [0, 100]) of the recorded
+     * values, linearly interpolated within the containing bucket.
+     * Returns 0 for an empty histogram.
+     */
+    double percentile(double p) const;
 
   private:
     double base;

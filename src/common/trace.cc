@@ -1,0 +1,167 @@
+#include "common/trace.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace cdvm
+{
+
+namespace
+{
+
+struct PhaseInfo
+{
+    const char *name;
+    const char *cat;
+};
+
+/** Indexed by TracePhase. */
+constexpr PhaseInfo PHASE_INFO[] = {
+    {"interp", "cold"},            // Interp
+    {"x86-mode", "cold"},          // X86Mode
+    {"bbt-translate", "translate"},// BbtTranslate
+    {"sbt-optimize", "translate"}, // SbtOptimize
+    {"exec-bbt", "exec"},          // BbtExec
+    {"exec-sbt", "exec"},          // SbtExec
+    {"cache-flush", "codecache"},  // CacheFlush
+    {"chain", "dispatch"},         // Chain
+    {"dispatch", "dispatch"},      // Dispatch
+    {"hw-assist", "hwassist"},     // HwAssist
+    {"cold-exec", "cold"},         // ColdExec
+};
+
+static_assert(sizeof(PHASE_INFO) / sizeof(PHASE_INFO[0]) ==
+                  static_cast<std::size_t>(TracePhase::NUM_PHASES),
+              "PHASE_INFO out of sync with TracePhase");
+
+const char *TRACK_NAMES[] = {"vmm", "timing"};
+
+} // namespace
+
+const char *
+tracePhaseName(TracePhase p)
+{
+    return PHASE_INFO[static_cast<std::size_t>(p)].name;
+}
+
+const char *
+tracePhaseCategory(TracePhase p)
+{
+    return PHASE_INFO[static_cast<std::size_t>(p)].cat;
+}
+
+Tracer &
+Tracer::global()
+{
+    static Tracer tr;
+    return tr;
+}
+
+void
+Tracer::enable(std::size_t capacity_events)
+{
+    if (capacity_events == 0)
+        cdvm_fatal("trace buffer capacity must be positive");
+    buf.assign(capacity_events, TraceEvent{});
+    total = 0;
+    on = true;
+}
+
+void
+Tracer::disable()
+{
+    on = false;
+    total = 0;
+    std::vector<TraceEvent>().swap(buf); // release, not just clear
+}
+
+void
+Tracer::record(TracePhase phase, u64 ts, u64 dur, u64 arg, u8 track)
+{
+    TraceEvent &e = buf[total % buf.size()];
+    e.ts = ts;
+    e.dur = dur;
+    e.arg = arg;
+    e.phase = phase;
+    e.track = track;
+    ++total;
+}
+
+std::size_t
+Tracer::size() const
+{
+    return total < buf.size() ? static_cast<std::size_t>(total)
+                              : buf.size();
+}
+
+std::vector<TraceEvent>
+Tracer::snapshot() const
+{
+    std::vector<TraceEvent> out;
+    const std::size_t n = size();
+    out.reserve(n);
+    const u64 first = total > buf.size() ? total - buf.size() : 0;
+    for (u64 i = first; i < total; ++i)
+        out.push_back(buf[i % buf.size()]);
+    return out;
+}
+
+std::string
+Tracer::dumpChromeJson() const
+{
+    std::ostringstream os;
+    os << "{\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n";
+    bool first = true;
+    // Name the process and its tracks so Perfetto shows meaningful
+    // labels instead of pid/tid numbers.
+    os << "  {\"ph\": \"M\", \"pid\": 0, \"tid\": 0, "
+          "\"name\": \"process_name\", "
+          "\"args\": {\"name\": \"cdvm\"}}";
+    first = false;
+    for (unsigned t = 0; t < 2; ++t) {
+        os << ",\n  {\"ph\": \"M\", \"pid\": 0, \"tid\": " << t
+           << ", \"name\": \"thread_name\", \"args\": {\"name\": \""
+           << TRACK_NAMES[t] << "\"}}";
+    }
+    for (const TraceEvent &e : snapshot()) {
+        os << (first ? "" : ",\n");
+        first = false;
+        const char *name = tracePhaseName(e.phase);
+        const char *cat = tracePhaseCategory(e.phase);
+        if (e.dur == 0) {
+            os << "  {\"ph\": \"i\", \"name\": \"" << name
+               << "\", \"cat\": \"" << cat << "\", \"ts\": " << e.ts
+               << ", \"pid\": 0, \"tid\": "
+               << static_cast<unsigned>(e.track)
+               << ", \"s\": \"t\", \"args\": {\"v\": " << e.arg
+               << "}}";
+        } else {
+            os << "  {\"ph\": \"X\", \"name\": \"" << name
+               << "\", \"cat\": \"" << cat << "\", \"ts\": " << e.ts
+               << ", \"dur\": " << e.dur << ", \"pid\": 0, \"tid\": "
+               << static_cast<unsigned>(e.track)
+               << ", \"args\": {\"v\": " << e.arg << "}}";
+        }
+    }
+    os << "\n],\n\"otherData\": {\"dropped_events\": " << dropped()
+       << ", \"recorded_events\": " << total << "}}\n";
+    return os.str();
+}
+
+bool
+Tracer::writeChromeJson(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        cdvm_warn("cannot open trace output '%s'", path.c_str());
+        return false;
+    }
+    std::string doc = dumpChromeJson();
+    std::size_t n = std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fclose(f);
+    return n == doc.size();
+}
+
+} // namespace cdvm

@@ -1,5 +1,6 @@
 #include "dbt/bbt.hh"
 
+#include "common/statreg.hh"
 #include "uops/crack.hh"
 #include "uops/encoding.hh"
 #include "x86/decoder.hh"
@@ -52,6 +53,21 @@ BasicBlockTranslator::translate(Addr pc)
     ++nBlocks;
     nInsns += t->numX86Insns;
     return t;
+}
+
+void
+BasicBlockTranslator::exportStats(StatRegistry &reg,
+                                  const std::string &prefix) const
+{
+    reg.set(prefix + ".blocks", static_cast<double>(nBlocks),
+            "basic blocks translated");
+    reg.set(prefix + ".insns", static_cast<double>(nInsns),
+            "x86 instructions translated");
+    reg.set(prefix + ".insns_per_block",
+            nBlocks ? static_cast<double>(nInsns) /
+                          static_cast<double>(nBlocks)
+                    : 0.0,
+            "mean block length");
 }
 
 } // namespace cdvm::dbt

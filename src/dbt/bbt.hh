@@ -17,6 +17,11 @@
 #include "dbt/translation.hh"
 #include "x86/memory.hh"
 
+namespace cdvm
+{
+class StatRegistry;
+}
+
 namespace cdvm::dbt
 {
 
@@ -44,6 +49,9 @@ class BasicBlockTranslator
 
     u64 blocksTranslated() const { return nBlocks; }
     u64 insnsTranslated() const { return nInsns; }
+
+    /** Publish translation counters under prefix. */
+    void exportStats(StatRegistry &reg, const std::string &prefix) const;
 
   private:
     x86::Memory &mem;

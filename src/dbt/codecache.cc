@@ -2,6 +2,7 @@
 
 #include "common/bitfield.hh"
 #include "common/logging.hh"
+#include "common/statreg.hh"
 
 namespace cdvm::dbt
 {
@@ -31,6 +32,24 @@ CodeCache::flush()
 {
     next = start;
     ++nFlushes;
+}
+
+void
+CodeCache::exportStats(StatRegistry &reg, const std::string &prefix) const
+{
+    reg.set(prefix + ".capacity_bytes", static_cast<double>(cap),
+            "arena capacity");
+    reg.set(prefix + ".used_bytes", static_cast<double>(used()),
+            "bytes live in the arena");
+    reg.set(prefix + ".allocated_bytes",
+            static_cast<double>(totalAllocated),
+            "bytes ever allocated (incl. before flushes)");
+    reg.set(prefix + ".flushes", static_cast<double>(nFlushes),
+            "flush-everything evictions");
+    reg.set(prefix + ".utilization",
+            cap ? static_cast<double>(used()) / static_cast<double>(cap)
+                : 0.0,
+            "live fraction of the arena");
 }
 
 } // namespace cdvm::dbt

@@ -17,6 +17,11 @@
 
 #include "common/types.hh"
 
+namespace cdvm
+{
+class StatRegistry;
+}
+
 namespace cdvm::dbt
 {
 
@@ -41,6 +46,9 @@ class CodeCache
     u64 flushes() const { return nFlushes; }
     u64 bytesEverAllocated() const { return totalAllocated; }
     const std::string &name() const { return label; }
+
+    /** Publish occupancy/flush counters under prefix (dotted path). */
+    void exportStats(StatRegistry &reg, const std::string &prefix) const;
 
   private:
     std::string label;

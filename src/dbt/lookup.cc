@@ -1,5 +1,7 @@
 #include "dbt/lookup.hh"
 
+#include "common/statreg.hh"
+
 namespace cdvm::dbt
 {
 
@@ -57,6 +59,22 @@ TranslationMap::clear()
 {
     bbt.clear();
     sbt.clear();
+}
+
+void
+TranslationMap::exportStats(StatRegistry &reg,
+                            const std::string &prefix) const
+{
+    reg.set(prefix + ".lookups", static_cast<double>(nLookups),
+            "dispatch lookups not covered by chaining");
+    reg.set(prefix + ".misses", static_cast<double>(nMisses),
+            "lookups that found no translation");
+    reg.set(prefix + ".live_basic_blocks",
+            static_cast<double>(bbt.size()),
+            "live BBT translations");
+    reg.set(prefix + ".live_superblocks",
+            static_cast<double>(sbt.size()),
+            "live SBT translations");
 }
 
 } // namespace cdvm::dbt

@@ -15,6 +15,11 @@
 
 #include "dbt/translation.hh"
 
+namespace cdvm
+{
+class StatRegistry;
+}
+
 namespace cdvm::dbt
 {
 
@@ -42,6 +47,9 @@ class TranslationMap
     std::size_t numSuperblocks() const { return sbt.size(); }
     u64 lookups() const { return nLookups; }
     u64 lookupMisses() const { return nMisses; }
+
+    /** Publish lookup/occupancy counters under prefix. */
+    void exportStats(StatRegistry &reg, const std::string &prefix) const;
 
     /** Visit every live translation. */
     template <typename Fn>

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "common/logging.hh"
+#include "common/statreg.hh"
 #include "uops/crack.hh"
 #include "uops/encoding.hh"
 
@@ -74,6 +75,25 @@ SuperblockTranslator::translate(const SuperblockTrace &trace)
     ++nSuperblocks;
     nInsns += t->numX86Insns;
     return t;
+}
+
+void
+SuperblockTranslator::exportStats(StatRegistry &reg,
+                                  const std::string &prefix) const
+{
+    reg.set(prefix + ".superblocks", static_cast<double>(nSuperblocks),
+            "hot superblocks optimized");
+    reg.set(prefix + ".insns", static_cast<double>(nInsns),
+            "x86 instructions optimized");
+    reg.set(prefix + ".uops_emitted", static_cast<double>(nUops),
+            "micro-ops emitted after optimization");
+    reg.set(prefix + ".pairs_fused", static_cast<double>(nPairs),
+            "macro-op pairs fused");
+    reg.set(prefix + ".fusion_rate",
+            nUops ? 2.0 * static_cast<double>(nPairs) /
+                        static_cast<double>(nUops)
+                  : 0.0,
+            "fraction of uops inside fused pairs");
 }
 
 } // namespace cdvm::dbt

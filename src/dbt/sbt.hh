@@ -18,6 +18,11 @@
 #include "dbt/superblock.hh"
 #include "dbt/translation.hh"
 
+namespace cdvm
+{
+class StatRegistry;
+}
+
 namespace cdvm::dbt
 {
 
@@ -40,6 +45,9 @@ class SuperblockTranslator
     /** Cumulative fusion statistics across all translations. */
     u64 totalUopsEmitted() const { return nUops; }
     u64 totalPairsFused() const { return nPairs; }
+
+    /** Publish translation/fusion counters under prefix. */
+    void exportStats(StatRegistry &reg, const std::string &prefix) const;
 
   private:
     uops::FusionConfig fusionCfg;

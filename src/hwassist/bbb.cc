@@ -2,6 +2,7 @@
 
 #include "common/bitfield.hh"
 #include "common/logging.hh"
+#include "common/statreg.hh"
 
 namespace cdvm::hwassist
 {
@@ -56,6 +57,21 @@ BranchBehaviorBuffer::reset()
 {
     for (Entry &e : table)
         e = Entry{};
+}
+
+void
+BranchBehaviorBuffer::exportStats(StatRegistry &reg,
+                                  const std::string &prefix) const
+{
+    reg.set(prefix + ".entries", static_cast<double>(p.entries),
+            "detector table entries");
+    reg.set(prefix + ".hot_threshold",
+            static_cast<double>(p.hotThreshold),
+            "detection threshold");
+    reg.set(prefix + ".detections", static_cast<double>(nDetections),
+            "hotspot seeds reported");
+    reg.set(prefix + ".tag_conflicts", static_cast<double>(nConflicts),
+            "entries evicted by aliasing targets");
 }
 
 } // namespace cdvm::hwassist

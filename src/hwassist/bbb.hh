@@ -17,9 +17,15 @@
 #ifndef CDVM_HWASSIST_BBB_HH
 #define CDVM_HWASSIST_BBB_HH
 
+#include <string>
 #include <vector>
 
 #include "common/types.hh"
+
+namespace cdvm
+{
+class StatRegistry;
+}
 
 namespace cdvm::hwassist
 {
@@ -52,6 +58,9 @@ class BranchBehaviorBuffer
     u64 detections() const { return nDetections; }
     u64 tagConflicts() const { return nConflicts; }
     u64 hotThreshold() const { return p.hotThreshold; }
+
+    /** Publish detector counters under prefix. */
+    void exportStats(StatRegistry &reg, const std::string &prefix) const;
 
   private:
     struct Entry

@@ -1,5 +1,6 @@
 #include "hwassist/dualmode.hh"
 
+#include "common/statreg.hh"
 #include "x86/decoder.hh"
 
 namespace cdvm::hwassist
@@ -27,6 +28,22 @@ DualModeDecoder::decodeAt(Addr pc, Decoded &out)
     out.uops = uops::crack(dr.insn).uops;
     ++nDecoded;
     return true;
+}
+
+void
+DualModeDecoder::exportStats(StatRegistry &reg,
+                             const std::string &prefix) const
+{
+    reg.set(prefix + ".mode_switches", static_cast<double>(nSwitches),
+            "x86-mode <-> native-mode transitions");
+    reg.set(prefix + ".insns_decoded", static_cast<double>(nDecoded),
+            "x86 instructions first-level decoded");
+    reg.set(prefix + ".x86_mode_cycles",
+            static_cast<double>(x86Cycles),
+            "cycles with both decode levels powered");
+    reg.set(prefix + ".native_mode_cycles",
+            static_cast<double>(nativeCycles),
+            "cycles with the x86 level bypassed");
 }
 
 } // namespace cdvm::hwassist

@@ -18,9 +18,16 @@
 #ifndef CDVM_HWASSIST_DUALMODE_HH
 #define CDVM_HWASSIST_DUALMODE_HH
 
+#include <string>
+
 #include "common/types.hh"
 #include "uops/crack.hh"
 #include "x86/memory.hh"
+
+namespace cdvm
+{
+class StatRegistry;
+}
 
 namespace cdvm::hwassist
 {
@@ -74,6 +81,9 @@ class DualModeDecoder
     Cycles nativeModeCycles() const { return nativeCycles; }
     u64 modeSwitches() const { return nSwitches; }
     u64 insnsDecoded() const { return nDecoded; }
+
+    /** Publish mode/activity counters under prefix. */
+    void exportStats(StatRegistry &reg, const std::string &prefix) const;
 
     /**
      * Extra frontend pipeline depth in x86-mode relative to a

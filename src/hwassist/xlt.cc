@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "common/statreg.hh"
 #include "uops/crack.hh"
 #include "uops/csr.hh"
 #include "uops/encoding.hh"
@@ -43,9 +44,24 @@ XltUnit::translate(const u8 src[16], u8 dst[16])
     }
 
     std::vector<u8> enc = uops::encode(cr.uops);
-    std::memcpy(dst, enc.data(), enc.size());
+    if (!enc.empty())
+        std::memcpy(dst, enc.data(), enc.size());
     return uops::csr::make(in.length, bytes, /*cmplx=*/false,
                            /*cti=*/false);
+}
+
+void
+XltUnit::exportStats(StatRegistry &reg, const std::string &prefix) const
+{
+    reg.set(prefix + ".invocations", static_cast<double>(nInvocations),
+            "XLTx86 operations executed");
+    reg.set(prefix + ".complex_cases", static_cast<double>(nComplex),
+            "instructions flagged complex (software path)");
+    reg.set(prefix + ".cti_cases", static_cast<double>(nCti),
+            "control transfers flagged for the software path");
+    reg.set(prefix + ".busy_cycles",
+            static_cast<double>(busyCycles()),
+            "cycles the relocated decode logic was busy");
 }
 
 } // namespace cdvm::hwassist

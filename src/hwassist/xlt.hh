@@ -16,8 +16,15 @@
 #ifndef CDVM_HWASSIST_XLT_HH
 #define CDVM_HWASSIST_XLT_HH
 
+#include <string>
+
 #include "common/types.hh"
 #include "uops/exec.hh"
+
+namespace cdvm
+{
+class StatRegistry;
+}
 
 namespace cdvm::hwassist
 {
@@ -51,6 +58,9 @@ class XltUnit : public uops::XltHandler
     u64 ctiCases() const { return nCti; }
     /** Total cycles the decode logic was busy. */
     Cycles busyCycles() const { return nInvocations * p.latency; }
+
+    /** Publish activity counters under prefix. */
+    void exportStats(StatRegistry &reg, const std::string &prefix) const;
 
   private:
     XltParams p;

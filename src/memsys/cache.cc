@@ -4,6 +4,7 @@
 
 #include "common/bitfield.hh"
 #include "common/logging.hh"
+#include "common/statreg.hh"
 
 namespace cdvm::memsys
 {
@@ -91,6 +92,21 @@ Cache::flush()
 {
     for (Line &l : lines)
         l.valid = false;
+}
+
+void
+Cache::exportStats(StatRegistry &reg, const std::string &prefix) const
+{
+    const u64 accesses = nHits + nMisses;
+    reg.set(prefix + ".hits", static_cast<double>(nHits),
+            "accesses served by this level");
+    reg.set(prefix + ".misses", static_cast<double>(nMisses),
+            "accesses passed to the next level");
+    reg.set(prefix + ".miss_rate",
+            accesses ? static_cast<double>(nMisses) /
+                           static_cast<double>(accesses)
+                     : 0.0,
+            "miss fraction");
 }
 
 } // namespace cdvm::memsys

@@ -17,6 +17,11 @@
 
 #include "common/types.hh"
 
+namespace cdvm
+{
+class StatRegistry;
+}
+
 namespace cdvm::memsys
 {
 
@@ -55,6 +60,9 @@ class Cache
     u64 hits() const { return nHits; }
     u64 misses() const { return nMisses; }
     u32 numSets() const { return sets; }
+
+    /** Publish hit/miss counters under prefix. */
+    void exportStats(StatRegistry &reg, const std::string &prefix) const;
 
   private:
     struct Line

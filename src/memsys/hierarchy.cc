@@ -43,4 +43,13 @@ Hierarchy::flushAll()
     ul2.flush();
 }
 
+void
+Hierarchy::exportStats(StatRegistry &reg,
+                       const std::string &prefix) const
+{
+    il1.exportStats(reg, prefix + ".l1i");
+    dl1.exportStats(reg, prefix + ".l1d");
+    ul2.exportStats(reg, prefix + ".l2");
+}
+
 } // namespace cdvm::memsys

@@ -60,6 +60,9 @@ class Hierarchy
     Cache &l2() { return ul2; }
     Cycles memLatency() const { return p.memLatency; }
 
+    /** Publish each level's counters under prefix.{l1i,l1d,l2}. */
+    void exportStats(StatRegistry &reg, const std::string &prefix) const;
+
   private:
     HierarchyParams p;
     Cache il1;

@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "common/logging.hh"
+#include "common/statreg.hh"
 
 namespace cdvm::timing
 {
@@ -280,6 +281,27 @@ PipelineSim::run(const UopVec &body, unsigned iterations)
         res.x86Insns += pcs.size();
     }
     return res;
+}
+
+void
+PipelineResult::exportStats(StatRegistry &reg,
+                            const std::string &prefix) const
+{
+    reg.set(prefix + ".cycles", static_cast<double>(cycles),
+            "simulated pipeline cycles");
+    reg.set(prefix + ".uops", static_cast<double>(uops),
+            "micro-ops executed");
+    reg.set(prefix + ".slots", static_cast<double>(slots),
+            "pipeline slots occupied (fused pair = 1)");
+    reg.set(prefix + ".fused_pairs", static_cast<double>(fusedPairs),
+            "dependent pairs executed as macro-ops");
+    reg.set(prefix + ".x86_insns", static_cast<double>(x86Insns),
+            "distinct x86 instructions covered");
+    reg.set(prefix + ".uop_ipc", uopIpc(), "micro-ops per cycle");
+    reg.set(prefix + ".x86_ipc", x86Ipc(),
+            "x86 instructions per cycle");
+    reg.set(prefix + ".fused_fraction", fusedFraction(),
+            "fraction of micro-ops executing fused");
 }
 
 } // namespace cdvm::timing

@@ -21,10 +21,16 @@
 #ifndef CDVM_TIMING_PIPELINE_HH
 #define CDVM_TIMING_PIPELINE_HH
 
+#include <string>
 #include <vector>
 
 #include "timing/machine_config.hh"
 #include "uops/uop.hh"
+
+namespace cdvm
+{
+class StatRegistry;
+}
 
 namespace cdvm::timing
 {
@@ -66,6 +72,12 @@ struct PipelineResult
     {
         return uops ? 2.0 * fusedPairs / uops : 0.0;
     }
+
+    /**
+     * Publish the result under prefix.* (e.g. timing.pipeline.cycles,
+     * .uops, .x86_ipc). Values are copied at call time.
+     */
+    void exportStats(StatRegistry &reg, const std::string &prefix) const;
 };
 
 /** The pipeline simulator. */

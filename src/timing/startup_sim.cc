@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/statreg.hh"
+#include "common/trace.hh"
 
 namespace cdvm::timing
 {
@@ -12,6 +14,27 @@ using workload::BlockTrace;
 
 namespace
 {
+
+/** Cycle category -> trace phase, for the timing track (track 1). */
+TracePhase
+phaseOf(CycleCat c)
+{
+    switch (c) {
+      case CycleCat::ColdExec:
+        return TracePhase::ColdExec;
+      case CycleCat::BbtExec:
+        return TracePhase::BbtExec;
+      case CycleCat::SbtExec:
+        return TracePhase::SbtExec;
+      case CycleCat::BbtXlate:
+        return TracePhase::BbtTranslate;
+      case CycleCat::SbtXlate:
+        return TracePhase::SbtOptimize;
+      case CycleCat::Dispatch:
+      default:
+        return TracePhase::Dispatch;
+    }
+}
 
 constexpr Addr BBT_CC_BASE = 0xe0000000;
 constexpr Addr SBT_CC_BASE = 0xe8000000;
@@ -65,7 +88,7 @@ StartupSim::run()
     const double cpi_sbt =
         app.cpiRef / (1.0 + app.steadyGain / m.steadyCoverage);
     const double cpi_bbt = cpi_sbt * m.coldCpiFactor;
-    double cpi_cold;
+    double cpi_cold = app.cpiRef;
     switch (m.cold) {
       case ColdMode::Native:
       case ColdMode::X86Direct:
@@ -141,7 +164,18 @@ StartupSim::run()
         }
         return pen;
     };
+    // Phase tracing (track 1, cycle timebase). The coalescer merges
+    // back-to-back same-phase blocks so the event count scales with
+    // phase changes, not with dynamic blocks.
+    Tracer &tracer = Tracer::global();
+    const bool tracing = tracer.enabled();
+    SpanCoalescer spans(tracer, 1);
     auto add = [&](CycleCat c, double cyc, bool decode_on) {
+        if (tracing) {
+            const u64 ts = static_cast<u64>(cycles);
+            const u64 end = static_cast<u64>(cycles + cyc);
+            spans.add(phaseOf(c), ts, end - ts, insns);
+        }
         cycles += cyc;
         cat[static_cast<size_t>(c)] += cyc;
         if (decode_on)
@@ -280,6 +314,53 @@ StartupSim::run()
     res.catCycles = cat;
     res.decodeActiveCycles = decode_active;
     return res;
+}
+
+void
+StartupResult::exportStats(StatRegistry &reg,
+                           const std::string &prefix) const
+{
+    reg.set(prefix + ".total_cycles", static_cast<double>(totalCycles),
+            "simulated cycles");
+    reg.set(prefix + ".total_insns", static_cast<double>(totalInsns),
+            "x86 instructions emulated");
+    reg.set(prefix + ".steady_ipc", steadyIpc,
+            "asymptotic IPC of this machine on this app");
+    reg.set(prefix + ".hotspot_coverage", hotspotCoverage(),
+            "dynamic-instruction fraction from optimized code");
+    reg.set(prefix + ".insns.cold", static_cast<double>(insnsCold),
+            "instructions emulated cold");
+    reg.set(prefix + ".insns.bbt", static_cast<double>(insnsBbt),
+            "instructions from BBT translations");
+    reg.set(prefix + ".insns.sbt", static_cast<double>(insnsSbt),
+            "instructions from optimized hotspot code");
+    reg.set(prefix + ".static_insns.bbt",
+            static_cast<double>(staticInsnsBbt),
+            "static instructions translated by the BBT (M_BBT)");
+    reg.set(prefix + ".static_insns.sbt",
+            static_cast<double>(staticInsnsSbt),
+            "static instructions optimized by the SBT (M_SBT)");
+    reg.set(prefix + ".bbt_translations",
+            static_cast<double>(bbtTranslations),
+            "basic blocks translated");
+    reg.set(prefix + ".sbt_region_translations",
+            static_cast<double>(sbtRegionTranslations),
+            "hotspot regions optimized");
+    reg.set(prefix + ".decode_active_cycles", decodeActiveCycles,
+            "cycles with the x86 decode logic powered on");
+
+    static const char *const CAT_NAMES[] = {
+        "cold_exec", "bbt_exec", "sbt_exec",
+        "bbt_xlate", "sbt_xlate", "dispatch",
+    };
+    static_assert(sizeof(CAT_NAMES) / sizeof(CAT_NAMES[0]) ==
+                      static_cast<size_t>(CycleCat::NUM_CATS),
+                  "CAT_NAMES out of sync with CycleCat");
+    for (size_t i = 0; i < static_cast<size_t>(CycleCat::NUM_CATS);
+         ++i) {
+        reg.set(prefix + ".cycles." + CAT_NAMES[i], catCycles[i],
+                "cycles spent in this emulation stage");
+    }
 }
 
 } // namespace cdvm::timing

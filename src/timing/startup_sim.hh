@@ -36,6 +36,11 @@
 #include "workload/trace_gen.hh"
 #include "workload/winstone.hh"
 
+namespace cdvm
+{
+class StatRegistry;
+}
+
 namespace cdvm::timing
 {
 
@@ -116,6 +121,13 @@ struct StartupResult
             return 0.0;
         return static_cast<double>(s.insns) * cpiRef / s.cycles;
     }
+
+    /**
+     * Publish the run's cycle/instruction accounting under prefix.*
+     * (e.g. timing.startup.cycles.bbt_xlate). Values are copied at
+     * call time.
+     */
+    void exportStats(StatRegistry &reg, const std::string &prefix) const;
 };
 
 /** The simulator. */

@@ -3,6 +3,8 @@
 #include <cassert>
 
 #include "common/logging.hh"
+#include "common/statreg.hh"
+#include "common/trace.hh"
 #include "uops/encoding.hh"
 
 namespace cdvm::vmm
@@ -62,6 +64,8 @@ Vmm::registerTranslation(std::unique_ptr<Translation> t)
             ++st.bbtCacheFlushes;
         else
             ++st.sbtCacheFlushes;
+        CDVM_TRACE_INSTANT(Tracer::global(), TracePhase::CacheFlush,
+                           vclock, t->kind == TransKind::BasicBlock);
         at = cc.allocate(t->codeBytes);
         if (at == 0)
             cdvm_fatal("translation (%u bytes) exceeds code cache '%s'",
@@ -82,6 +86,12 @@ Vmm::translateBlock(Addr pc)
         return nullptr;
     ++st.bbtTranslations;
     st.bbtInsnsTranslated += t->numX86Insns;
+    // Translation work advances the trace clock by the instructions
+    // translated (a proxy for the Delta_BBT cost in virtual time).
+    const u64 work = t->numX86Insns;
+    CDVM_TRACE_SPAN(Tracer::global(), TracePhase::BbtTranslate, vclock,
+                    work, pc);
+    vclock += work;
     registerTranslation(std::move(t));
     return map.lookup(pc, TransKind::BasicBlock);
 }
@@ -108,6 +118,10 @@ Vmm::invokeSbt(Addr seed_pc)
     std::unique_ptr<Translation> t = sbtXlator.translate(*trace);
     ++st.sbtTranslations;
     st.sbtInsnsTranslated += t->numX86Insns;
+    const u64 work = t->numX86Insns;
+    CDVM_TRACE_SPAN(Tracer::global(), TracePhase::SbtOptimize, vclock,
+                    work, seed_pc);
+    vclock += work;
     registerTranslation(std::move(t));
 }
 
@@ -265,7 +279,16 @@ Vmm::run(x86::CpuState &cpu, InstCount max_insns)
         if (!t) {
             // Interpreter or x86-mode execution of the cold block.
             lastTrans = nullptr;
+            const InstCount cold_start = retired;
             x86::Exit e = runCold(cpu, max_insns - retired, retired);
+            if (const u64 delta = retired - cold_start) {
+                CDVM_TRACE_SPAN(Tracer::global(),
+                                cfg.cold == ColdStrategy::X86Mode
+                                    ? TracePhase::X86Mode
+                                    : TracePhase::Interp,
+                                vclock, delta, pc);
+                vclock += delta;
+            }
             if (e != x86::Exit::None)
                 return e;
             continue;
@@ -274,7 +297,16 @@ Vmm::run(x86::CpuState &cpu, InstCount max_insns)
         // Execute in the code cache (translated native mode).
         ++t->execCount;
         Translation *executed = t;
+        const bool exec_sbt = t->kind == TransKind::Superblock;
+        const InstCount exec_start = retired;
         x86::Exit e = runTranslated(cpu, t, retired);
+        if (const u64 delta = retired - exec_start) {
+            CDVM_TRACE_SPAN(Tracer::global(),
+                            exec_sbt ? TracePhase::SbtExec
+                                     : TracePhase::BbtExec,
+                            vclock, delta, executed->entryPc);
+            vclock += delta;
+        }
         if (e != x86::Exit::None)
             return e;
 
@@ -282,8 +314,11 @@ Vmm::run(x86::CpuState &cpu, InstCount max_insns)
         // actually went to, so the next visit skips the lookup table.
         if (cfg.enableChaining) {
             Translation *succ = map.lookup(cpu.eip);
-            if (succ && executed->addChain(cpu.eip, succ))
+            if (succ && executed->addChain(cpu.eip, succ)) {
                 ++st.chainsInstalled;
+                CDVM_TRACE_INSTANT(Tracer::global(), TracePhase::Chain,
+                                   vclock, cpu.eip);
+            }
         }
         lastTrans = executed;
 
@@ -295,6 +330,67 @@ Vmm::run(x86::CpuState &cpu, InstCount max_insns)
         }
     }
     return x86::Exit::None;
+}
+
+void
+Vmm::exportStats(StatRegistry &reg) const
+{
+    auto set = [&reg](const std::string &name, u64 v,
+                      const char *desc) {
+        reg.set(name, static_cast<double>(v), desc);
+    };
+
+    // vmm.*: retired-instruction mix and runtime machinery.
+    set("vmm.insns.interp", st.insnsInterp,
+        "x86 instructions retired by the interpreter");
+    set("vmm.insns.x86_mode", st.insnsX86Mode,
+        "x86 instructions retired in hardware x86-mode");
+    set("vmm.insns.bbt_code", st.insnsBbtCode,
+        "x86 instructions retired in BBT translations");
+    set("vmm.insns.sbt_code", st.insnsSbtCode,
+        "x86 instructions retired in SBT superblocks");
+    set("vmm.insns.total", st.totalRetired(),
+        "x86 instructions retired, all modes");
+    set("vmm.uops.bbt_code", st.uopsBbtCode,
+        "micro-ops retired in BBT translations");
+    set("vmm.uops.sbt_code", st.uopsSbtCode,
+        "micro-ops retired in SBT superblocks");
+    set("vmm.dispatches", st.dispatches,
+        "translation lookup-table dispatches");
+    set("vmm.chain.follows", st.chainFollows,
+        "dispatches short-circuited by chaining");
+    set("vmm.chain.installs", st.chainsInstalled,
+        "chain links installed between translations");
+    set("vmm.hotspot_detections", st.hotspotDetections,
+        "hot-threshold crossings that invoked the SBT");
+    set("vmm.precise_state_recoveries", st.preciseStateRecoveries,
+        "faults recovered by interpreter re-execution");
+    set("vmm.bbt.translations", st.bbtTranslations,
+        "basic blocks translated by the BBT");
+    set("vmm.bbt.insns_translated", st.bbtInsnsTranslated,
+        "x86 instructions translated by the BBT");
+    set("vmm.sbt.translations", st.sbtTranslations,
+        "superblocks built by the SBT");
+    set("vmm.sbt.insns_translated", st.sbtInsnsTranslated,
+        "x86 instructions translated by the SBT");
+    set("vmm.sbt.formation_failures", st.sbtFormationFailures,
+        "seeds where superblock formation failed");
+    set("vmm.cache_flushes.bbt", st.bbtCacheFlushes,
+        "BBT code cache flush-on-full events");
+    set("vmm.cache_flushes.sbt", st.sbtCacheFlushes,
+        "SBT code cache flush-on-full events");
+    set("vmm.trace_clock", vclock,
+        "virtual work-unit clock at export time");
+
+    // dbt.*: translators, code caches, and the lookup table.
+    bbtXlator.exportStats(reg, "dbt.bbt");
+    sbtXlator.exportStats(reg, "dbt.sbt");
+    bbtCc.exportStats(reg, "dbt.codecache.bbt");
+    sbtCc.exportStats(reg, "dbt.codecache.sbt");
+    map.exportStats(reg, "dbt.lookup");
+
+    // hwassist.*: the branch behavior buffer.
+    hotBbb.exportStats(reg, "hwassist.bbb");
 }
 
 } // namespace cdvm::vmm

@@ -27,6 +27,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/trace.hh"
 #include "dbt/bbt.hh"
 #include "dbt/codecache.hh"
 #include "dbt/costs.hh"
@@ -37,6 +38,11 @@
 #include "uops/exec.hh"
 #include "x86/interp.hh"
 #include "x86/memory.hh"
+
+namespace cdvm
+{
+class StatRegistry;
+}
 
 namespace cdvm::vmm
 {
@@ -131,6 +137,22 @@ class Vmm
     /** Observed taken-bias of the branch at branch_pc, if profiled. */
     std::optional<double> branchBias(Addr branch_pc) const;
 
+    /**
+     * Publish the full staged-emulation picture into a StatRegistry:
+     * vmm.* (this object's counters), dbt.* (translators, code
+     * caches, lookup table) and hwassist.* (BBB). Values are copied
+     * at call time; call after run().
+     */
+    void exportStats(StatRegistry &reg) const;
+
+    /**
+     * The VMM's virtual trace clock, in work units: retired x86
+     * instructions advance it by one each, translation work by the
+     * number of instructions translated. Phase spans recorded with
+     * the global Tracer use this timebase (track 0).
+     */
+    u64 traceClock() const { return vclock; }
+
   private:
     dbt::Translation *translateBlock(Addr pc);
     void registerTranslation(std::unique_ptr<dbt::Translation> t);
@@ -162,6 +184,9 @@ class Vmm
     std::unordered_set<Addr> sbtFailed;
     /** The translation we last exited from (chaining source). */
     dbt::Translation *lastTrans = nullptr;
+
+    /** Virtual trace timebase (see traceClock()). */
+    u64 vclock = 0;
 };
 
 } // namespace cdvm::vmm

@@ -28,16 +28,19 @@ expectSameUop(const Uop &a, const Uop &b, const std::string &label)
     EXPECT_EQ(a.src1, b.src1) << label;
     EXPECT_EQ(a.src2, b.src2) << label;
     EXPECT_EQ(a.size, b.size) << label;
-    if (a.isMem())
+    if (a.isMem()) {
         EXPECT_EQ(a.scale, b.scale) << label;
+    }
     EXPECT_EQ(a.cond, b.cond) << label;
     EXPECT_EQ(a.hasImm, b.hasImm) << label;
-    if (a.hasImm)
+    if (a.hasImm) {
         EXPECT_EQ(a.imm, b.imm) << label;
+    }
     EXPECT_EQ(a.writeFlags, b.writeFlags) << label;
     EXPECT_EQ(a.fusedHead, b.fusedHead) << label;
-    if (a.op == UOp::Br || a.op == UOp::Jmp)
+    if (a.op == UOp::Br || a.op == UOp::Jmp) {
         EXPECT_EQ(a.target, b.target) << label;
+    }
 }
 
 void

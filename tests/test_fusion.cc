@@ -143,8 +143,9 @@ TEST(Fusion, BranchTailOnlyWhenAdjacent)
     FusionStats st = fusePairs(v);
     // cmp may not fuse with the branch; mov doesn't read cmp's output.
     for (const Uop &u : v) {
-        if (u.op == UOp::Cmp)
+        if (u.op == UOp::Cmp) {
             EXPECT_FALSE(u.fusedHead);
+        }
     }
     (void)st;
 }

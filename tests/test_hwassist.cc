@@ -74,7 +74,9 @@ TEST(Xlt, MatchesSoftwareCracker)
             std::vector<u8> sw = uops::encode(cr.uops);
             ASSERT_LE(sw.size(), 16u);
             EXPECT_EQ(uops::csr::uopBytes(csr), sw.size());
-            EXPECT_EQ(std::memcmp(dst, sw.data(), sw.size()), 0);
+            if (!sw.empty()) {
+                EXPECT_EQ(std::memcmp(dst, sw.data(), sw.size()), 0);
+            }
             ++checked;
         }
         pos += dr.insn.length;
