@@ -20,6 +20,7 @@
 
 #include "analysis/startup_curve.hh"
 #include "common/cli.hh"
+#include "common/statreg.hh"
 #include "common/table.hh"
 #include "timing/startup_sim.hh"
 #include "workload/winstone.hh"
@@ -33,7 +34,9 @@ standardSetup(Cli &cli, int argc, char **argv, u64 default_insns)
 {
     cli.flag("instructions", std::to_string(default_insns),
              "dynamic x86 instructions per application trace");
+    addObservabilityFlags(cli);
     cli.parse(argc, argv);
+    applyObservabilityFlags(cli);
     double scaled = static_cast<double>(cli.num("instructions")) *
                     envScale();
     u64 n = static_cast<u64>(scaled);
@@ -55,6 +58,68 @@ runMachine(const timing::MachineConfig &m,
                      static_cast<double>(out.back().totalCycles) / 1e6);
     }
     return out;
+}
+
+/**
+ * Publish suite-aggregate startup metrics into the global stat
+ * registry under prefix.* so CI can track the perf trajectory per PR
+ * (--stats-json + dumpObservability writes them out):
+ *
+ *   prefix.apps                      applications in the suite
+ *   prefix.cycles_to.insns_<N>      suite-mean cycles to the first
+ *                                    1k/10k/.../100M instructions
+ *   prefix.breakeven_cycles_mean    mean over apps that broke even
+ *   prefix.apps_broke_even          how many did (given a reference)
+ */
+inline void
+exportSuiteStartup(const std::string &prefix,
+                   const std::vector<timing::StartupResult> &vm,
+                   const std::vector<timing::StartupResult> *ref =
+                       nullptr)
+{
+    StatRegistry &reg = StatRegistry::global();
+    reg.set(prefix + ".apps", static_cast<double>(vm.size()),
+            "applications in the suite");
+
+    for (u64 n = 1000; n <= u64{100'000'000}; n *= 10) {
+        double sum = 0.0;
+        unsigned reached = 0;
+        for (const timing::StartupResult &r : vm) {
+            double c =
+                analysis::cyclesToInsns(r, static_cast<double>(n));
+            if (c >= 0.0) {
+                sum += c;
+                ++reached;
+            }
+        }
+        if (reached == 0)
+            break;
+        std::string label = n >= 1'000'000
+                                ? std::to_string(n / 1'000'000) + "m"
+                                : std::to_string(n / 1000) + "k";
+        reg.set(prefix + ".cycles_to.insns_" + label,
+                sum / static_cast<double>(reached),
+                "suite-mean cycles to reach this many instructions");
+    }
+
+    if (ref) {
+        double sum = 0.0;
+        unsigned broke = 0;
+        for (std::size_t i = 0; i < vm.size() && i < ref->size(); ++i) {
+            double b = analysis::breakevenCycle(vm[i], (*ref)[i]);
+            if (b >= 0.0) {
+                sum += b;
+                ++broke;
+            }
+        }
+        reg.set(prefix + ".breakeven_cycles_mean",
+                broke ? sum / static_cast<double>(broke) : -1.0,
+                "mean breakeven cycle over apps that broke even "
+                "(negative: none did)");
+        reg.set(prefix + ".apps_broke_even",
+                static_cast<double>(broke),
+                "apps whose cumulative insns caught the reference");
+    }
 }
 
 } // namespace cdvm::bench

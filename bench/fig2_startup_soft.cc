@@ -91,5 +91,11 @@ main(int argc, char **argv)
     std::printf("Interp&SBT aggregate vs Ref at Ref finish:     "
                 "%.2f   (paper: ~0.5)\n",
                 itp_at / ref_done);
+
+    // Per-PR perf trajectory: suite aggregates for the CI artifact.
+    bench::exportSuiteStartup("bench.fig2.ref", ref);
+    bench::exportSuiteStartup("bench.fig2.vm_interp", interp, &ref);
+    bench::exportSuiteStartup("bench.fig2.vm_soft", soft, &ref);
+    dumpObservability();
     return 0;
 }

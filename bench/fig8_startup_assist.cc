@@ -99,5 +99,12 @@ main(int argc, char **argv)
     summarize("VM.fe", fe);
     std::printf("(paper: VM.fe ~zero startup overhead; VM.be breakeven "
                 "~10M cycles;\n VM.soft breakeven beyond 200M cycles)\n");
+
+    // Per-PR perf trajectory: suite aggregates for the CI artifact.
+    bench::exportSuiteStartup("bench.fig8.ref", ref);
+    bench::exportSuiteStartup("bench.fig8.vm_soft", soft, &ref);
+    bench::exportSuiteStartup("bench.fig8.vm_be", be, &ref);
+    bench::exportSuiteStartup("bench.fig8.vm_fe", fe, &ref);
+    dumpObservability();
     return 0;
 }

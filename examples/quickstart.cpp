@@ -1,10 +1,15 @@
 /**
  * @file
  * Quickstart: assemble a small x86 program, run it under the full
- * co-designed VM (BBT -> hotspot detection -> SBT), and compare with
- * the reference interpreter.
+ * co-designed VM (cold execution -> hotspot detection -> SBT), and
+ * compare with the reference interpreter.
  *
- *   $ ./build/examples/quickstart
+ * Any of the engine's named configurations can drive the run:
+ *
+ *   $ ./build/examples/quickstart --config=vm.soft   # software BBT
+ *   $ ./build/examples/quickstart --config=vm.fe    # x86-mode + BBB
+ *   $ ./build/examples/quickstart --config=vm.be    # XLTx86 HAloop
+ *   $ ./build/examples/quickstart --config=vm.dual  # HAloop + BBB
  *
  * With the observability flags the run also exports the VM-wide stats
  * registry and a Chrome-trace timeline of the emulation phases:
@@ -18,6 +23,7 @@
 #include "analysis/startup_curve.hh"
 #include "common/cli.hh"
 #include "common/statreg.hh"
+#include "engine/engine_config.hh"
 #include "timing/startup_sim.hh"
 #include "vmm/vmm.hh"
 #include "workload/winstone.hh"
@@ -27,15 +33,48 @@
 using namespace cdvm;
 using namespace cdvm::x86;
 
+namespace
+{
+
+/** Timing-machine preset matching an engine configuration. */
+timing::MachineConfig
+machineFor(const std::string &name)
+{
+    if (name == "vm.fe")
+        return timing::MachineConfig::vmFe();
+    if (name == "vm.be" || name == "vm.dual")
+        return timing::MachineConfig::vmBe();
+    if (name == "vm.interp")
+        return timing::MachineConfig::vmInterp();
+    return timing::MachineConfig::vmSoft();
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
     Cli cli("Run a small program under the co-designed VM and the "
             "reference interpreter, then a startup-transient timing "
             "simulation; optionally export stats and a phase trace.");
+    cli.flag("config", "vm.soft",
+             "engine configuration: vm.soft|vm.fe|vm.be|vm.dual|"
+             "vm.interp");
     addObservabilityFlags(cli);
     cli.parse(argc, argv);
     applyObservabilityFlags(cli);
+
+    const std::string cfg_name = cli.str("config");
+    std::optional<vmm::VmmConfig> named =
+        engine::EngineConfig::byName(cfg_name);
+    if (!named) {
+        std::fprintf(stderr, "unknown --config '%s'; known:",
+                     cfg_name.c_str());
+        for (const std::string &n : engine::EngineConfig::names())
+            std::fprintf(stderr, " %s", n.c_str());
+        std::fprintf(stderr, "\n");
+        return 1;
+    }
 
     // A tiny program: sum = sum(i*i for i in 1..100), looped enough
     // times that the VM's hotspot optimizer kicks in.
@@ -80,14 +119,18 @@ main(int argc, char **argv)
     vm_cpu.eip = 0x00400000;
     vm_cpu.regs[ESP] = 0x7fff0000;
 
-    vmm::VmmConfig cfg;
-    cfg.hotThreshold = 50; // small demo: detect hotspots quickly
+    vmm::VmmConfig cfg = *named;
+    // Small demo: detect hotspots quickly (both detector kinds).
+    cfg.hotThreshold = 50;
+    cfg.interpHotThreshold = 50;
+    cfg.bbbParams.hotThreshold = 50;
     vmm::Vmm vm(vm_mem, cfg);
     e = vm.run(vm_cpu, 100'000'000);
 
     const vmm::VmmStats &st = vm.stats();
-    std::printf("co-designed VM: exit=%d, EBX=0x%08x\n\n",
-                static_cast<int>(e), vm_cpu.regs[EBX]);
+    std::printf("co-designed VM (%s): exit=%d, EBX=0x%08x\n\n",
+                cfg.name.c_str(), static_cast<int>(e),
+                vm_cpu.regs[EBX]);
     std::printf("staged emulation statistics:\n");
     std::printf("  BBT translations:       %llu (%llu x86 insns)\n",
                 static_cast<unsigned long long>(st.bbtTranslations),
@@ -108,12 +151,13 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(st.chainFollows));
 
     // --- startup-transient timing simulation --------------------------
-    // A short VM.soft run over the suite-average workload, plus the
-    // reference superscalar for the breakeven point: publishes
-    // timing.startup.* (per-stage cycles, milestone ladder) and traces
-    // the cycle-timebase phases on track 1.
+    // A short run of the matching Table 2 machine over the
+    // suite-average workload, plus the reference superscalar for the
+    // breakeven point: publishes timing.startup.* (per-stage cycles,
+    // milestone ladder) and traces the cycle-timebase phases on
+    // track 1.
     workload::AppProfile app = workload::winstoneAverage(2'000'000);
-    timing::StartupSim sim(timing::MachineConfig::vmSoft(), app);
+    timing::StartupSim sim(machineFor(cfg.name), app);
     timing::StartupResult sr = sim.run();
     timing::StartupSim ref_sim(timing::MachineConfig::refSuperscalar(),
                                app);

@@ -10,17 +10,19 @@
  *   Delta_SBT = 1152 x86 instructions = 1674 native instructions per
  *               translated hotspot instruction.
  *
- * The constants live here so the analytical model (Eq. 1 / Eq. 2), the
- * translators' accounting, and the startup timing simulator all draw
- * from a single source. The HAloop micro-benchmark cross-checks the
- * 20-cycle VM.be figure against an actual micro-op-level execution of
- * the loop.
+ * The numeric constants themselves live in engine/params.hh (with
+ * their paper citations); this header shapes them into the per-machine
+ * cost models the analytical model (Eq. 1 / Eq. 2), the translators'
+ * accounting and the startup timing simulator consume. The HAloop
+ * micro-benchmark cross-checks the 20-cycle VM.be figure against an
+ * actual micro-op-level execution of the loop.
  */
 
 #ifndef CDVM_DBT_COSTS_HH
 #define CDVM_DBT_COSTS_HH
 
 #include "common/types.hh"
+#include "engine/params.hh"
 
 namespace cdvm::dbt
 {
@@ -29,13 +31,13 @@ namespace cdvm::dbt
 struct TranslationCosts
 {
     /** BBT: native instructions executed per x86 instruction. */
-    double bbtNativePerInsn = 105.0;
+    double bbtNativePerInsn = engine::params::BBT_NATIVE_PER_INSN;
     /** BBT: cycles per x86 instruction (incl. chaining + lookup). */
-    double bbtCyclesPerInsn = 83.0;
+    double bbtCyclesPerInsn = engine::params::BBT_CYCLES_PER_INSN;
     /** SBT: native instructions per translated x86 instruction. */
-    double sbtNativePerInsn = 1674.0;
+    double sbtNativePerInsn = engine::params::SBT_NATIVE_PER_INSN;
     /** SBT: cycles per translated x86 instruction. */
-    double sbtCyclesPerInsn = 1340.0;
+    double sbtCyclesPerInsn = engine::params::SBT_CYCLES_PER_INSN;
 
     /** Software-only translators (VM.soft). */
     static TranslationCosts
@@ -49,8 +51,9 @@ struct TranslationCosts
     backendAssist()
     {
         TranslationCosts c;
-        c.bbtNativePerInsn = 11.0; // HAloop micro-ops per x86 insn
-        c.bbtCyclesPerInsn = 20.0; // measured in Section 5.3
+        // HAloop micro-ops / cycles per x86 insn (Section 5.3).
+        c.bbtNativePerInsn = engine::params::BBT_ASSIST_NATIVE_PER_INSN;
+        c.bbtCyclesPerInsn = engine::params::BBT_ASSIST_CYCLES_PER_INSN;
         return c;
     }
 
@@ -85,9 +88,12 @@ struct TranslationCosts
 /** Paper Section 3.2 model constants, in x86-instruction units. */
 struct ModelConstants
 {
-    double deltaSbtX86 = 1152.0;  //!< measured Delta_SBT (x86 instrs)
-    double sbtSpeedupP = 1.15;    //!< p: SBT code speedup over BBT code
-    u64 hotThreshold = 8000;      //!< N = Delta_SBT / (p - 1), rounded
+    /** Measured Delta_SBT (x86 instructions). */
+    double deltaSbtX86 = engine::params::SBT_DELTA_X86;
+    /** p: SBT code speedup over BBT code. */
+    double sbtSpeedupP = engine::params::SBT_SPEEDUP_P;
+    /** N = Delta_SBT / (p - 1), rounded. */
+    u64 hotThreshold = engine::params::HOT_THRESHOLD;
 };
 
 } // namespace cdvm::dbt

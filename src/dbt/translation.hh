@@ -76,11 +76,21 @@ struct Translation
     struct Chain
     {
         Addr targetPc = 0;
-        const Translation *to = nullptr;
+        Translation *to = nullptr;
     };
     Chain chains[2];
 
     /** Find a chained successor for the given next PC. */
+    Translation *
+    chainedTo(Addr pc)
+    {
+        for (const Chain &c : chains) {
+            if (c.to && c.targetPc == pc)
+                return c.to;
+        }
+        return nullptr;
+    }
+
     const Translation *
     chainedTo(Addr pc) const
     {
@@ -93,7 +103,7 @@ struct Translation
 
     /** Install a chain to a successor; returns false if no slot. */
     bool
-    addChain(Addr pc, const Translation *to)
+    addChain(Addr pc, Translation *to)
     {
         for (Chain &c : chains) {
             if (!c.to) {

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Translation backends: how architected code becomes translations.
+ *
+ * Three implementations of the TranslationBackend strategy:
+ *
+ *  - SoftwareBbtBackend: the software decode+crack basic-block
+ *    translator (VM.soft);
+ *  - XltBbtBackend: the HAloop driving the XLTx86 functional unit
+ *    (VM.be / VM.dual). Straight-line instructions are decoded,
+ *    cracked and encoded *by the hardware model* into a concealed
+ *    scratch window; CTIs and complex instructions take the software
+ *    path, exactly as the paper's Fig. 6a handlers do. The backend
+ *    then lifts the emitted encoding back into a Translation whose
+ *    shape (covered instructions, block-ending rules, micro-op
+ *    sequence) is identical to the software BBT's -- differential
+ *    tests hold VM.be to VM.soft's retired-instruction totals.
+ *  - SbtBackend: superblock formation + optimization from a hot seed.
+ */
+
+#ifndef CDVM_ENGINE_BACKEND_HH
+#define CDVM_ENGINE_BACKEND_HH
+
+#include <functional>
+#include <memory>
+
+#include "dbt/bbt.hh"
+#include "dbt/sbt.hh"
+#include "dbt/superblock.hh"
+#include "engine/engine_config.hh"
+#include "engine/strategy.hh"
+#include "hwassist/haloop.hh"
+#include "hwassist/xlt.hh"
+#include "x86/memory.hh"
+
+namespace cdvm::engine
+{
+
+/** The software basic-block translator (VM.soft cold path). */
+class SoftwareBbtBackend : public TranslationBackend
+{
+  public:
+    SoftwareBbtBackend(x86::Memory &memory, unsigned max_insns)
+        : xlator(memory, max_insns)
+    {
+    }
+
+    std::unique_ptr<dbt::Translation>
+    translate(Addr pc) override
+    {
+        return xlator.translate(pc);
+    }
+
+    void exportStats(StatRegistry &reg,
+                     const std::string &prefix) const override;
+
+  private:
+    dbt::BasicBlockTranslator xlator;
+};
+
+/** The XLTx86-assisted BBT (VM.be / VM.dual cold path). */
+class XltBbtBackend : public TranslationBackend
+{
+  public:
+    /**
+     * The HAloop's STF target: a concealed scratch window the
+     * hardware emits encoded micro-ops into before the VMM installs
+     * them in the real arena (well above guest code, stack and both
+     * code caches).
+     */
+    static constexpr Addr SCRATCH_BASE = 0xf8000000;
+
+    XltBbtBackend(x86::Memory &memory, unsigned max_insns,
+                  EngineStats &stats)
+        : mem(memory), loop(memory, xltUnit), maxInsns(max_insns),
+          st(stats)
+    {
+    }
+
+    std::unique_ptr<dbt::Translation> translate(Addr pc) override;
+
+    void exportStats(StatRegistry &reg,
+                     const std::string &prefix) const override;
+
+    const hwassist::XltUnit &unit() const { return xltUnit; }
+    const hwassist::HaLoop &haloop() const { return loop; }
+
+  private:
+    x86::Memory &mem;
+    hwassist::XltUnit xltUnit;
+    hwassist::HaLoop loop;
+    unsigned maxInsns;
+    EngineStats &st;
+    u64 nBlocks = 0;
+    u64 nInsns = 0;
+};
+
+/** The superblock optimizer (hot path of every configuration). */
+class SbtBackend : public TranslationBackend
+{
+  public:
+    /** Callback giving the observed taken-bias of a branch. */
+    using BiasFn = std::function<std::optional<double>(Addr)>;
+
+    SbtBackend(x86::Memory &memory, const EngineConfig &cfg,
+               BiasFn bias_fn)
+        : mem(memory), policy(cfg.sbPolicy), bias(std::move(bias_fn)),
+          xlator(cfg.fusion)
+    {
+    }
+
+    /** Form + optimize from the hot seed; nullptr when formation
+     *  fails (the dispatch core remembers failed seeds). */
+    std::unique_ptr<dbt::Translation> translate(Addr seed_pc) override;
+
+    void exportStats(StatRegistry &reg,
+                     const std::string &prefix) const override;
+
+    const dbt::SuperblockTranslator &translator() const
+    {
+        return xlator;
+    }
+
+  private:
+    x86::Memory &mem;
+    dbt::SuperblockPolicy policy;
+    BiasFn bias;
+    dbt::SuperblockTranslator xlator;
+};
+
+} // namespace cdvm::engine
+
+#endif // CDVM_ENGINE_BACKEND_HH

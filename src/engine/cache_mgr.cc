@@ -1,0 +1,69 @@
+#include "engine/cache_mgr.hh"
+
+#include "common/logging.hh"
+#include "common/statreg.hh"
+#include "uops/encoding.hh"
+
+namespace cdvm::engine
+{
+
+using dbt::TransKind;
+using dbt::Translation;
+
+CodeCacheManager::CodeCacheManager(x86::Memory &memory,
+                                   const EngineConfig &cfg,
+                                   EngineStats &stats,
+                                   EventStream &event_stream)
+    : mem(memory),
+      st(stats),
+      events(event_stream),
+      bbtCc("bbt-cache", cfg.bbtCacheBase, cfg.bbtCacheBytes),
+      sbtCc("sbt-cache", cfg.sbtCacheBase, cfg.sbtCacheBytes)
+{
+}
+
+CodeCacheManager::InstallResult
+CodeCacheManager::install(std::unique_ptr<Translation> t)
+{
+    InstallResult res;
+    const TransKind kind = t->kind;
+    dbt::CodeCache &cc = kind == TransKind::BasicBlock ? bbtCc : sbtCc;
+    Addr at = cc.allocate(t->codeBytes);
+    if (at == 0) {
+        // Arena full: flush it and drop the associated translations
+        // (chains are conservatively reset); then the allocation must
+        // succeed unless the translation is bigger than the arena.
+        cc.flush();
+        map.eraseKind(kind);
+        res.flushed = true;
+        if (kind == TransKind::BasicBlock)
+            ++st.bbtCacheFlushes;
+        else
+            ++st.sbtCacheFlushes;
+        StageEvent ev;
+        ev.stage = TracePhase::CacheFlush;
+        ev.instant = true;
+        ev.arg = kind == TransKind::BasicBlock;
+        events.emit(ev);
+        at = cc.allocate(t->codeBytes);
+        if (at == 0)
+            cdvm_fatal("translation (%u bytes) exceeds code cache '%s'",
+                       t->codeBytes, cc.name().c_str());
+    }
+    t->codeAddr = at;
+    // The encoded body really lives in concealed guest memory.
+    std::vector<u8> bytes = uops::encode(t->uops);
+    mem.writeBlock(at, bytes);
+    res.trans = map.insert(std::move(t));
+    return res;
+}
+
+void
+CodeCacheManager::exportStats(StatRegistry &reg) const
+{
+    bbtCc.exportStats(reg, "dbt.codecache.bbt");
+    sbtCc.exportStats(reg, "dbt.codecache.sbt");
+    map.exportStats(reg, "dbt.lookup");
+}
+
+} // namespace cdvm::engine

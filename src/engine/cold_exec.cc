@@ -1,0 +1,48 @@
+#include "engine/cold_exec.hh"
+
+#include "common/statreg.hh"
+#include "x86/interp.hh"
+
+namespace cdvm::engine
+{
+
+x86::Exit
+DirectColdExecutor::execute(x86::CpuState &cpu, InstCount budget,
+                            InstCount &retired)
+{
+    // Execute one dynamic basic block's worth of instructions
+    // directly. Functionally identical across strategies; profiled
+    // and accounted differently by the hooks.
+    u64 block_insns = 0;
+    x86::Interpreter interp(cpu, mem);
+    for (InstCount n = 0; n < budget; ++n) {
+        x86::StepResult sr = interp.step();
+        if (sr.exit != x86::Exit::None) {
+            onBlockDone(block_insns);
+            return sr.exit;
+        }
+        ++retired;
+        ++block_insns;
+        onRetire();
+        if (sr.insn.isCondBranch())
+            prof.record(sr.insn.pc, sr.taken);
+        if (sr.insn.isCti())
+            break; // end of dynamic basic block
+    }
+    onBlockDone(block_insns);
+    return x86::Exit::None;
+}
+
+void
+X86ModeColdExecutor::exportStats(StatRegistry &reg) const
+{
+    dual.exportStats(reg, "hwassist.dualmode");
+}
+
+void
+BbtColdExecutor::exportStats(StatRegistry &reg) const
+{
+    backend->exportStats(reg, "dbt.bbt");
+}
+
+} // namespace cdvm::engine

@@ -1,0 +1,78 @@
+#include "engine/engine_config.hh"
+
+namespace cdvm::engine
+{
+
+EngineConfig
+EngineConfig::vmSoft()
+{
+    EngineConfig c;
+    c.name = "vm.soft";
+    c.cold = ColdKind::SoftwareBbt;
+    c.detector = DetectorKind::SoftwareCounters;
+    return c;
+}
+
+EngineConfig
+EngineConfig::vmFe()
+{
+    EngineConfig c;
+    c.name = "vm.fe";
+    c.cold = ColdKind::HardwareX86Mode;
+    c.detector = DetectorKind::Bbb;
+    return c;
+}
+
+EngineConfig
+EngineConfig::vmBe()
+{
+    EngineConfig c;
+    c.name = "vm.be";
+    c.cold = ColdKind::XltAssistedBbt;
+    c.detector = DetectorKind::SoftwareCounters;
+    return c;
+}
+
+EngineConfig
+EngineConfig::vmDual()
+{
+    EngineConfig c;
+    c.name = "vm.dual";
+    c.cold = ColdKind::XltAssistedBbt;
+    c.detector = DetectorKind::Bbb;
+    return c;
+}
+
+EngineConfig
+EngineConfig::vmInterp()
+{
+    EngineConfig c;
+    c.name = "vm.interp";
+    c.cold = ColdKind::Interpret;
+    c.detector = DetectorKind::SoftwareCounters;
+    return c;
+}
+
+std::optional<EngineConfig>
+EngineConfig::byName(const std::string &name)
+{
+    if (name == "vm.soft")
+        return vmSoft();
+    if (name == "vm.fe")
+        return vmFe();
+    if (name == "vm.be")
+        return vmBe();
+    if (name == "vm.dual")
+        return vmDual();
+    if (name == "vm.interp")
+        return vmInterp();
+    return std::nullopt;
+}
+
+std::vector<std::string>
+EngineConfig::names()
+{
+    return {"vm.soft", "vm.fe", "vm.be", "vm.dual", "vm.interp"};
+}
+
+} // namespace cdvm::engine

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Engine configuration and statistics.
+ *
+ * An EngineConfig names one point in the staged-emulation design
+ * space: which ColdExecutor runs untranslated code, which
+ * HotspotDetector decides when a region is hot, and the SBT/cache
+ * parameters shared by all of them. The named factories compose the
+ * paper's configurations:
+ *
+ *   vm.soft  software BBT cold path  + software exec counters
+ *   vm.fe    hardware x86-mode cold  + branch behavior buffer
+ *   vm.be    XLTx86-assisted BBT     + software exec counters
+ *   vm.dual  XLTx86-assisted BBT     + branch behavior buffer
+ *   vm.interp  interpretation        + software entry counters
+ */
+
+#ifndef CDVM_ENGINE_ENGINE_CONFIG_HH
+#define CDVM_ENGINE_ENGINE_CONFIG_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dbt/superblock.hh"
+#include "engine/params.hh"
+#include "hwassist/bbb.hh"
+#include "uops/fusion.hh"
+
+namespace cdvm::engine
+{
+
+/** The cold-code execution strategies (paper Sections 3-4). */
+enum class ColdKind : u8
+{
+    Interpret,       //!< one instruction at a time (Fig. 2)
+    HardwareX86Mode, //!< dual-mode decoders execute x86 directly (VM.fe)
+    SoftwareBbt,     //!< software basic-block translation (VM.soft)
+    XltAssistedBbt,  //!< HAloop + XLTx86 functional unit (VM.be)
+};
+
+/** Hotspot detection strategies. */
+enum class DetectorKind : u8
+{
+    SoftwareCounters, //!< per-translation / per-entry exec counters
+    Bbb,              //!< hardware branch behavior buffer (Section 4.1)
+};
+
+/** One composed staged-emulation configuration. */
+struct EngineConfig
+{
+    /** Display name ("vm.soft", ... or "custom"). */
+    std::string name = "custom";
+
+    ColdKind cold = ColdKind::SoftwareBbt;
+    DetectorKind detector = DetectorKind::SoftwareCounters;
+
+    /** Hot threshold for BBT- or BBB-profiled code (Eq. 2: 8000). */
+    u64 hotThreshold = params::HOT_THRESHOLD;
+    /** Hot threshold under interpretation (Section 3.1: 25). */
+    u64 interpHotThreshold = params::INTERP_HOT_THRESHOLD;
+    bool enableSbt = true;
+    bool enableChaining = true;
+
+    Addr bbtCacheBase = 0xe0000000;
+    u64 bbtCacheBytes = u64{4} << 20;
+    Addr sbtCacheBase = 0xe8000000;
+    u64 sbtCacheBytes = u64{4} << 20;
+
+    unsigned maxBlockInsns = 64;
+    dbt::SuperblockPolicy sbPolicy{};
+    uops::FusionConfig fusion{};
+    hwassist::BbbParams bbbParams{};
+
+    // Bounds for the runtime profiling maps (0 = minimum of 1).
+    std::size_t branchProfCap = 65536;
+    std::size_t coldCounterCap = 65536;
+    std::size_t sbtFailedCap = 16384;
+
+    // --- named configurations ---------------------------------------
+    static EngineConfig vmSoft();
+    static EngineConfig vmFe();
+    static EngineConfig vmBe();
+    static EngineConfig vmDual();
+    static EngineConfig vmInterp();
+
+    /** Look up a named configuration ("vm.soft", "vm.be", ...). */
+    static std::optional<EngineConfig> byName(const std::string &name);
+
+    /** All recognised configuration names. */
+    static std::vector<std::string> names();
+};
+
+/** Aggregate engine statistics. */
+struct EngineStats
+{
+    // x86 instructions retired, by emulation mode.
+    u64 insnsInterp = 0;
+    u64 insnsX86Mode = 0;
+    u64 insnsBbtCode = 0;
+    u64 insnsSbtCode = 0;
+    // Micro-ops retired in translated code.
+    u64 uopsBbtCode = 0;
+    u64 uopsSbtCode = 0;
+    // Translation activity.
+    u64 bbtTranslations = 0;
+    u64 bbtInsnsTranslated = 0;
+    u64 sbtTranslations = 0;
+    u64 sbtInsnsTranslated = 0;
+    u64 sbtFormationFailures = 0;
+    // Hardware-assisted BBT activity (VM.be / VM.dual).
+    u64 xltInsnsTranslated = 0;  //!< instructions through the HAloop
+    u64 xltComplexFallbacks = 0; //!< JCPX exits cracked in software
+    u64 xltCtiFallbacks = 0;     //!< JCTI exits cracked in software
+    // Dispatch machinery.
+    u64 dispatches = 0;
+    u64 chainFollows = 0;
+    u64 chainsInstalled = 0;
+    // Events.
+    u64 hotspotDetections = 0;
+    u64 preciseStateRecoveries = 0;
+    u64 bbtCacheFlushes = 0;
+    u64 sbtCacheFlushes = 0;
+
+    u64
+    totalRetired() const
+    {
+        return insnsInterp + insnsX86Mode + insnsBbtCode + insnsSbtCode;
+    }
+};
+
+} // namespace cdvm::engine
+
+#endif // CDVM_ENGINE_ENGINE_CONFIG_HH

@@ -1,0 +1,25 @@
+#include "engine/hotspot.hh"
+
+#include "common/statreg.hh"
+
+namespace cdvm::engine
+{
+
+void
+SoftwareCounterDetector::exportStats(StatRegistry &reg) const
+{
+    reg.set("engine.cold_counters.entries",
+            static_cast<double>(coldCounts.size()),
+            "cold-block entry counters resident");
+    reg.set("engine.cold_counters.evictions",
+            static_cast<double>(coldCounts.evictions()),
+            "cold-block counters evicted at capacity");
+}
+
+void
+BbbDetector::exportStats(StatRegistry &reg) const
+{
+    buf.exportStats(reg, "hwassist.bbb");
+}
+
+} // namespace cdvm::engine

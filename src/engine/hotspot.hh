@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Hotspot detectors: the HotspotDetector strategy implementations.
+ *
+ *  - SoftwareCounterDetector: per-translation execution counters (the
+ *    counter lives in the Translation) plus a bounded entry-count map
+ *    for untranslated code under interpretation (Section 3.1);
+ *  - BbbDetector: the hardware branch behavior buffer (Section 4.1),
+ *    required by VM.fe (no BBT code to carry software counters) and
+ *    used by VM.dual to cut detection overhead to near zero.
+ */
+
+#ifndef CDVM_ENGINE_HOTSPOT_HH
+#define CDVM_ENGINE_HOTSPOT_HH
+
+#include "engine/engine_config.hh"
+#include "engine/profile.hh"
+#include "engine/strategy.hh"
+#include "hwassist/bbb.hh"
+
+namespace cdvm::engine
+{
+
+/** Software exec-counter hotspot detection (vm.soft / vm.be). */
+class SoftwareCounterDetector final : public HotspotDetector
+{
+  public:
+    explicit SoftwareCounterDetector(const EngineConfig &cfg)
+        : hotThreshold(cfg.hotThreshold),
+          interpHotThreshold(cfg.interpHotThreshold),
+          coldCounts(cfg.coldCounterCap)
+    {
+    }
+
+    bool
+    onColdEntry(Addr pc) override
+    {
+        return coldCounts.bump(pc) >= interpHotThreshold;
+    }
+
+    bool
+    onTranslatedEntry(const dbt::Translation &t) override
+    {
+        // Superblocks are already the product of hotspot optimization;
+        // only BBT blocks carry the software profiling burden.
+        return t.kind == dbt::TransKind::BasicBlock &&
+               t.execCount >= hotThreshold;
+    }
+
+    void exportStats(StatRegistry &reg) const override;
+
+  private:
+    u64 hotThreshold;
+    u64 interpHotThreshold;
+    BoundedCounterMap coldCounts;
+};
+
+/** Hardware branch-behavior-buffer detection (vm.fe / vm.dual). */
+class BbbDetector final : public HotspotDetector
+{
+  public:
+    explicit BbbDetector(const EngineConfig &cfg) : buf(cfg.bbbParams) {}
+
+    bool onColdEntry(Addr pc) override { return buf.recordBranch(pc); }
+
+    bool
+    onTranslatedEntry(const dbt::Translation &t) override
+    {
+        // BBT block entries still retire branches the BBB observes
+        // (vm.dual); superblocks are already optimized.
+        return t.kind == dbt::TransKind::BasicBlock &&
+               buf.recordBranch(t.entryPc);
+    }
+
+    void exportStats(StatRegistry &reg) const override;
+
+    const hwassist::BranchBehaviorBuffer *
+    bbbUnit() const override
+    {
+        return &buf;
+    }
+
+  private:
+    hwassist::BranchBehaviorBuffer buf;
+};
+
+} // namespace cdvm::engine
+
+#endif // CDVM_ENGINE_HOTSPOT_HH

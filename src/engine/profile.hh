@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Bounded runtime profiling containers for the engine.
+ *
+ * The VMM profiles branch directions and cold-block execution counts
+ * over whatever the guest runs; on long runs the naive maps grow
+ * without limit. These containers cap their entry count and evict a
+ * (pseudo-random) resident entry on overflow, counting evictions so
+ * the stats export makes capacity pressure visible.
+ */
+
+#ifndef CDVM_ENGINE_PROFILE_HH
+#define CDVM_ENGINE_PROFILE_HH
+
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "common/types.hh"
+
+namespace cdvm::engine
+{
+
+/**
+ * Per-branch direction profile: branch PC -> (taken, not-taken),
+ * capped at maxEntries.
+ */
+class BranchProfile
+{
+  public:
+    explicit BranchProfile(std::size_t max_entries = 65536)
+        : cap(max_entries ? max_entries : 1)
+    {
+    }
+
+    void
+    record(Addr branch_pc, bool taken)
+    {
+        auto it = prof.find(branch_pc);
+        if (it == prof.end()) {
+            if (prof.size() >= cap) {
+                // Evict whichever entry hashing puts first; the
+                // profile is advisory (superblock branch bias), so an
+                // arbitrary victim only costs re-warming one counter.
+                prof.erase(prof.begin());
+                ++nEvictions;
+            }
+            it = prof.emplace(branch_pc, std::pair<u64, u64>{0, 0})
+                     .first;
+        }
+        if (taken)
+            ++it->second.first;
+        else
+            ++it->second.second;
+    }
+
+    /** Observed taken-bias of the branch, if profiled. */
+    std::optional<double>
+    bias(Addr branch_pc) const
+    {
+        auto it = prof.find(branch_pc);
+        if (it == prof.end())
+            return std::nullopt;
+        u64 taken = it->second.first;
+        u64 total = taken + it->second.second;
+        if (total == 0)
+            return std::nullopt;
+        return static_cast<double>(taken) / static_cast<double>(total);
+    }
+
+    std::size_t size() const { return prof.size(); }
+    std::size_t capacity() const { return cap; }
+    u64 evictions() const { return nEvictions; }
+
+  private:
+    std::size_t cap;
+    std::unordered_map<Addr, std::pair<u64, u64>> prof;
+    u64 nEvictions = 0;
+};
+
+/** Capped counter map (cold-block execution counts). */
+class BoundedCounterMap
+{
+  public:
+    explicit BoundedCounterMap(std::size_t max_entries = 65536)
+        : cap(max_entries ? max_entries : 1)
+    {
+    }
+
+    /** Increment key's counter; returns the new value. */
+    u64
+    bump(Addr key)
+    {
+        auto it = counts.find(key);
+        if (it == counts.end()) {
+            if (counts.size() >= cap) {
+                counts.erase(counts.begin());
+                ++nEvictions;
+            }
+            it = counts.emplace(key, 0).first;
+        }
+        return ++it->second;
+    }
+
+    std::size_t size() const { return counts.size(); }
+    u64 evictions() const { return nEvictions; }
+
+  private:
+    std::size_t cap;
+    std::unordered_map<Addr, u64> counts;
+    u64 nEvictions = 0;
+};
+
+/** Capped address set (seeds where superblock formation failed). */
+class BoundedAddrSet
+{
+  public:
+    explicit BoundedAddrSet(std::size_t max_entries = 16384)
+        : cap(max_entries ? max_entries : 1)
+    {
+    }
+
+    void
+    insert(Addr a)
+    {
+        if (set.count(a))
+            return;
+        if (set.size() >= cap) {
+            set.erase(set.begin());
+            ++nEvictions;
+        }
+        set.insert(a);
+    }
+
+    bool contains(Addr a) const { return set.count(a) != 0; }
+    std::size_t size() const { return set.size(); }
+    u64 evictions() const { return nEvictions; }
+
+  private:
+    std::size_t cap;
+    std::unordered_set<Addr> set;
+    u64 nEvictions = 0;
+};
+
+} // namespace cdvm::engine
+
+#endif // CDVM_ENGINE_PROFILE_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The block-granular staged-emulation state machine.
+ *
+ * The timing simulator used to interleave its cycle accounting with
+ * the staging decisions (when is a block translated, when does a
+ * region go hot, where does its code-cache image live). This class is
+ * that state machine alone: it walks a dynamic block trace and emits
+ * the same StageEvent stream the functional VMM's dispatch core
+ * produces, so one staging engine feeds two kinds of consumers --
+ * retire counting (StageCounter) and cycle pricing (the timing
+ * simulator's sink in startup_sim.cc).
+ *
+ * Event order per block touch mirrors the real VMM: translation on
+ * first touch (BbtTranslate + a Dispatch instant), then hotspot
+ * detection / region optimization (SbtOptimize), then execution in
+ * the block's current mode (ColdExec / BbtExec / SbtExec).
+ */
+
+#ifndef CDVM_ENGINE_STAGED_PIPELINE_HH
+#define CDVM_ENGINE_STAGED_PIPELINE_HH
+
+#include <vector>
+
+#include "engine/events.hh"
+#include "workload/trace_gen.hh"
+
+namespace cdvm::engine
+{
+
+/** Staging policy of the simulated machine. */
+struct StagedParams
+{
+    /** Cold code is BBT-translated on first touch (VM.soft/VM.be). */
+    bool translateCold = true;
+    /** Hotspot optimization stage present. */
+    bool hasSbt = true;
+    /** Eq. 2 threshold: touches until a block's region goes hot. */
+    u64 hotThreshold = 8000;
+    /** Code-cache bytes per x86 byte. */
+    double codeExpansion = 1.6;
+    Addr bbtBase = 0xe0000000;
+    Addr sbtBase = 0xe8000000;
+};
+
+/** Trace-driven staging state machine emitting StageEvents. */
+class StagedPipeline
+{
+  public:
+    StagedPipeline(const std::vector<workload::BlockInfo> &block_infos,
+                   const StagedParams &params, EventStream &events);
+
+    /** Process one dynamic touch of block id, emitting its events. */
+    void touch(u32 id);
+
+  private:
+    struct BlockState
+    {
+        u8 mode = 0; //!< 0 cold, 1 BBT-translated, 2 hotspot (SBT)
+        u32 exec = 0;
+        Addr bbtAddr = 0; //!< BBT code-cache address
+        u32 bbtBytes = 0; //!< BBT code-cache image size
+    };
+
+    struct RegionState
+    {
+        bool hot = false;
+        Addr sbtAddr = 0;
+        u32 sbtBytes = 0;
+    };
+
+    const std::vector<workload::BlockInfo> &blocks;
+    StagedParams p;
+    EventStream &events;
+
+    std::vector<BlockState> st;
+    std::vector<RegionState> regions;
+    // Region membership lists (contiguous ids).
+    std::vector<u32> regionFirst;
+    std::vector<u32> regionLast;
+
+    // Bump allocators for the two code-cache arenas.
+    Addr bbtNext;
+    Addr sbtNext;
+};
+
+} // namespace cdvm::engine
+
+#endif // CDVM_ENGINE_STAGED_PIPELINE_HH

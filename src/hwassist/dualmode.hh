@@ -75,6 +75,13 @@ class DualModeDecoder
             nativeCycles += n;
     }
 
+    /**
+     * Account n instructions first-level decoded by other means (the
+     * functional x86-mode executor retires through the interpreter
+     * loop but the decode traffic is this unit's).
+     */
+    void noteDecoded(u64 n) { nDecoded += n; }
+
     /** Cycles with the first-level (x86) decode logic powered on. */
     Cycles x86ModeCycles() const { return x86Cycles; }
     /** Cycles with the first-level decoder bypassed / powered off. */

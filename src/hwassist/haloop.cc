@@ -134,6 +134,8 @@ HaLoop::run(Addr x86_pc, Addr code_addr, unsigned max_insns)
 
     bool running = true;
     while (running && res.insnsTranslated < max_insns) {
+        const u32 pc_before = st.regs[uops::R_X86PC];
+        const u32 cc_before = st.regs[uops::R_CODECACHE];
         std::size_t i = 0;
         while (i < prog.size()) {
             const Uop &u = prog[i];
@@ -155,8 +157,15 @@ HaLoop::run(Addr x86_pc, Addr code_addr, unsigned max_insns)
             }
             ++i;
         }
-        if (running)
+        if (running) {
             ++res.insnsTranslated;
+            Step step;
+            step.insnLen = static_cast<u8>(st.regs[uops::R_X86PC] -
+                                           pc_before);
+            step.uopBytes = static_cast<u8>(
+                st.regs[uops::R_CODECACHE] - cc_before);
+            res.steps.push_back(step);
+        }
         x86_pc = st.regs[uops::R_X86PC];
     }
 

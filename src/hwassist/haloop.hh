@@ -27,6 +27,8 @@
 #ifndef CDVM_HWASSIST_HALOOP_HH
 #define CDVM_HWASSIST_HALOOP_HH
 
+#include <vector>
+
 #include "hwassist/xlt.hh"
 #include "uops/exec.hh"
 #include "x86/memory.hh"
@@ -45,6 +47,13 @@ class HaLoop
   public:
     HaLoop(x86::Memory &memory, XltUnit &unit) : mem(memory), xlt(unit) {}
 
+    /** One completed HAloop iteration (one translated instruction). */
+    struct Step
+    {
+        u8 insnLen = 0;  //!< x86 instruction length (CSR length field)
+        u8 uopBytes = 0; //!< encoded micro-op bytes emitted by STF
+    };
+
     /** Outcome of translating one basic block's straight-line body. */
     struct Result
     {
@@ -55,6 +64,9 @@ class HaLoop
         bool stoppedComplex = false;  //!< exit through JCPX
         u64 uopsExecuted = 0;         //!< loop micro-ops retired
         Cycles cycles = 0;            //!< modelled execution time
+        /** Per-iteration record, in translation order: lets the VMM
+         *  attach x86-pc provenance to the emitted micro-ops. */
+        std::vector<Step> steps;
     };
 
     /**

@@ -1,5 +1,7 @@
 #include "timing/machine_config.hh"
 
+#include "engine/params.hh"
+
 namespace cdvm::timing
 {
 
@@ -14,10 +16,10 @@ namespace
  * reference's level. Relative to SBT code at the aggregate level we
  * model BBT code 10% slower (i.e. ~2% below the reference).
  */
-constexpr double BBT_VS_SBT_CPI = 1.10;
+constexpr double BBT_VS_SBT_CPI = engine::params::BBT_VS_SBT_CPI;
 
 /** Interpretation is 10x-100x slower than native (Section 1.1). */
-constexpr double INTERP_SLOWDOWN = 35.0;
+constexpr double INTERP_SLOWDOWN = engine::params::INTERP_SLOWDOWN;
 
 } // namespace
 
@@ -92,7 +94,7 @@ MachineConfig::vmInterp()
     m.coldCpiFactor = INTERP_SLOWDOWN;
     // Interpretation threshold: N = Delta_SBT / (p-1) with the much
     // larger interpretation slowdown folded in -- the paper derives 25.
-    m.hotThreshold = 25;
+    m.hotThreshold = engine::params::INTERP_HOT_THRESHOLD;
     m.frontendX86Decoders = false;
     return m;
 }

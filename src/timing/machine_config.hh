@@ -68,7 +68,8 @@ struct MachineConfig
     ColdMode cold = ColdMode::Native;
     bool hasSbt = false;           //!< hotspot optimization stage
     dbt::TranslationCosts costs;   //!< translation cycle costs
-    u64 hotThreshold = 8000;       //!< Eq. 2 threshold
+    /** Eq. 2 threshold. */
+    u64 hotThreshold = engine::params::HOT_THRESHOLD;
     PipelineParams pipeline;
     memsys::HierarchyParams memory;
 

@@ -5,6 +5,8 @@
 #include "common/logging.hh"
 #include "common/statreg.hh"
 #include "common/trace.hh"
+#include "engine/events.hh"
+#include "engine/staged_pipeline.hh"
 
 namespace cdvm::timing
 {
@@ -36,23 +38,192 @@ phaseOf(CycleCat c)
     }
 }
 
-constexpr Addr BBT_CC_BASE = 0xe0000000;
-constexpr Addr SBT_CC_BASE = 0xe8000000;
-
-/** Per-block dynamic translation state. */
-struct BlockState
+/**
+ * The cycle-pricing consumer of the staging event stream: converts
+ * each stage event into cycles against the machine config and the
+ * (stateful, cold-started) cache hierarchy, maintains the Fig. 10
+ * category breakdown and the startup-curve samples.
+ */
+class CycleModelSink : public engine::StageSink
 {
-    u8 mode = 0; //!< 0 cold, 1 BBT-translated, 2 hotspot (SBT)
-    u32 exec = 0;
-    Addr bbtAddr = 0; //!< BBT code-cache address
-};
+  public:
+    CycleModelSink(const MachineConfig &machine, StartupResult &result,
+                   double cpi_cold, double cpi_bbt, double cpi_sbt,
+                   double xlt_busy)
+        : m(machine), res(result), hier(m.memory),
+          l1iLat(m.memory.l1i.latency), l1dLat(m.memory.l1d.latency),
+          line(m.memory.l1i.lineBytes), memLat(m.memory.memLatency),
+          cpiCold(cpi_cold), cpiBbt(cpi_bbt), cpiSbt(cpi_sbt),
+          xltBusyFrac(xlt_busy), tracing(Tracer::global().enabled()),
+          spans(Tracer::global(), 1)
+    {
+    }
 
-/** Per-region hotspot state. */
-struct RegionState
-{
-    bool hot = false;
-    Addr sbtAddr = 0;
-    u32 sbtBytes = 0;
+    void
+    onEvent(const engine::StageEvent &e) override
+    {
+        switch (e.stage) {
+          case TracePhase::BbtTranslate: {
+            // Translator reads the x86 image and writes the code
+            // cache through the data side.
+            double tcyc = m.costs.bbtCyclesPerInsn *
+                          static_cast<double>(e.insns);
+            tcyc += dataPenalty(e.x86Addr, e.x86Bytes, false);
+            tcyc += dataPenalty(e.codeAddr, e.codeBytes, true);
+            add(CycleCat::BbtXlate, tcyc, false);
+            // The XLTx86 unit keeps decode logic on for part of the
+            // (much shorter) assisted translation time.
+            decodeActive += tcyc * xltBusyFrac;
+            break;
+          }
+          case TracePhase::Dispatch:
+            add(CycleCat::Dispatch, m.dispatchCycles, false);
+            break;
+          case TracePhase::SbtOptimize: {
+            double tcyc = m.costs.sbtCyclesPerInsn *
+                          static_cast<double>(e.insns);
+            tcyc += dataPenalty(e.x86Addr, e.x86Bytes, false);
+            tcyc += dataPenalty(e.codeAddr, e.codeBytes, true);
+            add(CycleCat::SbtXlate, tcyc, false);
+            break;
+          }
+          case TracePhase::SbtExec:
+            exec(e, cpiSbt, CycleCat::SbtExec, e.codeAddr, e.codeBytes,
+                 true, false);
+            break;
+          case TracePhase::BbtExec:
+            exec(e, cpiBbt, CycleCat::BbtExec, e.codeAddr, e.codeBytes,
+                 true, false);
+            break;
+          case TracePhase::ColdExec:
+            // Ref and VM.fe decode x86 in the frontend for cold code.
+            exec(e, cpiCold, CycleCat::ColdExec, e.x86Addr, e.x86Bytes,
+                 false, m.frontendX86Decoders);
+            break;
+          default:
+            break;
+        }
+    }
+
+    /** Push one point on the startup curve. */
+    void
+    sample()
+    {
+        CurveSample s;
+        s.cycles = static_cast<Cycles>(cycles);
+        s.insns = insns;
+        for (size_t i = 0; i < cat.size(); ++i)
+            s.catCycles[i] = cat[i];
+        s.decodeActive = decodeActive;
+        res.samples.push_back(s);
+    }
+
+    double totalCycles() const { return cycles; }
+    u64 totalInsns() const { return insns; }
+    double decodeActiveCycles() const { return decodeActive; }
+    const std::array<double, static_cast<size_t>(CycleCat::NUM_CATS)> &
+    catCycles() const
+    {
+        return cat;
+    }
+
+  private:
+    void
+    add(CycleCat c, double cyc, bool decode_on)
+    {
+        if (tracing) {
+            const u64 ts = static_cast<u64>(cycles);
+            const u64 end = static_cast<u64>(cycles + cyc);
+            spans.add(phaseOf(c), ts, end - ts, insns);
+        }
+        cycles += cyc;
+        cat[static_cast<size_t>(c)] += cyc;
+        if (decode_on)
+            decodeActive += cyc;
+    }
+
+    void
+    exec(const engine::StageEvent &e, double cpi, CycleCat c,
+         Addr fetch_addr, u32 fetch_bytes, bool translated,
+         bool decode_on)
+    {
+        double exec_cyc = cpi * static_cast<double>(e.insns);
+        // The reference superscalar's decoders are always on, even in
+        // hot code (it has no other mode).
+        if (m.kind == MachineKind::RefSuperscalar)
+            decode_on = true;
+        double fpen = fetchPenalty(fetch_addr, fetch_bytes);
+        if (translated)
+            fpen *= m.vmFetchLocality; // translated-code layout wins
+        exec_cyc += fpen;
+        add(c, exec_cyc, decode_on);
+
+        insns += e.insns;
+        if (cycles >= nextSample) {
+            sample();
+            nextSample =
+                std::max(nextSample * 1.14, nextSample + 500.0);
+        }
+    }
+
+    double
+    fetchPenalty(Addr addr, u32 bytes)
+    {
+        double pen = 0.0;
+        Addr first = addr & ~(line - 1);
+        Addr last = (addr + (bytes ? bytes - 1 : 0)) & ~(line - 1);
+        for (Addr a = first; a <= last; a += line) {
+            Cycles lat = hier.access(a, memsys::Side::Fetch);
+            if (lat >= memLat) {
+                pen += static_cast<double>(lat - l1iLat);
+            } else if (lat > l1iLat) {
+                // L2 hits are mostly covered by fetch-ahead.
+                pen += static_cast<double>(lat - l1iLat) *
+                       (1.0 - m.l2FetchOverlap);
+            }
+        }
+        return pen;
+    }
+
+    double
+    dataPenalty(Addr addr, u32 bytes, bool is_store)
+    {
+        double pen = 0.0;
+        Addr first = addr & ~(line - 1);
+        Addr last = (addr + (bytes ? bytes - 1 : 0)) & ~(line - 1);
+        for (Addr a = first; a <= last; a += line) {
+            Cycles lat = hier.access(a, memsys::Side::Data);
+            if (lat > l1dLat) {
+                double miss = static_cast<double>(lat - l1dLat);
+                pen += is_store ? miss * m.storeStallFraction : miss;
+            }
+        }
+        return pen;
+    }
+
+    const MachineConfig &m;
+    StartupResult &res;
+    memsys::Hierarchy hier; // empty caches: scenario 2
+    const Cycles l1iLat;
+    const Cycles l1dLat;
+    const Cycles line;
+    const Cycles memLat;
+    const double cpiCold;
+    const double cpiBbt;
+    const double cpiSbt;
+    const double xltBusyFrac;
+
+    double cycles = 0.0;
+    u64 insns = 0;
+    std::array<double, static_cast<size_t>(CycleCat::NUM_CATS)> cat{};
+    double decodeActive = 0.0;
+    double nextSample = 1000.0;
+
+    // Phase tracing (track 1, cycle timebase). The coalescer merges
+    // back-to-back same-phase blocks so the event count scales with
+    // phase changes, not with dynamic blocks.
+    const bool tracing;
+    SpanCoalescer spans;
 };
 
 } // namespace
@@ -68,11 +239,6 @@ StartupSim::run()
 {
     BlockTrace trace(app.trace);
     const std::vector<BlockInfo> &blocks = trace.blocks();
-
-    memsys::Hierarchy hier(m.memory); // empty caches: scenario 2
-    const Cycles l1i_lat = m.memory.l1i.latency;
-    const Cycles l1d_lat = m.memory.l1d.latency;
-    const Cycles line = m.memory.l1i.lineBytes;
 
     StartupResult res;
     res.machine = m.name;
@@ -109,210 +275,40 @@ StartupSim::run()
             ? 4.0 / m.costs.bbtCyclesPerInsn
             : 0.0;
 
-    std::vector<BlockState> st(blocks.size());
-    const u32 num_regions =
-        blocks.empty() ? 0 : blocks.back().region + 1;
-    std::vector<RegionState> regions(num_regions);
-    // Region membership lists (contiguous ids).
-    std::vector<u32> region_first(num_regions, ~0u);
-    std::vector<u32> region_last(num_regions, 0);
-    for (u32 i = 0; i < blocks.size(); ++i) {
-        u32 r = blocks[i].region;
-        region_first[r] = std::min(region_first[r], i);
-        region_last[r] = std::max(region_last[r], i);
-    }
+    // One staging state machine (the engine's), two consumers: the
+    // StageCounter tallies the functional instruction mix, the cycle
+    // model prices every event against this machine.
+    engine::EventStream events;
+    engine::StageCounter counts;
+    CycleModelSink cyc(m, res, cpi_cold, cpi_bbt, cpi_sbt,
+                       xlt_busy_frac);
+    events.attach(&counts);
+    events.attach(&cyc);
 
-    // Bump allocators for the two code-cache arenas.
-    Addr bbt_next = BBT_CC_BASE;
-    Addr sbt_next = SBT_CC_BASE;
+    engine::StagedParams sp;
+    sp.translateCold = m.cold == ColdMode::BbtCode;
+    sp.hasSbt = m.hasSbt;
+    sp.hotThreshold = m.hotThreshold;
+    sp.codeExpansion = m.codeExpansion;
+    engine::StagedPipeline pipeline(blocks, sp, events);
 
-    double cycles = 0.0;
-    u64 insns = 0;
-    std::array<double, static_cast<size_t>(CycleCat::NUM_CATS)> cat{};
-    double decode_active = 0.0;
-
-    double next_sample = 1000.0;
-
-    const Cycles mem_lat = m.memory.memLatency;
-    auto fetch_penalty = [&](Addr addr, u32 bytes) -> double {
-        double pen = 0.0;
-        Addr first = addr & ~(line - 1);
-        Addr last = (addr + (bytes ? bytes - 1 : 0)) & ~(line - 1);
-        for (Addr a = first; a <= last; a += line) {
-            Cycles lat = hier.access(a, memsys::Side::Fetch);
-            if (lat >= mem_lat) {
-                pen += static_cast<double>(lat - l1i_lat);
-            } else if (lat > l1i_lat) {
-                // L2 hits are mostly covered by fetch-ahead.
-                pen += static_cast<double>(lat - l1i_lat) *
-                       (1.0 - m.l2FetchOverlap);
-            }
-        }
-        return pen;
-    };
-    auto data_penalty = [&](Addr addr, u32 bytes,
-                            bool is_store) -> double {
-        double pen = 0.0;
-        Addr first = addr & ~(line - 1);
-        Addr last = (addr + (bytes ? bytes - 1 : 0)) & ~(line - 1);
-        for (Addr a = first; a <= last; a += line) {
-            Cycles lat = hier.access(a, memsys::Side::Data);
-            if (lat > l1d_lat) {
-                double miss = static_cast<double>(lat - l1d_lat);
-                pen += is_store ? miss * m.storeStallFraction : miss;
-            }
-        }
-        return pen;
-    };
-    // Phase tracing (track 1, cycle timebase). The coalescer merges
-    // back-to-back same-phase blocks so the event count scales with
-    // phase changes, not with dynamic blocks.
-    Tracer &tracer = Tracer::global();
-    const bool tracing = tracer.enabled();
-    SpanCoalescer spans(tracer, 1);
-    auto add = [&](CycleCat c, double cyc, bool decode_on) {
-        if (tracing) {
-            const u64 ts = static_cast<u64>(cycles);
-            const u64 end = static_cast<u64>(cycles + cyc);
-            spans.add(phaseOf(c), ts, end - ts, insns);
-        }
-        cycles += cyc;
-        cat[static_cast<size_t>(c)] += cyc;
-        if (decode_on)
-            decode_active += cyc;
-    };
-    auto sample = [&]() {
-        CurveSample s;
-        s.cycles = static_cast<Cycles>(cycles);
-        s.insns = insns;
-        for (size_t i = 0; i < cat.size(); ++i)
-            s.catCycles[i] = cat[i];
-        s.decodeActive = decode_active;
-        res.samples.push_back(s);
-    };
-
-    const bool vm_bbt = m.cold == ColdMode::BbtCode;
     const u64 total = trace.totalInsns();
+    while (cyc.totalInsns() < total)
+        pipeline.touch(trace.next());
 
-    while (insns < total) {
-        const u32 id = trace.next();
-        const BlockInfo &b = blocks[id];
-        BlockState &bs = st[id];
-        RegionState &rs = regions[b.region];
+    cyc.sample();
+    res.totalCycles = static_cast<Cycles>(cyc.totalCycles());
+    res.totalInsns = cyc.totalInsns();
+    res.catCycles = cyc.catCycles();
+    res.decodeActiveCycles = cyc.decodeActiveCycles();
+    res.insnsCold = counts.insnsCold;
+    res.insnsBbt = counts.insnsBbt;
+    res.insnsSbt = counts.insnsSbt;
+    res.staticInsnsBbt = counts.staticInsnsBbt;
+    res.staticInsnsSbt = counts.staticInsnsSbt;
+    res.bbtTranslations = counts.bbtTranslations;
+    res.sbtRegionTranslations = counts.sbtTranslations;
 
-        // Region went hot earlier via a sibling block.
-        if (rs.hot && bs.mode != 2)
-            bs.mode = 2;
-
-        // --- BBT translation on first touch --------------------------
-        if (vm_bbt && bs.mode == 0) {
-            double tcyc = m.costs.bbtCyclesPerInsn * b.insns;
-            // Translator reads the x86 image and writes the code
-            // cache through the data side.
-            u32 cc_bytes = static_cast<u32>(
-                std::lround(b.bytes * m.codeExpansion));
-            bs.bbtAddr = bbt_next;
-            bbt_next += (cc_bytes + 3u) & ~3u;
-            tcyc += data_penalty(b.x86Addr, b.bytes, false);
-            tcyc += data_penalty(bs.bbtAddr, cc_bytes, true);
-            add(CycleCat::BbtXlate, tcyc, false);
-            decode_active += tcyc * xlt_busy_frac;
-            add(CycleCat::Dispatch, m.dispatchCycles, false);
-            bs.mode = 1;
-            res.staticInsnsBbt += b.insns;
-            ++res.bbtTranslations;
-        }
-
-        // --- hotspot detection & SBT --------------------------------
-        ++bs.exec;
-        if (m.hasSbt && !rs.hot && bs.exec == m.hotThreshold) {
-            // The region (superblock scope) becomes hot as one unit.
-            rs.hot = true;
-            u32 region_insns = 0;
-            u32 region_bytes = 0;
-            for (u32 i = region_first[b.region];
-                 i <= region_last[b.region]; ++i) {
-                region_insns += blocks[i].insns;
-                region_bytes += blocks[i].bytes;
-                st[i].mode = 2;
-            }
-            double tcyc = m.costs.sbtCyclesPerInsn * region_insns;
-            rs.sbtBytes = static_cast<u32>(
-                std::lround(region_bytes * m.codeExpansion));
-            rs.sbtAddr = sbt_next;
-            sbt_next += (rs.sbtBytes + 3u) & ~3u;
-            tcyc += data_penalty(blocks[region_first[b.region]].x86Addr,
-                                 region_bytes, false);
-            tcyc += data_penalty(rs.sbtAddr, rs.sbtBytes, true);
-            add(CycleCat::SbtXlate, tcyc, false);
-            res.staticInsnsSbt += region_insns;
-            ++res.sbtRegionTranslations;
-        }
-
-        // --- execution ------------------------------------------------
-        double exec_cyc;
-        CycleCat cat_of;
-        Addr fetch_addr;
-        u32 fetch_bytes;
-        bool decode_on = false;
-        if (bs.mode == 2) {
-            exec_cyc = cpi_sbt * b.insns;
-            cat_of = CycleCat::SbtExec;
-            // Fetch from the superblock's code-cache image; use the
-            // block's proportional offset within the region.
-            fetch_addr =
-                rs.sbtAddr +
-                static_cast<Addr>(
-                    (b.x86Addr -
-                     blocks[region_first[b.region]].x86Addr) *
-                    m.codeExpansion);
-            fetch_bytes = static_cast<u32>(
-                std::lround(b.bytes * m.codeExpansion));
-        } else if (bs.mode == 1) {
-            exec_cyc = cpi_bbt * b.insns;
-            cat_of = CycleCat::BbtExec;
-            fetch_addr = bs.bbtAddr;
-            fetch_bytes = static_cast<u32>(
-                std::lround(b.bytes * m.codeExpansion));
-        } else {
-            exec_cyc = cpi_cold * b.insns;
-            cat_of = CycleCat::ColdExec;
-            fetch_addr = b.x86Addr;
-            fetch_bytes = b.bytes;
-            // Ref and VM.fe decode x86 in the frontend for cold code.
-            decode_on = m.frontendX86Decoders;
-        }
-        // The reference superscalar's decoders are always on, even in
-        // hot code (it has no other mode).
-        if (m.kind == MachineKind::RefSuperscalar)
-            decode_on = true;
-
-        double fpen = fetch_penalty(fetch_addr, fetch_bytes);
-        if (bs.mode != 0)
-            fpen *= m.vmFetchLocality; // translated-code layout wins
-        exec_cyc += fpen;
-        add(cat_of, exec_cyc, decode_on);
-
-        insns += b.insns;
-        if (bs.mode == 2)
-            res.insnsSbt += b.insns;
-        else if (bs.mode == 1)
-            res.insnsBbt += b.insns;
-        else
-            res.insnsCold += b.insns;
-
-        if (cycles >= next_sample) {
-            sample();
-            next_sample = std::max(next_sample * 1.14,
-                                   next_sample + 500.0);
-        }
-    }
-
-    sample();
-    res.totalCycles = static_cast<Cycles>(cycles);
-    res.totalInsns = insns;
-    res.catCycles = cat;
-    res.decodeActiveCycles = decode_active;
     return res;
 }
 

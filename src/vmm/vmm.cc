@@ -1,249 +1,112 @@
 #include "vmm/vmm.hh"
 
-#include <cassert>
-
 #include "common/logging.hh"
 #include "common/statreg.hh"
-#include "common/trace.hh"
-#include "uops/encoding.hh"
+#include "engine/cold_exec.hh"
+#include "engine/hotspot.hh"
 
 namespace cdvm::vmm
 {
 
 using dbt::TransKind;
 using dbt::Translation;
+using engine::StageEvent;
+
+namespace
+{
+
+std::unique_ptr<engine::ColdExecutor>
+makeColdExecutor(x86::Memory &mem, const VmmConfig &cfg, VmmStats &st,
+                 engine::BranchProfile &prof)
+{
+    switch (cfg.cold) {
+      case engine::ColdKind::Interpret:
+        return std::make_unique<engine::InterpretColdExecutor>(mem, st,
+                                                               prof);
+      case engine::ColdKind::HardwareX86Mode:
+        return std::make_unique<engine::X86ModeColdExecutor>(mem, st,
+                                                             prof);
+      case engine::ColdKind::SoftwareBbt:
+        return std::make_unique<engine::BbtColdExecutor>(
+            std::make_unique<engine::SoftwareBbtBackend>(
+                mem, cfg.maxBlockInsns));
+      case engine::ColdKind::XltAssistedBbt:
+        return std::make_unique<engine::BbtColdExecutor>(
+            std::make_unique<engine::XltBbtBackend>(
+                mem, cfg.maxBlockInsns, st));
+    }
+    cdvm_panic("unknown cold-executor kind");
+}
+
+std::unique_ptr<engine::HotspotDetector>
+makeDetector(const VmmConfig &cfg)
+{
+    switch (cfg.detector) {
+      case engine::DetectorKind::SoftwareCounters:
+        return std::make_unique<engine::SoftwareCounterDetector>(cfg);
+      case engine::DetectorKind::Bbb:
+        return std::make_unique<engine::BbbDetector>(cfg);
+    }
+    cdvm_panic("unknown hotspot-detector kind");
+}
+
+} // namespace
 
 Vmm::Vmm(x86::Memory &memory, const VmmConfig &config)
     : mem(memory),
       cfg(config),
-      bbtCc("bbt-cache", cfg.bbtCacheBase, cfg.bbtCacheBytes),
-      sbtCc("sbt-cache", cfg.sbtCacheBase, cfg.sbtCacheBytes),
-      bbtXlator(memory, cfg.maxBlockInsns),
-      sbtXlator(cfg.fusion),
-      hotBbb(cfg.bbbParams)
+      traceSink(Tracer::global(), 0),
+      branchProf(cfg.branchProfCap),
+      sbtFailed(cfg.sbtFailedCap),
+      ccm(memory, cfg, st, events),
+      cold(makeColdExecutor(memory, cfg, st, branchProf)),
+      detector(makeDetector(cfg)),
+      sbtBackend(memory, cfg,
+                 [this](Addr pc) { return branchProf.bias(pc); }),
+      translatedExec(memory, st, branchProf)
 {
+    events.attach(&traceSink);
 }
 
-std::optional<double>
-Vmm::branchBias(Addr branch_pc) const
+const hwassist::BranchBehaviorBuffer &
+Vmm::bbb() const
 {
-    auto it = branchProf.find(branch_pc);
-    if (it == branchProf.end())
-        return std::nullopt;
-    u64 taken = it->second.first;
-    u64 total = taken + it->second.second;
-    if (total == 0)
-        return std::nullopt;
-    return static_cast<double>(taken) / static_cast<double>(total);
-}
-
-void
-Vmm::recordBranch(Addr branch_pc, bool taken)
-{
-    auto &p = branchProf[branch_pc];
-    if (taken)
-        ++p.first;
-    else
-        ++p.second;
-}
-
-void
-Vmm::registerTranslation(std::unique_ptr<Translation> t)
-{
-    dbt::CodeCache &cc =
-        t->kind == TransKind::BasicBlock ? bbtCc : sbtCc;
-    Addr at = cc.allocate(t->codeBytes);
-    if (at == 0) {
-        // Arena full: flush it and drop the associated translations
-        // (chains are conservatively reset); then the allocation must
-        // succeed unless the translation is bigger than the arena.
-        cc.flush();
-        map.eraseKind(t->kind);
-        lastTrans = nullptr;
-        if (t->kind == TransKind::BasicBlock)
-            ++st.bbtCacheFlushes;
-        else
-            ++st.sbtCacheFlushes;
-        CDVM_TRACE_INSTANT(Tracer::global(), TracePhase::CacheFlush,
-                           vclock, t->kind == TransKind::BasicBlock);
-        at = cc.allocate(t->codeBytes);
-        if (at == 0)
-            cdvm_fatal("translation (%u bytes) exceeds code cache '%s'",
-                       t->codeBytes, cc.name().c_str());
-    }
-    t->codeAddr = at;
-    // The encoded body really lives in concealed guest memory.
-    std::vector<u8> bytes = uops::encode(t->uops);
-    mem.writeBlock(at, bytes);
-    map.insert(std::move(t));
-}
-
-Translation *
-Vmm::translateBlock(Addr pc)
-{
-    std::unique_ptr<Translation> t = bbtXlator.translate(pc);
-    if (!t)
-        return nullptr;
-    ++st.bbtTranslations;
-    st.bbtInsnsTranslated += t->numX86Insns;
-    // Translation work advances the trace clock by the instructions
-    // translated (a proxy for the Delta_BBT cost in virtual time).
-    const u64 work = t->numX86Insns;
-    CDVM_TRACE_SPAN(Tracer::global(), TracePhase::BbtTranslate, vclock,
-                    work, pc);
-    vclock += work;
-    registerTranslation(std::move(t));
-    return map.lookup(pc, TransKind::BasicBlock);
+    if (const hwassist::BranchBehaviorBuffer *b = detector->bbbUnit())
+        return *b;
+    static const hwassist::BranchBehaviorBuffer idle{};
+    return idle;
 }
 
 void
 Vmm::invokeSbt(Addr seed_pc)
 {
-    if (!cfg.enableSbt || sbtFailed.count(seed_pc))
+    if (!cfg.enableSbt || sbtFailed.contains(seed_pc))
         return;
-    if (map.lookup(seed_pc, TransKind::Superblock))
+    if (ccm.lookup(seed_pc, TransKind::Superblock))
         return;
     ++st.hotspotDetections;
 
-    dbt::SuperblockFormer former(
-        mem,
-        [this](Addr branch_pc) { return branchBias(branch_pc); },
-        cfg.sbPolicy);
-    std::optional<dbt::SuperblockTrace> trace = former.form(seed_pc);
-    if (!trace || trace->insns.empty()) {
+    std::unique_ptr<Translation> t = sbtBackend.translate(seed_pc);
+    if (!t) {
         sbtFailed.insert(seed_pc);
         ++st.sbtFormationFailures;
         return;
     }
-    std::unique_ptr<Translation> t = sbtXlator.translate(*trace);
     ++st.sbtTranslations;
     st.sbtInsnsTranslated += t->numX86Insns;
-    const u64 work = t->numX86Insns;
-    CDVM_TRACE_SPAN(Tracer::global(), TracePhase::SbtOptimize, vclock,
-                    work, seed_pc);
-    vclock += work;
-    registerTranslation(std::move(t));
-}
 
-x86::Exit
-Vmm::runCold(x86::CpuState &cpu, InstCount budget, InstCount &retired)
-{
-    // Execute one basic block's worth of instructions by
-    // interpretation (strategy Interpret) or in hardware x86-mode
-    // (strategy X86Mode) -- functionally identical, profiled
-    // differently and accounted differently.
-    const bool x86mode = cfg.cold == ColdStrategy::X86Mode;
-    const Addr entry = cpu.eip;
+    // Optimization work advances the trace clock by the instructions
+    // translated (a proxy for the Delta_SBT cost in virtual time).
+    StageEvent e;
+    e.stage = TracePhase::SbtOptimize;
+    e.insns = t->numX86Insns;
+    e.x86Addr = seed_pc;
+    e.x86Bytes = t->x86Bytes;
+    e.arg = seed_pc;
+    events.emit(e);
 
-    // Entry profiling / hotspot detection. x86-mode has no BBT code to
-    // carry software counters, so it always uses the hardware BBB
-    // (paper Section 4.1).
-    if (x86mode) {
-        if (hotBbb.recordBranch(entry))
-            invokeSbt(entry);
-    } else {
-        u64 &cnt = ++interpBlockCount[entry];
-        if (cnt >= cfg.interpHotThreshold)
-            invokeSbt(entry);
-    }
-
-    x86::Interpreter interp(cpu, mem);
-    for (InstCount n = 0; n < budget; ++n) {
-        x86::StepResult sr = interp.step();
-        if (sr.exit != x86::Exit::None)
-            return sr.exit;
-        ++retired;
-        if (x86mode)
-            ++st.insnsX86Mode;
-        else
-            ++st.insnsInterp;
-        if (sr.insn.isCondBranch())
-            recordBranch(sr.insn.pc, sr.taken);
-        if (sr.insn.isCti())
-            break; // end of dynamic basic block
-    }
-    return x86::Exit::None;
-}
-
-x86::Exit
-Vmm::runTranslated(x86::CpuState &cpu, Translation *t,
-                   InstCount &retired)
-{
-    // Checkpoint for precise-state recovery.
-    const x86::CpuState checkpoint = cpu;
-
-    ustate.loadArch(cpu);
-    uops::UopExecutor exe(ustate, mem);
-    uops::BlockResult br = exe.run(t->uops, t->fallthroughPc);
-    ustate.storeArch(cpu);
-
-    const bool is_sbt = t->kind == TransKind::Superblock;
-
-    if (br.exit == uops::BlockExit::Fault) {
-        // Precise state mapping -- re-execute with the interpreter
-        // from the region entry until the fault re-occurs (Fig. 1).
-        ++st.preciseStateRecoveries;
-        cpu = checkpoint;
-        x86::Interpreter interp(cpu, mem);
-        for (unsigned n = 0; n <= t->numX86Insns + 1; ++n) {
-            x86::StepResult sr = interp.step();
-            if (sr.exit != x86::Exit::None)
-                return sr.exit;
-            ++retired;
-            if (is_sbt)
-                ++st.insnsSbtCode;
-            else
-                ++st.insnsBbtCode;
-        }
-        cdvm_panic("translated fault at pc 0x%llx did not reproduce "
-                   "under interpretation",
-                   static_cast<unsigned long long>(br.faultX86Pc));
-    }
-
-    // Count retired x86 instructions: position of the last completed
-    // instruction within the region.
-    u64 insns = t->numX86Insns;
-    if (br.exit == uops::BlockExit::Branch && is_sbt) {
-        // A side exit may leave the superblock early.
-        int last = br.uopsRun > 0
-                       ? static_cast<int>(br.uopsRun) - 1
-                       : 0;
-        Addr last_pc = t->uops[static_cast<std::size_t>(last)].x86pc;
-        for (std::size_t i = 0; i < t->x86pcs.size(); ++i) {
-            if (t->x86pcs[i] == last_pc) {
-                insns = i + 1;
-                break;
-            }
-        }
-    }
-    retired += insns;
-    cpu.icount += insns;
-    if (is_sbt) {
-        st.insnsSbtCode += insns;
-        st.uopsSbtCode += br.uopsRun;
-    } else {
-        st.insnsBbtCode += insns;
-        st.uopsBbtCode += br.uopsRun;
-    }
-
-    if (br.exit == uops::BlockExit::VmExit) {
-        cpu.eip = static_cast<u32>(br.nextPc);
-        return x86::Exit::Halted;
-    }
-
-    cpu.eip = static_cast<u32>(br.nextPc);
-
-    // Branch-direction profiling on the region's terminating branch.
-    if (t->endsInCondBranch) {
-        if (cpu.eip == t->condBranchTarget) {
-            ++t->takenCount;
-            recordBranch(t->condBranchPc, true);
-        } else if (cpu.eip == t->fallthroughPc) {
-            ++t->notTakenCount;
-            recordBranch(t->condBranchPc, false);
-        }
-    }
-    return x86::Exit::None;
+    if (ccm.install(std::move(t)).flushed)
+        lastTrans = nullptr;
 }
 
 x86::Exit
@@ -257,37 +120,54 @@ Vmm::run(x86::CpuState &cpu, InstCount max_insns)
         // Dispatch: chain from the previous translation, else look up.
         Translation *t = nullptr;
         if (cfg.enableChaining && lastTrans) {
-            const Translation *c = lastTrans->chainedTo(pc);
-            if (c) {
-                t = const_cast<Translation *>(c);
+            t = lastTrans->chainedTo(pc);
+            if (t)
                 ++st.chainFollows;
-            }
         }
         if (!t) {
             ++st.dispatches;
-            t = map.lookup(pc);
+            t = ccm.lookup(pc);
         }
 
-        if (!t && cfg.cold == ColdStrategy::Bbt) {
-            t = translateBlock(pc);
-            if (!t) {
+        // Translate-style cold strategies produce a translation on a
+        // miss; the core installs it and executes from the cache.
+        if (!t && cold->translatesColdCode()) {
+            std::unique_ptr<Translation> nt = cold->translate(pc);
+            if (!nt) {
                 // First instruction of the block does not decode.
                 return x86::Exit::DecodeFault;
             }
+            ++st.bbtTranslations;
+            st.bbtInsnsTranslated += nt->numX86Insns;
+            StageEvent e;
+            e.stage = TracePhase::BbtTranslate;
+            e.insns = nt->numX86Insns;
+            e.x86Addr = pc;
+            e.x86Bytes = nt->x86Bytes;
+            e.arg = pc;
+            events.emit(e);
+            engine::CodeCacheManager::InstallResult ir =
+                ccm.install(std::move(nt));
+            if (ir.flushed)
+                lastTrans = nullptr;
+            t = ir.trans;
         }
 
         if (!t) {
-            // Interpreter or x86-mode execution of the cold block.
+            // Execute-style cold strategy (interpreter or x86-mode).
             lastTrans = nullptr;
+            if (detector->onColdEntry(pc))
+                invokeSbt(pc);
             const InstCount cold_start = retired;
-            x86::Exit e = runCold(cpu, max_insns - retired, retired);
+            x86::Exit e = cold->execute(cpu, max_insns - retired,
+                                        retired);
             if (const u64 delta = retired - cold_start) {
-                CDVM_TRACE_SPAN(Tracer::global(),
-                                cfg.cold == ColdStrategy::X86Mode
-                                    ? TracePhase::X86Mode
-                                    : TracePhase::Interp,
-                                vclock, delta, pc);
-                vclock += delta;
+                StageEvent ev;
+                ev.stage = cold->phase();
+                ev.insns = delta;
+                ev.x86Addr = pc;
+                ev.arg = pc;
+                events.emit(ev);
             }
             if (e != x86::Exit::None)
                 return e;
@@ -299,13 +179,18 @@ Vmm::run(x86::CpuState &cpu, InstCount max_insns)
         Translation *executed = t;
         const bool exec_sbt = t->kind == TransKind::Superblock;
         const InstCount exec_start = retired;
-        x86::Exit e = runTranslated(cpu, t, retired);
+        x86::Exit e = translatedExec.run(cpu, t, retired);
         if (const u64 delta = retired - exec_start) {
-            CDVM_TRACE_SPAN(Tracer::global(),
-                            exec_sbt ? TracePhase::SbtExec
-                                     : TracePhase::BbtExec,
-                            vclock, delta, executed->entryPc);
-            vclock += delta;
+            StageEvent ev;
+            ev.stage = exec_sbt ? TracePhase::SbtExec
+                                : TracePhase::BbtExec;
+            ev.insns = delta;
+            ev.x86Addr = executed->entryPc;
+            ev.x86Bytes = executed->x86Bytes;
+            ev.codeAddr = executed->codeAddr;
+            ev.codeBytes = executed->codeBytes;
+            ev.arg = executed->entryPc;
+            events.emit(ev);
         }
         if (e != x86::Exit::None)
             return e;
@@ -313,21 +198,21 @@ Vmm::run(x86::CpuState &cpu, InstCount max_insns)
         // Chaining: link the executed translation to the successor it
         // actually went to, so the next visit skips the lookup table.
         if (cfg.enableChaining) {
-            Translation *succ = map.lookup(cpu.eip);
+            Translation *succ = ccm.lookup(cpu.eip);
             if (succ && executed->addChain(cpu.eip, succ)) {
                 ++st.chainsInstalled;
-                CDVM_TRACE_INSTANT(Tracer::global(), TracePhase::Chain,
-                                   vclock, cpu.eip);
+                StageEvent ev;
+                ev.stage = TracePhase::Chain;
+                ev.instant = true;
+                ev.arg = cpu.eip;
+                events.emit(ev);
             }
         }
         lastTrans = executed;
 
-        // Software hotspot detection: BBT block crossed the threshold.
-        if (executed->kind == TransKind::BasicBlock &&
-            cfg.cold != ColdStrategy::X86Mode &&
-            executed->execCount >= cfg.hotThreshold) {
+        // Hotspot detection on the translated-code entry.
+        if (detector->onTranslatedEntry(*executed))
             invokeSbt(executed->entryPc);
-        }
     }
     return x86::Exit::None;
 }
@@ -379,18 +264,35 @@ Vmm::exportStats(StatRegistry &reg) const
         "BBT code cache flush-on-full events");
     set("vmm.cache_flushes.sbt", st.sbtCacheFlushes,
         "SBT code cache flush-on-full events");
-    set("vmm.trace_clock", vclock,
+    set("vmm.xlt.insns_translated", st.xltInsnsTranslated,
+        "x86 instructions translated through the HAloop");
+    set("vmm.xlt.complex_fallbacks", st.xltComplexFallbacks,
+        "JCPX exits cracked by the software complex handler");
+    set("vmm.xlt.cti_fallbacks", st.xltCtiFallbacks,
+        "JCTI exits cracked by the software branch handler");
+    set("vmm.trace_clock", traceSink.clock(),
         "virtual work-unit clock at export time");
 
-    // dbt.*: translators, code caches, and the lookup table.
-    bbtXlator.exportStats(reg, "dbt.bbt");
-    sbtXlator.exportStats(reg, "dbt.sbt");
-    bbtCc.exportStats(reg, "dbt.codecache.bbt");
-    sbtCc.exportStats(reg, "dbt.codecache.sbt");
-    map.exportStats(reg, "dbt.lookup");
+    // engine.*: bounded profiling containers.
+    set("engine.branch_prof.entries", branchProf.size(),
+        "branch-direction profile entries resident");
+    set("engine.branch_prof.evictions", branchProf.evictions(),
+        "branch-profile entries evicted at capacity");
+    set("engine.sbt_failed.entries", sbtFailed.size(),
+        "failed-seed entries resident");
+    set("engine.sbt_failed.evictions", sbtFailed.evictions(),
+        "failed-seed entries evicted at capacity");
 
-    // hwassist.*: the branch behavior buffer.
-    hotBbb.exportStats(reg, "hwassist.bbb");
+    // dbt.*: translators, code caches, and the lookup table. The BBT
+    // backend publishes dbt.bbt.* (and, for the XLTx86-assisted path,
+    // hwassist.xlt.* and the HAloop cost cross-check).
+    cold->exportStats(reg);
+    sbtBackend.exportStats(reg, "dbt.sbt");
+    ccm.exportStats(reg);
+
+    // hwassist.*: the branch behavior buffer (idle when unused).
+    bbb().exportStats(reg, "hwassist.bbb");
+    detector->exportStats(reg);
 }
 
 } // namespace cdvm::vmm

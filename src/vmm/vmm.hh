@@ -3,16 +3,26 @@
  * The VMM runtime: the concealed software layer that orchestrates
  * staged emulation (paper Fig. 1).
  *
- * Responsibilities, as in the paper:
- *  - select the cold-code strategy (interpreter, BBT, or direct
- *    x86-mode execution with dual-mode decoders);
- *  - manage the basic-block and superblock code caches, including
- *    flush-on-full eviction and retranslation;
- *  - maintain the translation lookup table and branch chaining;
- *  - profile execution (software counters, or the hardware BBB for
- *    VM.fe) and trigger hotspot optimization at the hot threshold;
- *  - recover precise x86 state on faults in translated code, falling
- *    back to the interpreter ("may use interpreter", Fig. 1).
+ * Since the engine-layer refactor the Vmm is a thin dispatch core:
+ * it owns the run loop (chain-follow, lookup, translate-on-miss,
+ * translated execution) and delegates everything configuration-
+ * specific to the engine's strategy objects:
+ *
+ *  - engine::ColdExecutor -- what happens on a lookup miss
+ *    (interpret, hardware x86-mode, software BBT, XLTx86-assisted
+ *    BBT);
+ *  - engine::HotspotDetector -- when a region goes hot (software
+ *    exec counters or the hardware BBB);
+ *  - engine::SbtBackend -- how a hot seed becomes optimized code;
+ *  - engine::CodeCacheManager -- translation registration, arenas,
+ *    flush-on-full eviction;
+ *  - engine::TranslatedExecutor -- micro-op execution with
+ *    precise-state recovery.
+ *
+ * Everything the core does is narrated as an engine::StageEvent
+ * stream; the tracer's track-0 timeline is one consumer (TraceSink)
+ * and callers may attach their own sinks (StageCounter gives retire
+ * counts per stage).
  *
  * This is the functional VMM: it really translates, really executes
  * micro-ops from a really-allocated code cache, and is differentially
@@ -23,19 +33,18 @@
 #ifndef CDVM_VMM_VMM_HH
 #define CDVM_VMM_VMM_HH
 
+#include <memory>
 #include <optional>
-#include <unordered_map>
-#include <unordered_set>
 
 #include "common/trace.hh"
-#include "dbt/bbt.hh"
-#include "dbt/codecache.hh"
-#include "dbt/costs.hh"
-#include "dbt/lookup.hh"
-#include "dbt/sbt.hh"
-#include "dbt/superblock.hh"
+#include "engine/backend.hh"
+#include "engine/cache_mgr.hh"
+#include "engine/engine_config.hh"
+#include "engine/events.hh"
+#include "engine/profile.hh"
+#include "engine/strategy.hh"
+#include "engine/translated_exec.hh"
 #include "hwassist/bbb.hh"
-#include "uops/exec.hh"
 #include "x86/interp.hh"
 #include "x86/memory.hh"
 
@@ -47,73 +56,12 @@ class StatRegistry;
 namespace cdvm::vmm
 {
 
-/** Initial-emulation strategy for cold code. */
-enum class ColdStrategy : u8
-{
-    Interpret, //!< one-instruction-at-a-time interpretation (Fig. 2)
-    Bbt,       //!< simple basic block translation (VM.soft / VM.be)
-    X86Mode,   //!< direct execution via dual-mode decoders (VM.fe)
-};
+/** The engine configuration doubles as the VMM configuration. */
+using VmmConfig = engine::EngineConfig;
+/** Engine statistics are the VMM statistics. */
+using VmmStats = engine::EngineStats;
 
-/** VMM configuration. */
-struct VmmConfig
-{
-    ColdStrategy cold = ColdStrategy::Bbt;
-    /** Hot threshold for BBT- or BBB-profiled code (Eq. 2: 8000). */
-    u64 hotThreshold = 8000;
-    /** Hot threshold under interpretation (Section 3.1: 25). */
-    u64 interpHotThreshold = 25;
-    bool enableSbt = true;
-    bool enableChaining = true;
-    /** Use the hardware branch behavior buffer for hotspot detection. */
-    bool useBbb = false;
-
-    Addr bbtCacheBase = 0xe0000000;
-    u64 bbtCacheBytes = u64{4} << 20;
-    Addr sbtCacheBase = 0xe8000000;
-    u64 sbtCacheBytes = u64{4} << 20;
-
-    unsigned maxBlockInsns = 64;
-    dbt::SuperblockPolicy sbPolicy{};
-    uops::FusionConfig fusion{};
-    hwassist::BbbParams bbbParams{};
-};
-
-/** Aggregate VMM statistics. */
-struct VmmStats
-{
-    // x86 instructions retired, by emulation mode.
-    u64 insnsInterp = 0;
-    u64 insnsX86Mode = 0;
-    u64 insnsBbtCode = 0;
-    u64 insnsSbtCode = 0;
-    // Micro-ops retired in translated code.
-    u64 uopsBbtCode = 0;
-    u64 uopsSbtCode = 0;
-    // Translation activity.
-    u64 bbtTranslations = 0;
-    u64 bbtInsnsTranslated = 0;
-    u64 sbtTranslations = 0;
-    u64 sbtInsnsTranslated = 0;
-    u64 sbtFormationFailures = 0;
-    // Dispatch machinery.
-    u64 dispatches = 0;
-    u64 chainFollows = 0;
-    u64 chainsInstalled = 0;
-    // Events.
-    u64 hotspotDetections = 0;
-    u64 preciseStateRecoveries = 0;
-    u64 bbtCacheFlushes = 0;
-    u64 sbtCacheFlushes = 0;
-
-    u64
-    totalRetired() const
-    {
-        return insnsInterp + insnsX86Mode + insnsBbtCode + insnsSbtCode;
-    }
-};
-
-/** The virtual machine monitor. */
+/** The virtual machine monitor: the engine's dispatch core. */
 class Vmm
 {
   public:
@@ -128,20 +76,39 @@ class Vmm
 
     const VmmStats &stats() const { return st; }
     const VmmConfig &config() const { return cfg; }
-    dbt::TranslationMap &translations() { return map; }
-    const dbt::CodeCache &bbtCache() const { return bbtCc; }
-    const dbt::CodeCache &sbtCache() const { return sbtCc; }
-    const hwassist::BranchBehaviorBuffer &bbb() const { return hotBbb; }
-    const dbt::SuperblockTranslator &sbt() const { return sbtXlator; }
+    dbt::TranslationMap &translations() { return ccm.translations(); }
+    const dbt::CodeCache &bbtCache() const { return ccm.bbtCache(); }
+    const dbt::CodeCache &sbtCache() const { return ccm.sbtCache(); }
+    const dbt::SuperblockTranslator &sbt() const
+    {
+        return sbtBackend.translator();
+    }
+
+    /** The hotspot detector's BBB (an idle unit when not used). */
+    const hwassist::BranchBehaviorBuffer &bbb() const;
 
     /** Observed taken-bias of the branch at branch_pc, if profiled. */
-    std::optional<double> branchBias(Addr branch_pc) const;
+    std::optional<double>
+    branchBias(Addr branch_pc) const
+    {
+        return branchProf.bias(branch_pc);
+    }
+
+    /** The cold-code strategy in use. */
+    const engine::ColdExecutor &coldExecutor() const { return *cold; }
+
+    /**
+     * Attach an additional consumer of the engine's stage events
+     * (must outlive the Vmm's run() calls).
+     */
+    void attachSink(engine::StageSink *s) { events.attach(s); }
 
     /**
      * Publish the full staged-emulation picture into a StatRegistry:
      * vmm.* (this object's counters), dbt.* (translators, code
-     * caches, lookup table) and hwassist.* (BBB). Values are copied
-     * at call time; call after run().
+     * caches, lookup table), hwassist.* (BBB and, per configuration,
+     * the XLTx86 unit or dual-mode decoders) and engine.* (profiling
+     * containers). Values are copied at call time; call after run().
      */
     void exportStats(StatRegistry &reg) const;
 
@@ -151,42 +118,31 @@ class Vmm
      * number of instructions translated. Phase spans recorded with
      * the global Tracer use this timebase (track 0).
      */
-    u64 traceClock() const { return vclock; }
+    u64 traceClock() const { return traceSink.clock(); }
 
   private:
-    dbt::Translation *translateBlock(Addr pc);
-    void registerTranslation(std::unique_ptr<dbt::Translation> t);
     void invokeSbt(Addr seed_pc);
-    void recordBranch(Addr branch_pc, bool taken);
-    x86::Exit runCold(x86::CpuState &cpu, InstCount budget,
-                      InstCount &retired);
-    x86::Exit runTranslated(x86::CpuState &cpu, dbt::Translation *t,
-                            InstCount &retired);
 
     x86::Memory &mem;
     VmmConfig cfg;
     VmmStats st;
 
-    dbt::TranslationMap map;
-    dbt::CodeCache bbtCc;
-    dbt::CodeCache sbtCc;
-    dbt::BasicBlockTranslator bbtXlator;
-    dbt::SuperblockTranslator sbtXlator;
-    hwassist::BranchBehaviorBuffer hotBbb;
+    engine::EventStream events;
+    engine::TraceSink traceSink;
 
-    uops::UState ustate;
+    /** Per-branch direction profile (bounded; feeds the SBT's bias). */
+    engine::BranchProfile branchProf;
+    /** Seeds where superblock formation already failed (bounded). */
+    engine::BoundedAddrSet sbtFailed;
 
-    /** Per-branch direction profile (branch PC -> taken/not-taken). */
-    std::unordered_map<Addr, std::pair<u64, u64>> branchProf;
-    /** Per-block execution counters under interpretation. */
-    std::unordered_map<Addr, u64> interpBlockCount;
-    /** Seeds where superblock formation already failed. */
-    std::unordered_set<Addr> sbtFailed;
+    engine::CodeCacheManager ccm;
+    std::unique_ptr<engine::ColdExecutor> cold;
+    std::unique_ptr<engine::HotspotDetector> detector;
+    engine::SbtBackend sbtBackend;
+    engine::TranslatedExecutor translatedExec;
+
     /** The translation we last exited from (chaining source). */
     dbt::Translation *lastTrans = nullptr;
-
-    /** Virtual trace timebase (see traceClock()). */
-    u64 vclock = 0;
 };
 
 } // namespace cdvm::vmm

@@ -54,8 +54,7 @@ expectSameOutcome(const workload::Program &prog, const RunResult &ref,
 vmm::VmmConfig
 cfgSoft()
 {
-    vmm::VmmConfig c;
-    c.cold = vmm::ColdStrategy::Bbt;
+    vmm::VmmConfig c = engine::EngineConfig::vmSoft();
     c.hotThreshold = 30; // low threshold so SBT really triggers
     return c;
 }
@@ -63,8 +62,7 @@ cfgSoft()
 vmm::VmmConfig
 cfgBbtOnly()
 {
-    vmm::VmmConfig c;
-    c.cold = vmm::ColdStrategy::Bbt;
+    vmm::VmmConfig c = engine::EngineConfig::vmSoft();
     c.enableSbt = false;
     return c;
 }
@@ -72,8 +70,7 @@ cfgBbtOnly()
 vmm::VmmConfig
 cfgInterpSbt()
 {
-    vmm::VmmConfig c;
-    c.cold = vmm::ColdStrategy::Interpret;
+    vmm::VmmConfig c = engine::EngineConfig::vmInterp();
     c.interpHotThreshold = 10;
     return c;
 }
@@ -81,9 +78,23 @@ cfgInterpSbt()
 vmm::VmmConfig
 cfgFrontend()
 {
-    vmm::VmmConfig c;
-    c.cold = vmm::ColdStrategy::X86Mode;
-    c.useBbb = true;
+    vmm::VmmConfig c = engine::EngineConfig::vmFe();
+    c.bbbParams.hotThreshold = 30;
+    return c;
+}
+
+vmm::VmmConfig
+cfgBackend()
+{
+    vmm::VmmConfig c = engine::EngineConfig::vmBe();
+    c.hotThreshold = 30;
+    return c;
+}
+
+vmm::VmmConfig
+cfgDual()
+{
+    vmm::VmmConfig c = engine::EngineConfig::vmDual();
     c.bbbParams.hotThreshold = 30;
     return c;
 }
@@ -116,6 +127,8 @@ TEST_P(DifferentialTest, AllStrategiesMatchInterpreter)
         {"BBT only", cfgBbtOnly()},
         {"interp+SBT", cfgInterpSbt()},
         {"vm.fe (x86-mode+BBB)", cfgFrontend()},
+        {"vm.be (XLT-assisted BBT)", cfgBackend()},
+        {"vm.dual (XLT+BBB)", cfgDual()},
     };
 
     for (const Case &c : cases) {

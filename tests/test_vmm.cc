@@ -159,8 +159,8 @@ TEST(Vmm, X86ModeUsesBbbAndNoBbt)
     workload::Program prog = test::snippetProgram(as);
 
     vmm::VmmConfig cfg;
-    cfg.cold = vmm::ColdStrategy::X86Mode;
-    cfg.useBbb = true;
+    cfg.cold = engine::ColdKind::HardwareX86Mode;
+    cfg.detector = engine::DetectorKind::Bbb;
     cfg.bbbParams.hotThreshold = 300;
     x86::Memory mem;
     vmm::VmmStats st;
