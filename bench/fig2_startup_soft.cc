@@ -28,6 +28,8 @@ main(int argc, char **argv)
     auto interp = bench::runMachine(timing::MachineConfig::vmInterp(),
                                     apps);
     auto soft = bench::runMachine(timing::MachineConfig::vmSoft(), apps);
+    auto soft_async = bench::runMachine(
+        timing::MachineConfig::vmSoftAsync(), apps);
 
     // Normalize so the reference's end-of-run aggregate is 1.0, as in
     // the paper's plots.
@@ -50,6 +52,8 @@ main(int argc, char **argv)
         analysis::averageNormalizedIpc(interp, "VM: Interp & SBT")));
     series.push_back(
         scale(analysis::averageNormalizedIpc(soft, "VM: BBT & SBT")));
+    series.push_back(scale(analysis::averageNormalizedIpc(
+        soft_async, "VM: BBT & async SBT")));
 
     // The steady-state line (paper: +8% over the reference).
     double gain = 0.0;
@@ -96,6 +100,8 @@ main(int argc, char **argv)
     bench::exportSuiteStartup("bench.fig2.ref", ref);
     bench::exportSuiteStartup("bench.fig2.vm_interp", interp, &ref);
     bench::exportSuiteStartup("bench.fig2.vm_soft", soft, &ref);
+    bench::exportSuiteStartup("bench.fig2.vm_soft_async", soft_async,
+                              &ref);
     dumpObservability();
     return 0;
 }

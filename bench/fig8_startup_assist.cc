@@ -23,6 +23,8 @@ main(int argc, char **argv)
                                  apps);
     auto soft = bench::runMachine(timing::MachineConfig::vmSoft(), apps);
     auto be = bench::runMachine(timing::MachineConfig::vmBe(), apps);
+    auto be_async = bench::runMachine(timing::MachineConfig::vmBeAsync(),
+                                      apps);
     auto fe = bench::runMachine(timing::MachineConfig::vmFe(), apps);
 
     double ref_final = 0.0;
@@ -43,6 +45,8 @@ main(int argc, char **argv)
     series.push_back(
         scale(analysis::averageNormalizedIpc(soft, "VM.soft")));
     series.push_back(scale(analysis::averageNormalizedIpc(be, "VM.be")));
+    series.push_back(scale(
+        analysis::averageNormalizedIpc(be_async, "VM.be.async")));
     series.push_back(scale(analysis::averageNormalizedIpc(fe, "VM.fe")));
 
     double gain = 0.0;
@@ -96,6 +100,7 @@ main(int argc, char **argv)
     std::printf("--- suite summaries ---\n");
     summarize("VM.soft", soft);
     summarize("VM.be", be);
+    summarize("VM.be.async", be_async);
     summarize("VM.fe", fe);
     std::printf("(paper: VM.fe ~zero startup overhead; VM.be breakeven "
                 "~10M cycles;\n VM.soft breakeven beyond 200M cycles)\n");
@@ -104,6 +109,7 @@ main(int argc, char **argv)
     bench::exportSuiteStartup("bench.fig8.ref", ref);
     bench::exportSuiteStartup("bench.fig8.vm_soft", soft, &ref);
     bench::exportSuiteStartup("bench.fig8.vm_be", be, &ref);
+    bench::exportSuiteStartup("bench.fig8.vm_be_async", be_async, &ref);
     bench::exportSuiteStartup("bench.fig8.vm_fe", fe, &ref);
     dumpObservability();
     return 0;

@@ -44,6 +44,10 @@ machineFor(const std::string &name)
         return timing::MachineConfig::vmFe();
     if (name == "vm.be" || name == "vm.dual")
         return timing::MachineConfig::vmBe();
+    if (name == "vm.be.async")
+        return timing::MachineConfig::vmBeAsync();
+    if (name == "vm.soft.async")
+        return timing::MachineConfig::vmSoftAsync();
     if (name == "vm.interp")
         return timing::MachineConfig::vmInterp();
     return timing::MachineConfig::vmSoft();
@@ -59,7 +63,7 @@ main(int argc, char **argv)
             "simulation; optionally export stats and a phase trace.");
     cli.flag("config", "vm.soft",
              "engine configuration: vm.soft|vm.fe|vm.be|vm.dual|"
-             "vm.interp");
+             "vm.interp|vm.soft.async|vm.be.async");
     addObservabilityFlags(cli);
     cli.parse(argc, argv);
     applyObservabilityFlags(cli);
@@ -149,6 +153,16 @@ main(int argc, char **argv)
     std::printf("  dispatches / chained:   %llu / %llu\n",
                 static_cast<unsigned long long>(st.dispatches),
                 static_cast<unsigned long long>(st.chainFollows));
+    if (cfg.asyncTranslators > 0) {
+        std::printf("  async SBT requests:     %llu (%llu installed, "
+                    "%llu stale, %llu queue-full)\n",
+                    static_cast<unsigned long long>(st.asyncSbtRequests),
+                    static_cast<unsigned long long>(st.asyncSbtInstalls),
+                    static_cast<unsigned long long>(
+                        st.asyncSbtStaleDropped),
+                    static_cast<unsigned long long>(
+                        st.asyncSbtQueueRejects));
+    }
 
     // --- startup-transient timing simulation --------------------------
     // A short run of the matching Table 2 machine over the

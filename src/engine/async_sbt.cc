@@ -1,0 +1,134 @@
+#include "engine/async_sbt.hh"
+
+#include "common/statreg.hh"
+
+namespace cdvm::engine
+{
+
+AsyncSbtEngine::AsyncSbtEngine(const EngineConfig &cfg)
+    : pool(cfg.asyncTranslators, cfg.asyncQueueCap)
+{
+    translators.reserve(pool.workers());
+    for (unsigned i = 0; i < pool.workers(); ++i)
+        translators.emplace_back(cfg.fusion);
+}
+
+bool
+AsyncSbtEngine::request(Addr seed, dbt::SuperblockTrace trace)
+{
+    const u64 ticket = nSubmitted;
+    // The trace is moved into the task: the worker owns it outright
+    // and never touches guest memory or the branch profile.
+    auto work = [this, seed, ticket,
+                 tr = std::move(trace)](unsigned ctx) {
+        AsyncSbtResult r;
+        r.seed = seed;
+        r.ticket = ticket;
+        r.trans = translators[ctx].translate(tr);
+        pushDone(std::move(r));
+    };
+    if (!pool.trySubmit(std::move(work)))
+        return false;
+    ++nSubmitted;
+    inFlight.insert(seed);
+    return true;
+}
+
+std::optional<AsyncSbtResult>
+AsyncSbtEngine::tryPop()
+{
+    if (doneCount.load(std::memory_order_acquire) == 0)
+        return std::nullopt;
+    AsyncSbtResult r;
+    {
+        std::lock_guard<std::mutex> lk(doneMu);
+        if (done.empty())
+            return std::nullopt;
+        r = std::move(done.front());
+        done.pop_front();
+        doneCount.fetch_sub(1, std::memory_order_release);
+    }
+    inFlight.erase(r.seed);
+    return r;
+}
+
+void
+AsyncSbtEngine::pushDone(AsyncSbtResult r)
+{
+    std::lock_guard<std::mutex> lk(doneMu);
+    done.push_back(std::move(r));
+    doneCount.fetch_add(1, std::memory_order_release);
+}
+
+u64
+AsyncSbtEngine::superblocksTranslated() const
+{
+    u64 n = 0;
+    for (const dbt::SuperblockTranslator &t : translators)
+        n += t.superblocksTranslated();
+    return n;
+}
+
+u64
+AsyncSbtEngine::insnsTranslated() const
+{
+    u64 n = 0;
+    for (const dbt::SuperblockTranslator &t : translators)
+        n += t.insnsTranslated();
+    return n;
+}
+
+u64
+AsyncSbtEngine::totalUopsEmitted() const
+{
+    u64 n = 0;
+    for (const dbt::SuperblockTranslator &t : translators)
+        n += t.totalUopsEmitted();
+    return n;
+}
+
+u64
+AsyncSbtEngine::totalPairsFused() const
+{
+    u64 n = 0;
+    for (const dbt::SuperblockTranslator &t : translators)
+        n += t.totalPairsFused();
+    return n;
+}
+
+void
+AsyncSbtEngine::exportStats(StatRegistry &reg,
+                            const std::string &sbt_prefix) const
+{
+    const u64 uops = totalUopsEmitted();
+    const u64 pairs = totalPairsFused();
+    reg.set(sbt_prefix + ".superblocks",
+            static_cast<double>(superblocksTranslated()),
+            "hot superblocks optimized");
+    reg.set(sbt_prefix + ".insns",
+            static_cast<double>(insnsTranslated()),
+            "x86 instructions optimized");
+    reg.set(sbt_prefix + ".uops_emitted", static_cast<double>(uops),
+            "micro-ops emitted after optimization");
+    reg.set(sbt_prefix + ".pairs_fused", static_cast<double>(pairs),
+            "macro-op pairs fused");
+    reg.set(sbt_prefix + ".fusion_rate",
+            uops ? 2.0 * static_cast<double>(pairs) /
+                       static_cast<double>(uops)
+                 : 0.0,
+            "fraction of uops inside fused pairs");
+
+    reg.set("engine.async.contexts",
+            static_cast<double>(pool.workers()),
+            "background translator contexts");
+    reg.set("engine.async.submitted", static_cast<double>(nSubmitted),
+            "optimization requests enqueued");
+    reg.set("engine.async.executed",
+            static_cast<double>(pool.executed()),
+            "optimization requests completed by workers");
+    reg.set("engine.async.rejected_full",
+            static_cast<double>(pool.rejectedFull()),
+            "requests dropped by queue back-pressure");
+}
+
+} // namespace cdvm::engine

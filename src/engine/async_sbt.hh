@@ -1,0 +1,146 @@
+/**
+ * @file
+ * The asynchronous SBT pipeline: background superblock optimization.
+ *
+ * The paper charges the full Delta_SBT (1674 native instructions per
+ * translated instruction) on the emulation thread at the moment a
+ * region crosses the hot threshold. Real co-designed VMs hide that
+ * latency: the dispatch loop keeps retiring cold/BBT code while
+ * optimization proceeds on background contexts. This class is that
+ * pipeline for the functional VM.
+ *
+ * Protocol (see DESIGN.md "Asynchronous SBT pipeline"):
+ *
+ *  - *Form on the dispatch thread.* Superblock formation reads guest
+ *    memory and the live branch-direction profile, both owned by the
+ *    emulation thread; the Vmm forms the SuperblockTrace at detection
+ *    time and hands the workers a self-contained value. Workers never
+ *    touch guest-visible state.
+ *  - *Optimize on a worker.* Each worker context owns a private
+ *    SuperblockTranslator (crack + dead-flag elimination + fusion),
+ *    so the expensive optimization runs unsynchronized.
+ *  - *Install on the dispatch thread.* Finished translations land in
+ *    a completion queue; the Vmm drains it at dispatch points and
+ *    performs the publish (code-cache allocate + encode + map insert)
+ *    itself, then chains lazily as usual (publish-then-chain). A
+ *    code-cache flush between request and install therefore never
+ *    races an install -- the drain sees the post-flush world and
+ *    drops results that became stale (a superblock already republished
+ *    at that seed).
+ *
+ * Back-pressure: the request queue is bounded; when it is full the
+ *  request is dropped and the seed stays cold until a later detection
+ *  re-requests it.
+ * Determinism: with barrier() after every request (EngineConfig
+ *  asyncDeterministic), installs happen at the exact point the
+ *  synchronous SBT would translate, so the engine's StageEvent stream
+ *  is identical retire-for-retire to the synchronous pipeline.
+ */
+
+#ifndef CDVM_ENGINE_ASYNC_SBT_HH
+#define CDVM_ENGINE_ASYNC_SBT_HH
+
+#include <atomic>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "common/threadpool.hh"
+#include "dbt/sbt.hh"
+#include "dbt/superblock.hh"
+#include "engine/engine_config.hh"
+
+namespace cdvm
+{
+class StatRegistry;
+}
+
+namespace cdvm::engine
+{
+
+/** One finished background optimization. */
+struct AsyncSbtResult
+{
+    Addr seed = 0;
+    u64 ticket = 0; //!< submission order (0-based)
+    /** The optimized superblock; null when the optimizer declined. */
+    std::unique_ptr<dbt::Translation> trans;
+};
+
+/** Background superblock-optimization contexts + completion queue. */
+class AsyncSbtEngine
+{
+  public:
+    /**
+     * Spin up cfg.asyncTranslators worker contexts behind a queue of
+     * cfg.asyncQueueCap requests; each context gets its own
+     * SuperblockTranslator configured like the synchronous SBT's.
+     */
+    explicit AsyncSbtEngine(const EngineConfig &cfg);
+
+    /** Waits for in-flight work, then stops the contexts. */
+    ~AsyncSbtEngine() { pool.drain(); }
+
+    /**
+     * True when the seed has been requested and its result has not
+     * been drained yet (dispatch thread only).
+     */
+    bool pending(Addr seed) const { return inFlight.count(seed) > 0; }
+
+    /**
+     * Enqueue a formed trace for background optimization (dispatch
+     * thread only). Returns false when the queue is full; the caller
+     * treats that as back-pressure and leaves the seed cold.
+     */
+    bool request(Addr seed, dbt::SuperblockTrace trace);
+
+    /**
+     * Pop one finished result, if any (dispatch thread only). Cheap
+     * when the completion queue is empty: one relaxed atomic load.
+     */
+    std::optional<AsyncSbtResult> tryPop();
+
+    /** Wait until every requested optimization has completed. */
+    void barrier() { pool.drain(); }
+
+    unsigned contexts() const { return pool.workers(); }
+    u64 submitted() const { return nSubmitted; }
+    u64 rejected() const { return pool.rejectedFull(); }
+
+    // Aggregate translator activity across all contexts.
+    u64 superblocksTranslated() const;
+    u64 insnsTranslated() const;
+    u64 totalUopsEmitted() const;
+    u64 totalPairsFused() const;
+
+    /**
+     * Publish dbt.sbt.*-shaped aggregates plus engine.async.* queue
+     * counters. Call only when the contexts are quiescent (after
+     * run(); the Vmm barriers before exporting).
+     */
+    void exportStats(StatRegistry &reg,
+                     const std::string &sbt_prefix) const;
+
+  private:
+    void pushDone(AsyncSbtResult r);
+
+    ThreadPool pool;
+    /** One private translator per worker context (index = ctx). */
+    std::vector<dbt::SuperblockTranslator> translators;
+
+    /** Seeds requested and not yet drained (dispatch thread only). */
+    std::unordered_set<Addr> inFlight;
+    u64 nSubmitted = 0;
+
+    std::mutex doneMu;
+    std::deque<AsyncSbtResult> done;
+    /** Fast empty-check so the dispatch loop's poll is one load. */
+    std::atomic<u64> doneCount{0};
+};
+
+} // namespace cdvm::engine
+
+#endif // CDVM_ENGINE_ASYNC_SBT_HH

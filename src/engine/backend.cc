@@ -154,11 +154,20 @@ XltBbtBackend::exportStats(StatRegistry &reg,
 std::unique_ptr<Translation>
 SbtBackend::translate(Addr seed_pc)
 {
+    std::optional<dbt::SuperblockTrace> trace = form(seed_pc);
+    if (!trace)
+        return nullptr;
+    return xlator.translate(*trace);
+}
+
+std::optional<dbt::SuperblockTrace>
+SbtBackend::form(Addr seed_pc)
+{
     dbt::SuperblockFormer former(mem, bias, policy);
     std::optional<dbt::SuperblockTrace> trace = former.form(seed_pc);
     if (!trace || trace->insns.empty())
-        return nullptr;
-    return xlator.translate(*trace);
+        return std::nullopt;
+    return trace;
 }
 
 void

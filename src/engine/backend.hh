@@ -113,6 +113,15 @@ class SbtBackend : public TranslationBackend
      *  fails (the dispatch core remembers failed seeds). */
     std::unique_ptr<dbt::Translation> translate(Addr seed_pc) override;
 
+    /**
+     * Formation stage alone: follow the hot path from the seed into a
+     * self-contained trace. This is the part that must run on the
+     * dispatch thread (it reads guest memory and the live branch
+     * profile); the async pipeline hands the result to a background
+     * optimizer context. nullopt when the seed does not form.
+     */
+    std::optional<dbt::SuperblockTrace> form(Addr seed_pc);
+
     void exportStats(StatRegistry &reg,
                      const std::string &prefix) const override;
 

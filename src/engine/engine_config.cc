@@ -53,6 +53,24 @@ EngineConfig::vmInterp()
     return c;
 }
 
+EngineConfig
+EngineConfig::vmSoftAsync(unsigned contexts)
+{
+    EngineConfig c = vmSoft();
+    c.name = "vm.soft.async";
+    c.asyncTranslators = contexts;
+    return c;
+}
+
+EngineConfig
+EngineConfig::vmBeAsync(unsigned contexts)
+{
+    EngineConfig c = vmBe();
+    c.name = "vm.be.async";
+    c.asyncTranslators = contexts;
+    return c;
+}
+
 std::optional<EngineConfig>
 EngineConfig::byName(const std::string &name)
 {
@@ -66,13 +84,18 @@ EngineConfig::byName(const std::string &name)
         return vmDual();
     if (name == "vm.interp")
         return vmInterp();
+    if (name == "vm.soft.async")
+        return vmSoftAsync();
+    if (name == "vm.be.async")
+        return vmBeAsync();
     return std::nullopt;
 }
 
 std::vector<std::string>
 EngineConfig::names()
 {
-    return {"vm.soft", "vm.fe", "vm.be", "vm.dual", "vm.interp"};
+    return {"vm.soft",       "vm.fe",       "vm.be", "vm.dual",
+            "vm.interp",     "vm.soft.async", "vm.be.async"};
 }
 
 } // namespace cdvm::engine

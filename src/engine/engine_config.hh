@@ -77,12 +77,35 @@ struct EngineConfig
     std::size_t coldCounterCap = 65536;
     std::size_t sbtFailedCap = 16384;
 
+    // --- asynchronous SBT pipeline ----------------------------------
+    /**
+     * Background translator contexts for the SBT (0 = synchronous:
+     * hot seeds are optimized on the emulation thread, as the paper
+     * models). With N >= 1, hot seeds are formed on the dispatch
+     * thread, optimized on a worker, and installed at a later
+     * dispatch point while cold/BBT execution continues.
+     */
+    unsigned asyncTranslators = 0;
+    /** Bound on queued optimization requests (back-pressure). */
+    std::size_t asyncQueueCap = 64;
+    /**
+     * Deterministic async mode: barrier-on-install. Every request is
+     * awaited and installed immediately, so the StageEvent stream is
+     * identical retire-for-retire to the synchronous pipeline while
+     * still crossing the worker threads (differential/TSan testing).
+     */
+    bool asyncDeterministic = false;
+
     // --- named configurations ---------------------------------------
     static EngineConfig vmSoft();
     static EngineConfig vmFe();
     static EngineConfig vmBe();
     static EngineConfig vmDual();
     static EngineConfig vmInterp();
+    /** vm.soft with N background SBT contexts (vm.soft.async). */
+    static EngineConfig vmSoftAsync(unsigned contexts = 2);
+    /** vm.be with N background SBT contexts (vm.be.async). */
+    static EngineConfig vmBeAsync(unsigned contexts = 2);
 
     /** Look up a named configuration ("vm.soft", "vm.be", ...). */
     static std::optional<EngineConfig> byName(const std::string &name);
@@ -121,6 +144,11 @@ struct EngineStats
     u64 preciseStateRecoveries = 0;
     u64 bbtCacheFlushes = 0;
     u64 sbtCacheFlushes = 0;
+    // Asynchronous SBT pipeline activity.
+    u64 asyncSbtRequests = 0;     //!< traces handed to the workers
+    u64 asyncSbtInstalls = 0;     //!< background results installed
+    u64 asyncSbtStaleDropped = 0; //!< results dropped as stale
+    u64 asyncSbtQueueRejects = 0; //!< requests dropped (queue full)
 
     u64
     totalRetired() const

@@ -50,6 +50,12 @@ struct StageEvent
     u32 codeBytes = 0;
     /** Zero-width marker (CacheFlush, Chain, Dispatch). */
     bool instant = false;
+    /**
+     * Work done on a background translator context, off the emulation
+     * thread's critical path (the async SBT pipeline). Cycle-pricing
+     * consumers account it to occupancy, not to elapsed time.
+     */
+    bool background = false;
     /** Phase-specific tracer payload (pc, arena id, ...). */
     u64 arg = 0;
 };

@@ -24,11 +24,85 @@ StagedPipeline::StagedPipeline(
         regionFirst[r] = std::min(regionFirst[r], i);
         regionLast[r] = std::max(regionLast[r], i);
     }
+    ctxFreeAt.assign(p.asyncTranslators, 0.0);
+}
+
+void
+StagedPipeline::optimizeRegion(u32 region, bool background)
+{
+    RegionState &rs = regions[region];
+    rs.hot = true;
+    rs.inFlight = false;
+    u32 region_insns = 0;
+    u32 region_bytes = 0;
+    for (u32 i = regionFirst[region]; i <= regionLast[region]; ++i) {
+        region_insns += blocks[i].insns;
+        region_bytes += blocks[i].bytes;
+        st[i].mode = 2;
+    }
+    rs.sbtBytes = static_cast<u32>(
+        std::lround(region_bytes * p.codeExpansion));
+    rs.sbtAddr = sbtNext;
+    sbtNext += (rs.sbtBytes + 3u) & ~3u;
+
+    StageEvent e;
+    e.stage = TracePhase::SbtOptimize;
+    e.insns = region_insns;
+    e.x86Addr = blocks[regionFirst[region]].x86Addr;
+    e.x86Bytes = region_bytes;
+    e.codeAddr = rs.sbtAddr;
+    e.codeBytes = rs.sbtBytes;
+    e.background = background;
+    e.arg = blocks[regionFirst[region]].x86Addr;
+    events.emit(e);
+}
+
+void
+StagedPipeline::requestAsync(u32 region)
+{
+    RegionState &rs = regions[region];
+    rs.inFlight = true;
+
+    u32 region_insns = 0;
+    for (u32 i = regionFirst[region]; i <= regionLast[region]; ++i)
+        region_insns += blocks[i].insns;
+
+    // Occupancy: the request starts when the least-loaded context
+    // frees up; the emulation thread never waits.
+    std::size_t ctx = 0;
+    for (std::size_t i = 1; i < ctxFreeAt.size(); ++i)
+        if (ctxFreeAt[i] < ctxFreeAt[ctx])
+            ctx = i;
+    const double start = std::max(ctxFreeAt[ctx], insnsSoFar);
+    const double ready =
+        start + static_cast<double>(region_insns) *
+                    p.asyncLatencyPerInsn;
+    ctxFreeAt[ctx] = ready;
+    jobs.push_back(AsyncJob{region, ready});
+}
+
+void
+StagedPipeline::completeAsyncJobs()
+{
+    for (std::size_t i = 0; i < jobs.size();) {
+        if (jobs[i].readyAt <= insnsSoFar) {
+            optimizeRegion(jobs[i].region, true);
+            jobs[i] = jobs.back();
+            jobs.pop_back();
+        } else {
+            ++i;
+        }
+    }
 }
 
 void
 StagedPipeline::touch(u32 id)
 {
+    // Background optimizations whose latency elapsed install first,
+    // so this touch sees the post-install staging state.
+    if (!jobs.empty())
+        completeAsyncJobs();
+
     const BlockInfo &b = blocks[id];
     BlockState &bs = st[id];
     RegionState &rs = regions[b.region];
@@ -66,30 +140,16 @@ StagedPipeline::touch(u32 id)
     // --- hotspot detection & SBT ----------------------------------
     ++bs.exec;
     if (p.hasSbt && !rs.hot && bs.exec == p.hotThreshold) {
-        // The region (superblock scope) becomes hot as one unit.
-        rs.hot = true;
-        u32 region_insns = 0;
-        u32 region_bytes = 0;
-        for (u32 i = regionFirst[b.region]; i <= regionLast[b.region];
-             ++i) {
-            region_insns += blocks[i].insns;
-            region_bytes += blocks[i].bytes;
-            st[i].mode = 2;
+        if (p.asyncTranslators > 0) {
+            // The region keeps running in its pre-hot mode while a
+            // background context optimizes it.
+            if (!rs.inFlight)
+                requestAsync(b.region);
+        } else {
+            // Synchronous: the region (superblock scope) becomes hot
+            // as one unit, Delta_SBT charged on the emulation thread.
+            optimizeRegion(b.region, false);
         }
-        rs.sbtBytes = static_cast<u32>(
-            std::lround(region_bytes * p.codeExpansion));
-        rs.sbtAddr = sbtNext;
-        sbtNext += (rs.sbtBytes + 3u) & ~3u;
-
-        StageEvent e;
-        e.stage = TracePhase::SbtOptimize;
-        e.insns = region_insns;
-        e.x86Addr = blocks[regionFirst[b.region]].x86Addr;
-        e.x86Bytes = region_bytes;
-        e.codeAddr = rs.sbtAddr;
-        e.codeBytes = rs.sbtBytes;
-        e.arg = blocks[regionFirst[b.region]].x86Addr;
-        events.emit(e);
     }
 
     // --- execution --------------------------------------------------
@@ -118,6 +178,7 @@ StagedPipeline::touch(u32 id)
         e.stage = TracePhase::ColdExec;
     }
     events.emit(e);
+    insnsSoFar += static_cast<double>(b.insns);
 }
 
 } // namespace cdvm::engine

@@ -41,6 +41,25 @@ struct StagedParams
     double codeExpansion = 1.6;
     Addr bbtBase = 0xe0000000;
     Addr sbtBase = 0xe8000000;
+
+    /**
+     * Background SBT contexts (0 = synchronous: a region is optimized
+     * the instant it crosses the threshold, charging Delta_SBT on the
+     * emulation thread, exactly the paper's model). With N >= 1 a hot
+     * region keeps executing in its pre-hot mode while one of N
+     * contexts optimizes it; the SbtOptimize event is emitted (with
+     * background set) when the optimization completes, and only then
+     * does the region switch to SbtExec.
+     */
+    unsigned asyncTranslators = 0;
+    /**
+     * Background optimization latency per translated x86 instruction,
+     * in executed-instruction units (the pipeline's only clock): how
+     * many instructions the emulation thread retires while one
+     * instruction is being optimized. The timing simulator derives it
+     * from Delta_SBT and the pre-hot mode's CPI.
+     */
+    double asyncLatencyPerInsn = 1000.0;
 };
 
 /** Trace-driven staging state machine emitting StageEvents. */
@@ -54,6 +73,12 @@ class StagedPipeline
     void touch(u32 id);
 
   private:
+    /** Make the region hot: emit SbtOptimize, switch member blocks. */
+    void optimizeRegion(u32 region, bool background);
+    /** Complete background jobs whose latency has elapsed. */
+    void completeAsyncJobs();
+    /** Enqueue a region on the least-loaded background context. */
+    void requestAsync(u32 region);
     struct BlockState
     {
         u8 mode = 0; //!< 0 cold, 1 BBT-translated, 2 hotspot (SBT)
@@ -65,8 +90,18 @@ class StagedPipeline
     struct RegionState
     {
         bool hot = false;
+        /** Async: optimization requested, not yet completed. */
+        bool inFlight = false;
         Addr sbtAddr = 0;
         u32 sbtBytes = 0;
+    };
+
+    /** One outstanding background optimization. */
+    struct AsyncJob
+    {
+        u32 region = 0;
+        /** Completes when insnsSoFar reaches this. */
+        double readyAt = 0.0;
     };
 
     const std::vector<workload::BlockInfo> &blocks;
@@ -82,6 +117,14 @@ class StagedPipeline
     // Bump allocators for the two code-cache arenas.
     Addr bbtNext;
     Addr sbtNext;
+
+    // --- async overlap model (asyncTranslators > 0 only) ------------
+    /** Executed instructions so far: the pipeline's clock. */
+    double insnsSoFar = 0.0;
+    /** Per-context busy-until, in executed-instruction units. */
+    std::vector<double> ctxFreeAt;
+    /** Outstanding background optimizations (small). */
+    std::vector<AsyncJob> jobs;
 };
 
 } // namespace cdvm::engine

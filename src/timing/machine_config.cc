@@ -99,6 +99,24 @@ MachineConfig::vmInterp()
     return m;
 }
 
+MachineConfig
+MachineConfig::vmSoftAsync(unsigned contexts)
+{
+    MachineConfig m = vmSoft();
+    m.name = "VM.soft.async";
+    m.asyncTranslators = contexts;
+    return m;
+}
+
+MachineConfig
+MachineConfig::vmBeAsync(unsigned contexts)
+{
+    MachineConfig m = vmBe();
+    m.name = "VM.be.async";
+    m.asyncTranslators = contexts;
+    return m;
+}
+
 std::vector<MachineConfig>
 MachineConfig::table2()
 {

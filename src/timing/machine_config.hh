@@ -131,12 +131,27 @@ struct MachineConfig
      */
     bool frontendX86Decoders = false;
 
+    /**
+     * Background SBT translation contexts. 0 = the paper's synchronous
+     * model (Delta_SBT charged on the emulation thread the instant a
+     * region goes hot). N >= 1 moves hotspot optimization onto N
+     * concurrent contexts: the emulation thread keeps running the
+     * region in its pre-hot mode while the optimization is in flight,
+     * and Delta_SBT becomes context occupancy instead of critical-path
+     * cycles.
+     */
+    unsigned asyncTranslators = 0;
+
     // --- presets --------------------------------------------------------
     static MachineConfig refSuperscalar();
     static MachineConfig vmSoft();
     static MachineConfig vmBe();
     static MachineConfig vmFe();
     static MachineConfig vmInterp();
+    /** VM.soft with N background SBT contexts. */
+    static MachineConfig vmSoftAsync(unsigned contexts = 2);
+    /** VM.be with N background SBT contexts. */
+    static MachineConfig vmBeAsync(unsigned contexts = 2);
 
     /** All four Table 2 machines in paper order. */
     static std::vector<MachineConfig> table2();

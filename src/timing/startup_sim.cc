@@ -82,6 +82,14 @@ class CycleModelSink : public engine::StageSink
           case TracePhase::SbtOptimize: {
             double tcyc = m.costs.sbtCyclesPerInsn *
                           static_cast<double>(e.insns);
+            if (e.background) {
+                // Async pipeline: Delta_SBT is occupancy of a private
+                // background context. It neither advances the
+                // emulation thread's clock nor disturbs its cache
+                // hierarchy (the contexts have their own ports).
+                bgSbt += tcyc;
+                break;
+            }
             tcyc += dataPenalty(e.x86Addr, e.x86Bytes, false);
             tcyc += dataPenalty(e.codeAddr, e.codeBytes, true);
             add(CycleCat::SbtXlate, tcyc, false);
@@ -121,6 +129,7 @@ class CycleModelSink : public engine::StageSink
     double totalCycles() const { return cycles; }
     u64 totalInsns() const { return insns; }
     double decodeActiveCycles() const { return decodeActive; }
+    double bgSbtCycles() const { return bgSbt; }
     const std::array<double, static_cast<size_t>(CycleCat::NUM_CATS)> &
     catCycles() const
     {
@@ -217,6 +226,7 @@ class CycleModelSink : public engine::StageSink
     u64 insns = 0;
     std::array<double, static_cast<size_t>(CycleCat::NUM_CATS)> cat{};
     double decodeActive = 0.0;
+    double bgSbt = 0.0;
     double nextSample = 1000.0;
 
     // Phase tracing (track 1, cycle timebase). The coalescer merges
@@ -290,6 +300,16 @@ StartupSim::run()
     sp.hasSbt = m.hasSbt;
     sp.hotThreshold = m.hotThreshold;
     sp.codeExpansion = m.codeExpansion;
+    sp.asyncTranslators = m.asyncTranslators;
+    if (m.asyncTranslators > 0) {
+        // The pipeline's clock is executed instructions; one
+        // instruction's worth of background optimization (Delta_SBT
+        // cycles) spans Delta_SBT / CPI_pre-hot retired instructions.
+        const double cpi_prehot = sp.translateCold ? cpi_bbt : cpi_cold;
+        sp.asyncLatencyPerInsn =
+            cpi_prehot > 0.0 ? m.costs.sbtCyclesPerInsn / cpi_prehot
+                             : 0.0;
+    }
     engine::StagedPipeline pipeline(blocks, sp, events);
 
     const u64 total = trace.totalInsns();
@@ -301,6 +321,7 @@ StartupSim::run()
     res.totalInsns = cyc.totalInsns();
     res.catCycles = cyc.catCycles();
     res.decodeActiveCycles = cyc.decodeActiveCycles();
+    res.bgSbtXlateCycles = cyc.bgSbtCycles();
     res.insnsCold = counts.insnsCold;
     res.insnsBbt = counts.insnsBbt;
     res.insnsSbt = counts.insnsSbt;
@@ -344,6 +365,9 @@ StartupResult::exportStats(StatRegistry &reg,
             "hotspot regions optimized");
     reg.set(prefix + ".decode_active_cycles", decodeActiveCycles,
             "cycles with the x86 decode logic powered on");
+    reg.set(prefix + ".cycles.sbt_xlate_bg", bgSbtXlateCycles,
+            "SBT translation cycles on background contexts "
+            "(occupancy, off the critical path)");
 
     static const char *const CAT_NAMES[] = {
         "cold_exec", "bbt_exec", "sbt_exec",

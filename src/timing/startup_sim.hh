@@ -95,6 +95,14 @@ struct StartupResult
         catCycles{};
     double decodeActiveCycles = 0.0;
 
+    /**
+     * SBT translation work performed on background contexts (async
+     * machines): occupancy of the private translation contexts, not
+     * part of totalCycles or the sbt_xlate category, both of which
+     * cover only emulation-thread (critical-path) cycles.
+     */
+    double bgSbtXlateCycles = 0.0;
+
     /** Fraction of dynamic instructions from optimized hotspot code. */
     double
     hotspotCoverage() const

@@ -63,6 +63,9 @@ Vmm::Vmm(x86::Memory &memory, const VmmConfig &config)
       detector(makeDetector(cfg)),
       sbtBackend(memory, cfg,
                  [this](Addr pc) { return branchProf.bias(pc); }),
+      asyncSbt(cfg.asyncTranslators > 0
+                   ? std::make_unique<engine::AsyncSbtEngine>(cfg)
+                   : nullptr),
       translatedExec(memory, st, branchProf)
 {
     events.attach(&traceSink);
@@ -78,20 +81,8 @@ Vmm::bbb() const
 }
 
 void
-Vmm::invokeSbt(Addr seed_pc)
+Vmm::installSbt(Addr seed_pc, std::unique_ptr<Translation> t)
 {
-    if (!cfg.enableSbt || sbtFailed.contains(seed_pc))
-        return;
-    if (ccm.lookup(seed_pc, TransKind::Superblock))
-        return;
-    ++st.hotspotDetections;
-
-    std::unique_ptr<Translation> t = sbtBackend.translate(seed_pc);
-    if (!t) {
-        sbtFailed.insert(seed_pc);
-        ++st.sbtFormationFailures;
-        return;
-    }
     ++st.sbtTranslations;
     st.sbtInsnsTranslated += t->numX86Insns;
 
@@ -109,6 +100,75 @@ Vmm::invokeSbt(Addr seed_pc)
         lastTrans = nullptr;
 }
 
+void
+Vmm::invokeSbt(Addr seed_pc)
+{
+    if (!cfg.enableSbt || sbtFailed.contains(seed_pc))
+        return;
+    if (ccm.lookup(seed_pc, TransKind::Superblock))
+        return;
+    if (asyncSbt && asyncSbt->pending(seed_pc))
+        return;
+    ++st.hotspotDetections;
+
+    if (asyncSbt) {
+        // Async pipeline: form here (guest memory and the branch
+        // profile belong to this thread), optimize on a worker,
+        // install at a later dispatch point.
+        std::optional<dbt::SuperblockTrace> trace =
+            sbtBackend.form(seed_pc);
+        if (!trace) {
+            sbtFailed.insert(seed_pc);
+            ++st.sbtFormationFailures;
+            return;
+        }
+        if (!asyncSbt->request(seed_pc, std::move(*trace))) {
+            // Queue full: leave the seed cold; a later detection
+            // re-requests it once the workers catch up.
+            ++st.asyncSbtQueueRejects;
+            return;
+        }
+        ++st.asyncSbtRequests;
+        if (cfg.asyncDeterministic) {
+            // Barrier-on-install: retire-for-retire identical to the
+            // synchronous pipeline, still crossing worker threads.
+            asyncSbt->barrier();
+            drainAsyncSbt();
+        }
+        return;
+    }
+
+    std::unique_ptr<Translation> t = sbtBackend.translate(seed_pc);
+    if (!t) {
+        sbtFailed.insert(seed_pc);
+        ++st.sbtFormationFailures;
+        return;
+    }
+    installSbt(seed_pc, std::move(t));
+}
+
+void
+Vmm::drainAsyncSbt()
+{
+    while (std::optional<engine::AsyncSbtResult> r =
+               asyncSbt->tryPop()) {
+        if (!r->trans) {
+            // The optimizer declined the formed trace.
+            sbtFailed.insert(r->seed);
+            ++st.sbtFormationFailures;
+            continue;
+        }
+        // Stale results: a superblock already covers this seed (the
+        // seed was re-requested and installed across an arena flush).
+        if (ccm.lookup(r->seed, TransKind::Superblock)) {
+            ++st.asyncSbtStaleDropped;
+            continue;
+        }
+        ++st.asyncSbtInstalls;
+        installSbt(r->seed, std::move(r->trans));
+    }
+}
+
 x86::Exit
 Vmm::run(x86::CpuState &cpu, InstCount max_insns)
 {
@@ -116,6 +176,11 @@ Vmm::run(x86::CpuState &cpu, InstCount max_insns)
 
     while (retired < max_insns) {
         const Addr pc = cpu.eip;
+
+        // Install any optimizations the background contexts finished
+        // (one relaxed load when there is nothing to do).
+        if (asyncSbt)
+            drainAsyncSbt();
 
         // Dispatch: chain from the previous translation, else look up.
         Translation *t = nullptr;
@@ -264,6 +329,16 @@ Vmm::exportStats(StatRegistry &reg) const
         "BBT code cache flush-on-full events");
     set("vmm.cache_flushes.sbt", st.sbtCacheFlushes,
         "SBT code cache flush-on-full events");
+    if (asyncSbt) {
+        set("vmm.async.requests", st.asyncSbtRequests,
+            "superblock traces handed to background contexts");
+        set("vmm.async.installs", st.asyncSbtInstalls,
+            "background optimizations installed");
+        set("vmm.async.stale_dropped", st.asyncSbtStaleDropped,
+            "background results dropped as stale");
+        set("vmm.async.queue_rejects", st.asyncSbtQueueRejects,
+            "requests dropped by queue back-pressure");
+    }
     set("vmm.xlt.insns_translated", st.xltInsnsTranslated,
         "x86 instructions translated through the HAloop");
     set("vmm.xlt.complex_fallbacks", st.xltComplexFallbacks,
@@ -287,7 +362,14 @@ Vmm::exportStats(StatRegistry &reg) const
     // backend publishes dbt.bbt.* (and, for the XLTx86-assisted path,
     // hwassist.xlt.* and the HAloop cost cross-check).
     cold->exportStats(reg);
-    sbtBackend.exportStats(reg, "dbt.sbt");
+    if (asyncSbt) {
+        // The background contexts did the optimizing; publish their
+        // aggregated dbt.sbt.* view (they are quiescent after run()).
+        asyncSbt->barrier();
+        asyncSbt->exportStats(reg, "dbt.sbt");
+    } else {
+        sbtBackend.exportStats(reg, "dbt.sbt");
+    }
     ccm.exportStats(reg);
 
     // hwassist.*: the branch behavior buffer (idle when unused).

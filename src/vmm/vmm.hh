@@ -37,6 +37,7 @@
 #include <optional>
 
 #include "common/trace.hh"
+#include "engine/async_sbt.hh"
 #include "engine/backend.hh"
 #include "engine/cache_mgr.hh"
 #include "engine/engine_config.hh"
@@ -97,6 +98,12 @@ class Vmm
     /** The cold-code strategy in use. */
     const engine::ColdExecutor &coldExecutor() const { return *cold; }
 
+    /** The background SBT pipeline (null in synchronous mode). */
+    const engine::AsyncSbtEngine *asyncSbtEngine() const
+    {
+        return asyncSbt.get();
+    }
+
     /**
      * Attach an additional consumer of the engine's stage events
      * (must outlive the Vmm's run() calls).
@@ -122,6 +129,11 @@ class Vmm
 
   private:
     void invokeSbt(Addr seed_pc);
+    /** Emit the SbtOptimize event and publish the superblock. */
+    void installSbt(Addr seed_pc,
+                    std::unique_ptr<dbt::Translation> t);
+    /** Install finished background optimizations (dispatch points). */
+    void drainAsyncSbt();
 
     x86::Memory &mem;
     VmmConfig cfg;
@@ -139,6 +151,8 @@ class Vmm
     std::unique_ptr<engine::ColdExecutor> cold;
     std::unique_ptr<engine::HotspotDetector> detector;
     engine::SbtBackend sbtBackend;
+    /** Background optimization contexts (cfg.asyncTranslators > 0). */
+    std::unique_ptr<engine::AsyncSbtEngine> asyncSbt;
     engine::TranslatedExecutor translatedExec;
 
     /** The translation we last exited from (chaining source). */

@@ -6,7 +6,10 @@
 #ifndef CDVM_TESTS_HELPERS_HH
 #define CDVM_TESTS_HELPERS_HH
 
+#include <sstream>
 #include <vector>
+
+#include <gtest/gtest.h>
 
 #include "vmm/vmm.hh"
 #include "workload/program_gen.hh"
@@ -54,6 +57,51 @@ runVmm(const workload::Program &prog, x86::Memory &mem,
     if (stats_out)
         *stats_out = monitor.stats();
     return r;
+}
+
+/**
+ * Compare two runs' architected state and memory windows.
+ *
+ * AssertionResult-style predicate: usable as
+ * EXPECT_TRUE(sameOutcome(...)) << "seed " << seed, so a failing
+ * sweep iteration reports which seed/config diverged instead of
+ * aborting the whole test from inside a void helper.
+ */
+inline ::testing::AssertionResult
+sameOutcome(const workload::Program &prog, const RunResult &ref,
+            x86::Memory &ref_mem, const RunResult &got,
+            x86::Memory &got_mem)
+{
+    std::ostringstream why;
+    if (ref.exit != got.exit)
+        why << " exit " << static_cast<int>(ref.exit) << " vs "
+            << static_cast<int>(got.exit) << ";";
+    if (ref.cpu.eip != got.cpu.eip)
+        why << " eip 0x" << std::hex << ref.cpu.eip << " vs 0x"
+            << got.cpu.eip << std::dec << ";";
+    for (unsigned r = 0; r < x86::NUM_REGS; ++r) {
+        if (ref.cpu.regs[r] != got.cpu.regs[r])
+            why << " reg " << x86::regName(static_cast<x86::Reg>(r))
+                << " 0x" << std::hex << ref.cpu.regs[r] << " vs 0x"
+                << got.cpu.regs[r] << std::dec << ";";
+    }
+    if ((ref.cpu.eflags & x86::FLAG_ALL) !=
+        (got.cpu.eflags & x86::FLAG_ALL))
+        why << " eflags 0x" << std::hex
+            << (ref.cpu.eflags & x86::FLAG_ALL) << " vs 0x"
+            << (got.cpu.eflags & x86::FLAG_ALL) << std::dec << ";";
+
+    if (ref_mem.readBlock(prog.dataBase, prog.dataBytes) !=
+        got_mem.readBlock(prog.dataBase, prog.dataBytes))
+        why << " data segment differs;";
+    if (ref_mem.readBlock(prog.stackTop - 4096, 4096) !=
+        got_mem.readBlock(prog.stackTop - 4096, 4096))
+        why << " stack window differs;";
+
+    if (why.str().empty())
+        return ::testing::AssertionSuccess();
+    return ::testing::AssertionFailure() << "outcome mismatch:"
+                                         << why.str();
 }
 
 /** Assemble a single snippet at a fixed origin and load it. */

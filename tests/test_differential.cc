@@ -22,34 +22,7 @@ using test::RunResult;
 using test::runInterp;
 using test::runVmm;
 
-/** Compare architected state and the data/stack memory windows. */
-void
-expectSameOutcome(const workload::Program &prog, const RunResult &ref,
-                  x86::Memory &ref_mem, const RunResult &got,
-                  x86::Memory &got_mem, const std::string &label)
-{
-    ASSERT_EQ(static_cast<int>(ref.exit), static_cast<int>(got.exit))
-        << label;
-    EXPECT_EQ(ref.cpu.eip, got.cpu.eip) << label;
-    for (unsigned r = 0; r < x86::NUM_REGS; ++r)
-        EXPECT_EQ(ref.cpu.regs[r], got.cpu.regs[r])
-            << label << " reg " << x86::regName(static_cast<x86::Reg>(r));
-    EXPECT_EQ(ref.cpu.eflags & x86::FLAG_ALL,
-              got.cpu.eflags & x86::FLAG_ALL)
-        << label;
-
-    std::vector<u8> ref_data =
-        ref_mem.readBlock(prog.dataBase, prog.dataBytes);
-    std::vector<u8> got_data =
-        got_mem.readBlock(prog.dataBase, prog.dataBytes);
-    EXPECT_EQ(ref_data, got_data) << label << " (data segment)";
-
-    std::vector<u8> ref_stk =
-        ref_mem.readBlock(prog.stackTop - 4096, 4096);
-    std::vector<u8> got_stk =
-        got_mem.readBlock(prog.stackTop - 4096, 4096);
-    EXPECT_EQ(ref_stk, got_stk) << label << " (stack window)";
-}
+using test::sameOutcome;
 
 vmm::VmmConfig
 cfgSoft()
@@ -99,6 +72,23 @@ cfgDual()
     return c;
 }
 
+vmm::VmmConfig
+cfgSoftAsync(bool deterministic)
+{
+    vmm::VmmConfig c = engine::EngineConfig::vmSoftAsync();
+    c.hotThreshold = 30;
+    c.asyncDeterministic = deterministic;
+    return c;
+}
+
+vmm::VmmConfig
+cfgBackendAsync()
+{
+    vmm::VmmConfig c = engine::EngineConfig::vmBeAsync();
+    c.hotThreshold = 30;
+    return c;
+}
+
 class DifferentialTest : public ::testing::TestWithParam<u64>
 {
 };
@@ -129,13 +119,17 @@ TEST_P(DifferentialTest, AllStrategiesMatchInterpreter)
         {"vm.fe (x86-mode+BBB)", cfgFrontend()},
         {"vm.be (XLT-assisted BBT)", cfgBackend()},
         {"vm.dual (XLT+BBB)", cfgDual()},
+        {"vm.soft.async", cfgSoftAsync(false)},
+        {"vm.soft.async deterministic", cfgSoftAsync(true)},
+        {"vm.be.async", cfgBackendAsync()},
     };
 
     for (const Case &c : cases) {
         x86::Memory mem;
         vmm::VmmStats stats;
         RunResult got = runVmm(prog, mem, c.cfg, &stats);
-        expectSameOutcome(prog, ref, ref_mem, got, mem, c.name);
+        EXPECT_TRUE(sameOutcome(prog, ref, ref_mem, got, mem))
+            << c.name;
     }
 }
 
@@ -161,8 +155,8 @@ TEST(DifferentialFeatures, FeatureKnobsStillMatch)
 
         x86::Memory mem;
         RunResult got = runVmm(prog, mem, cfgSoft());
-        expectSameOutcome(prog, ref, ref_mem, got, mem,
-                          "seed " + std::to_string(seed));
+        EXPECT_TRUE(sameOutcome(prog, ref, ref_mem, got, mem))
+            << "seed " << seed;
     }
 }
 
@@ -209,7 +203,8 @@ TEST(DifferentialStats, TinyCodeCacheStillCorrect)
     x86::Memory mem;
     vmm::VmmStats stats;
     RunResult got = runVmm(prog, mem, c, &stats);
-    expectSameOutcome(prog, ref, ref_mem, got, mem, "tiny code cache");
+    EXPECT_TRUE(sameOutcome(prog, ref, ref_mem, got, mem))
+        << "tiny code cache";
     EXPECT_GT(stats.bbtCacheFlushes, 0u)
         << "cache was big enough that flushing never happened";
 }
