@@ -1,16 +1,24 @@
 /**
  * @file
- * Ablation: code-cache pressure and retranslation.
+ * Ablation: code-cache pressure and retranslation, plus the host
+ * fast-path cache capacities.
  *
  * Section 1.1 warns that a limited code cache causes hotspot
  * retranslations when switched-out tasks resume. This harness runs the
  * *functional* VMM (real translations, real arena management) with
  * shrinking code caches and reports flush / retranslation behaviour.
+ *
+ * A second sweep ablates the host-side dispatch fast path: lookaside
+ * entries, decode-cache lines, and the flat-table capacity preset,
+ * reporting host ns/instruction and hit rates for each point.
  */
+
+#include <chrono>
 
 #include "bench_common.hh"
 #include "vmm/vmm.hh"
 #include "workload/program_gen.hh"
+#include "x86/decode_cache.hh"
 
 using namespace cdvm;
 
@@ -62,5 +70,72 @@ main(int argc, char **argv)
                 "the same static code is\nretranslated repeatedly "
                 "(rising translation ratio), exactly the multitasking\n"
                 "concern of Section 1.1.\n");
+
+    // --- host fast-path cache capacity sweep --------------------------
+    // Ablate the dispatch lookaside, the decode cache, and the
+    // flat-table preset on the cold-heavy (permanent startup
+    // transient) workload where the host fast path matters most.
+    std::printf("\n=== Host fast-path capacity ablation (vm.interp, "
+                "cold-heavy) ===\n\n");
+    struct Sweep
+    {
+        const char *label;
+        bool fast;
+        std::size_t lookaside;
+        std::size_t decodeLines;
+        std::size_t reserve;
+    };
+    const Sweep sweeps[] = {
+        {"legacy (two maps)", false, 0, 0, 0},
+        {"flat, no caches", true, 0, 0, 64},
+        {"flat + ls 64", true, 64, 0, 64},
+        {"flat + ls 256", true, 256, 0, 4096},
+        {"flat + dc 1k", true, 0, 1024, 4096},
+        {"flat + ls 256 + dc 1k", true, 256, 1024, 4096},
+        {"flat + ls 256 + dc 8k", true, 256, 8192, 4096},
+        {"flat + ls 1k + dc 8k", true, 1024, 8192, 16384},
+    };
+    TextTable ht({"variant", "host ns/insn", "lookaside hit %",
+                  "decode hit %", "rehashes"});
+    for (const Sweep &s : sweeps) {
+        x86::Memory mem;
+        prog.loadInto(mem);
+        x86::CpuState cpu = prog.initialState();
+        vmm::VmmConfig vc = engine::EngineConfig::vmInterp();
+        vc.interpHotThreshold = u64{1} << 40; // stay cold forever
+        vc.fastDispatch = s.fast;
+        vc.lookasideEntries = s.lookaside;
+        vc.decodeCacheEntries = s.decodeLines;
+        if (s.reserve)
+            vc.lookupReserve = s.reserve;
+        vmm::Vmm vm(mem, vc);
+        const auto t0 = std::chrono::steady_clock::now();
+        vm.run(cpu, 4'000'000);
+        const std::chrono::duration<double, std::nano> dt =
+            std::chrono::steady_clock::now() - t0;
+        const u64 retired = vm.stats().totalRetired();
+        const dbt::TranslationMap &map = vm.translations();
+        const u64 ls = map.lookasideHits() + map.lookasideMisses();
+        const x86::DecodeCache *dc = vm.coldExecutor().decodeCache();
+        ht.addRow(
+            {s.label,
+             fmtDouble(retired ? dt.count() /
+                                     static_cast<double>(retired)
+                               : 0.0,
+                       1),
+             ls ? fmtDouble(100.0 *
+                                static_cast<double>(
+                                    map.lookasideHits()) /
+                                static_cast<double>(ls),
+                            1)
+                : "-",
+             dc ? fmtDouble(100.0 * dc->hitRate(), 1) : "-",
+             fmtCount(map.rehashes())});
+    }
+    std::printf("%s\n", ht.render().c_str());
+    std::printf("The decode cache carries the cold-heavy win; the "
+                "lookaside trims the remaining\nper-block dispatch "
+                "probe, and the capacity preset removes rehash storms "
+                "during the\nBBT-dominated startup transient.\n");
     return 0;
 }

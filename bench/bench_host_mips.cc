@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Host-side guest-MIPS benchmark: how fast does the *simulator itself*
+ * emulate, per engine configuration, and how much of that is bought by
+ * the dispatch fast path (flat translation table + dispatch lookaside
+ * + decode cache) versus the legacy two-map dispatch baseline?
+ *
+ * This is a wall-clock benchmark of the host reproduction, not a model
+ * of the paper's machine: retire streams are bit-identical between the
+ * fast and legacy modes, so the ratio isolates pure host dispatch and
+ * decode overhead (Fig. 1b "Translation Lookup in Code Cache" as a
+ * host cost).
+ *
+ * The gate workload is the paper's startup worst case made permanent:
+ * vm.interp with the hot threshold pushed out of reach, so every block
+ * entry pays a dispatch lookup and every instruction a fetch+decode.
+ * CI asserts the fast path clears GATE_MIN_SPEEDUP there and records
+ * the whole matrix in BENCH_host.json.
+ *
+ *   $ ./build/bench/bench_host_mips --json=BENCH_host.json
+ *   $ ./build/bench/bench_host_mips --legacy-lookup   # baseline only
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+#include "vmm/vmm.hh"
+#include "workload/program_gen.hh"
+#include "x86/decode_cache.hh"
+
+using namespace cdvm;
+
+namespace
+{
+
+/** The fast path must beat the legacy dispatch by at least this. */
+constexpr double GATE_MIN_SPEEDUP = 1.5;
+
+struct RunStat
+{
+    double seconds = 0.0;
+    u64 retired = 0;
+    double mips = 0.0;
+    double lookasideHitRate = 0.0;
+    double decodeHitRate = 0.0;
+};
+
+workload::Program
+mixProgram()
+{
+    // The standard mix: calls, loops, indirect branches, byte/16-bit
+    // traffic and guarded divides, the same generator the differential
+    // tests sweep.
+    workload::ProgramParams pp;
+    pp.seed = 20260807;
+    pp.numFuncs = 8;
+    pp.blocksPerFunc = 5;
+    pp.insnsPerBlock = 8;
+    pp.mainIterations = 1000000; // effectively: run until the budget
+    return workload::generateProgram(pp);
+}
+
+/** Emulate `insns` guest instructions under cfg; time the host. */
+RunStat
+measure(vmm::VmmConfig cfg, const workload::Program &prog, u64 insns)
+{
+    x86::Memory mem;
+    prog.loadInto(mem);
+    vmm::Vmm vm(mem, cfg);
+    x86::CpuState cpu = prog.initialState();
+
+    const auto t0 = std::chrono::steady_clock::now();
+    u64 done = 0;
+    while (done < insns) {
+        x86::Exit e = vm.run(cpu, insns - done);
+        done = vm.stats().totalRetired();
+        if (e == x86::Exit::Halted) {
+            // Restart the program; translations (if any) stay warm,
+            // and nothing reloads the image so the decode cache keeps
+            // its lines too.
+            cpu = prog.initialState();
+        } else if (e != x86::Exit::None) {
+            std::fprintf(stderr, "unexpected exit %d under %s\n",
+                         static_cast<int>(e), cfg.name.c_str());
+            std::exit(1);
+        }
+    }
+    const std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - t0;
+
+    RunStat r;
+    r.seconds = dt.count();
+    r.retired = done;
+    r.mips = r.seconds > 0.0
+                 ? static_cast<double>(done) / r.seconds / 1e6
+                 : 0.0;
+    const dbt::TranslationMap &map = vm.translations();
+    const u64 ls = map.lookasideHits() + map.lookasideMisses();
+    r.lookasideHitRate =
+        ls ? static_cast<double>(map.lookasideHits()) /
+                 static_cast<double>(ls)
+           : 0.0;
+    if (const x86::DecodeCache *dc = vm.coldExecutor().decodeCache())
+        r.decodeHitRate = dc->hitRate();
+    return r;
+}
+
+void
+jsonRun(std::FILE *f, const char *key, const RunStat &r)
+{
+    std::fprintf(f,
+                 "    \"%s\": {\"seconds\": %.6f, \"retired\": %llu, "
+                 "\"mips\": %.3f, \"lookaside_hit_rate\": %.4f, "
+                 "\"decode_hit_rate\": %.4f}",
+                 key, r.seconds,
+                 static_cast<unsigned long long>(r.retired), r.mips,
+                 r.lookasideHitRate, r.decodeHitRate);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Cli cli("Host guest-MIPS per engine configuration, fast dispatch "
+            "path vs the legacy map-based baseline; writes a JSON "
+            "report for the CI perf-smoke gate.");
+    cli.flag("json", "BENCH_host.json", "output report path");
+    cli.flag("legacy-lookup", "0",
+             "1: measure only the legacy map-based dispatch baseline");
+    u64 insns = bench::standardSetup(cli, argc, argv, 3'000'000);
+    const bool legacy_only = cli.on("legacy-lookup");
+
+    workload::Program prog = mixProgram();
+
+    // The measured matrix. "coldheavy" is the gate: vm.interp with
+    // hotspot optimization pushed out of reach, i.e. the startup
+    // transient made permanent (every step decodes, every block entry
+    // dispatches).
+    struct Point
+    {
+        std::string key;
+        vmm::VmmConfig cfg;
+        bool gate;
+    };
+    std::vector<Point> points;
+    {
+        vmm::VmmConfig cold = engine::EngineConfig::vmInterp();
+        cold.name = "vm.interp.coldheavy";
+        cold.interpHotThreshold = u64{1} << 40;
+        points.push_back({"coldheavy", cold, true});
+        points.push_back(
+            {"vm.interp", engine::EngineConfig::vmInterp(), false});
+        points.push_back(
+            {"vm.soft", engine::EngineConfig::vmSoft(), false});
+        points.push_back({"vm.be", engine::EngineConfig::vmBe(),
+                          false});
+        points.push_back({"vm.soft.async",
+                          engine::EngineConfig::vmSoftAsync(), false});
+    }
+
+    std::FILE *f = std::fopen(cli.str("json").c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot open %s\n",
+                     cli.str("json").c_str());
+        return 1;
+    }
+    std::fprintf(f, "{\n  \"instructions\": %llu,\n  \"configs\": {\n",
+                 static_cast<unsigned long long>(insns));
+
+    StatRegistry &reg = StatRegistry::global();
+    double gate_speedup = 0.0;
+    bool first = true;
+    for (const Point &p : points) {
+        vmm::VmmConfig fast = p.cfg;
+        fast.fastDispatch = true;
+        vmm::VmmConfig slow = p.cfg;
+        slow.fastDispatch = false;
+
+        RunStat rf;
+        if (!legacy_only) {
+            rf = measure(fast, prog, insns);
+            std::printf("[%-16s] fast:   %8.2f MIPS  (lookaside "
+                        "%.1f%%, decode cache %.1f%%)\n",
+                        p.key.c_str(), rf.mips,
+                        100.0 * rf.lookasideHitRate,
+                        100.0 * rf.decodeHitRate);
+        }
+        RunStat rl = measure(slow, prog, insns);
+        std::printf("[%-16s] legacy: %8.2f MIPS\n", p.key.c_str(),
+                    rl.mips);
+
+        const double speedup =
+            (!legacy_only && rl.mips > 0.0) ? rf.mips / rl.mips : 0.0;
+        if (!legacy_only)
+            std::printf("[%-16s] speedup: %.2fx\n", p.key.c_str(),
+                        speedup);
+        if (p.gate)
+            gate_speedup = speedup;
+
+        if (!first)
+            std::fprintf(f, ",\n");
+        first = false;
+        std::fprintf(f, "  \"%s\": {\n", p.key.c_str());
+        if (!legacy_only) {
+            jsonRun(f, "fast", rf);
+            std::fprintf(f, ",\n");
+        }
+        jsonRun(f, "legacy", rl);
+        std::fprintf(f, ",\n    \"speedup\": %.4f\n  }", speedup);
+
+        reg.set("bench.host_mips." + p.key + ".fast", rf.mips,
+                "host guest-MIPS, dispatch fast path");
+        reg.set("bench.host_mips." + p.key + ".legacy", rl.mips,
+                "host guest-MIPS, legacy map-based dispatch");
+        reg.set("bench.host_mips." + p.key + ".speedup", speedup,
+                "fast-path speedup over the legacy baseline");
+    }
+
+    std::fprintf(f,
+                 "\n  },\n  \"gate\": {\"workload\": \"coldheavy\", "
+                 "\"speedup\": %.4f, \"threshold\": %.2f}\n}\n",
+                 gate_speedup, GATE_MIN_SPEEDUP);
+    std::fclose(f);
+    dumpObservability();
+
+    if (legacy_only)
+        return 0;
+    if (gate_speedup < GATE_MIN_SPEEDUP) {
+        std::fprintf(stderr,
+                     "FAIL: fast path %.2fx < %.2fx over legacy "
+                     "dispatch on the cold-heavy workload\n",
+                     gate_speedup, GATE_MIN_SPEEDUP);
+        return 1;
+    }
+    std::printf("\ncold-heavy gate: %.2fx >= %.2fx  OK\n",
+                gate_speedup, GATE_MIN_SPEEDUP);
+    return 0;
+}

@@ -18,9 +18,11 @@
  *         --trace-out=trace.json
  */
 
+#include <chrono>
 #include <cstdio>
 
 #include "analysis/startup_curve.hh"
+#include "x86/decode_cache.hh"
 #include "common/cli.hh"
 #include "common/statreg.hh"
 #include "engine/engine_config.hh"
@@ -129,7 +131,10 @@ main(int argc, char **argv)
     cfg.interpHotThreshold = 50;
     cfg.bbbParams.hotThreshold = 50;
     vmm::Vmm vm(vm_mem, cfg);
+    const auto host_t0 = std::chrono::steady_clock::now();
     e = vm.run(vm_cpu, 100'000'000);
+    const std::chrono::duration<double> host_dt =
+        std::chrono::steady_clock::now() - host_t0;
 
     const vmm::VmmStats &st = vm.stats();
     std::printf("co-designed VM (%s): exit=%d, EBX=0x%08x\n\n",
@@ -162,6 +167,39 @@ main(int argc, char **argv)
                         st.asyncSbtStaleDropped),
                     static_cast<unsigned long long>(
                         st.asyncSbtQueueRejects));
+    }
+
+    // Host fast-path metrics: how fast this host emulated, and how
+    // well the dispatch lookaside / decode cache served the run
+    // (bench_host_mips measures these systematically).
+    std::printf("\nhost fast path (%s):\n",
+                cfg.fastDispatch ? "enabled" : "legacy dispatch");
+    std::printf("  host guest-MIPS:        %.1f (%llu insns in "
+                "%.3f s)\n",
+                host_dt.count() > 0.0
+                    ? static_cast<double>(st.totalRetired()) /
+                          host_dt.count() / 1e6
+                    : 0.0,
+                static_cast<unsigned long long>(st.totalRetired()),
+                host_dt.count());
+    const dbt::TranslationMap &tmap = vm.translations();
+    const u64 ls_total = tmap.lookasideHits() + tmap.lookasideMisses();
+    if (ls_total) {
+        std::printf("  lookaside hit rate:     %.1f%% (%llu of %llu "
+                    "non-chained dispatches)\n",
+                    100.0 * static_cast<double>(tmap.lookasideHits()) /
+                        static_cast<double>(ls_total),
+                    static_cast<unsigned long long>(
+                        tmap.lookasideHits()),
+                    static_cast<unsigned long long>(ls_total));
+    }
+    if (const x86::DecodeCache *dc = vm.coldExecutor().decodeCache()) {
+        std::printf("  decode-cache hit rate:  %.1f%% (%llu of %llu "
+                    "interpreted fetches)\n",
+                    100.0 * dc->hitRate(),
+                    static_cast<unsigned long long>(dc->hits()),
+                    static_cast<unsigned long long>(dc->hits() +
+                                                    dc->misses()));
     }
 
     // --- startup-transient timing simulation --------------------------

@@ -1,48 +1,243 @@
 #include "dbt/lookup.hh"
 
+#include "common/logging.hh"
 #include "common/statreg.hh"
 
 namespace cdvm::dbt
 {
 
-Translation *
-TranslationMap::lookup(Addr pc)
+namespace
 {
-    ++nLookups;
-    auto it = sbt.find(pc);
-    if (it != sbt.end())
-        return it->second.get();
-    it = bbt.find(pc);
-    if (it != bbt.end())
-        return it->second.get();
+
+std::size_t
+roundPow2(std::size_t n, std::size_t min_cap)
+{
+    std::size_t cap = min_cap;
+    while (cap < n)
+        cap <<= 1;
+    return cap;
+}
+
+} // namespace
+
+TranslationMap::TranslationMap(const Config &cfg) : conf(cfg)
+{
+    if (conf.flat) {
+        slots.resize(roundPow2(conf.reserveEntries, 64));
+        if (conf.lookasideEntries)
+            lookaside.resize(roundPow2(conf.lookasideEntries, 16));
+    }
+}
+
+bool
+TranslationMap::isLive(const Translation *t) const
+{
+    const unsigned k = kindIdx(t->kind);
+    if (conf.flat) {
+        const Slot *s = findSlot(t->entryPc);
+        return s && s->byKind[k] == t;
+    }
+    auto it = legacy[k].find(t->entryPc);
+    return it != legacy[k].end() && it->second == t;
+}
+
+TranslationMap::Slot *
+TranslationMap::findSlot(Addr pc)
+{
+    const std::size_t mask = slots.size() - 1;
+    for (std::size_t i = fibHash(pc) >> 32 & mask;; i = (i + 1) & mask) {
+        Slot &s = slots[i];
+        if (s.empty())
+            return nullptr;
+        if (s.pc == pc)
+            return &s;
+    }
+}
+
+const TranslationMap::Slot *
+TranslationMap::findSlot(Addr pc) const
+{
+    return const_cast<TranslationMap *>(this)->findSlot(pc);
+}
+
+TranslationMap::Slot &
+TranslationMap::probeFor(Addr pc)
+{
+    const std::size_t mask = slots.size() - 1;
+    for (std::size_t i = fibHash(pc) >> 32 & mask;; i = (i + 1) & mask) {
+        Slot &s = slots[i];
+        if (s.empty() || s.pc == pc)
+            return s;
+    }
+}
+
+void
+TranslationMap::growTo(std::size_t new_cap)
+{
+    std::vector<Slot> old = std::move(slots);
+    slots.assign(new_cap, Slot{});
+    slotsUsed = 0;
+    ++nRehashes;
+    for (const Slot &s : old) {
+        if (s.empty())
+            continue;
+        Slot &d = probeFor(s.pc);
+        d = s;
+        ++slotsUsed;
+    }
+}
+
+void
+TranslationMap::maybeGrow()
+{
+    // Keep the load factor under 3/4 so probe chains stay short even
+    // with collision-heavy synthetic PCs.
+    if ((slotsUsed + 1) * 4 >= slots.size() * 3)
+        growTo(slots.size() * 2);
+}
+
+void
+TranslationMap::rebuildFromArenas()
+{
+    for (Slot &s : slots)
+        s = Slot{};
+    slotsUsed = 0;
+    for (unsigned k = 0; k < 2; ++k) {
+        // Replay the arena in install order so a pc/kind overwrite
+        // resolves to the most recent translation, as before.
+        for (const auto &t : arena[k]) {
+            maybeGrow();
+            Slot &s = probeFor(t->entryPc);
+            if (s.empty()) {
+                ++slotsUsed;
+                s.pc = t->entryPc;
+            }
+            s.byKind[k] = t.get();
+        }
+    }
+}
+
+void
+TranslationMap::lsUpdate(Addr pc, Translation *t)
+{
+    if (lookaside.empty())
+        return;
+    LsEntry &e =
+        lookaside[fibHash(pc) >> 32 & (lookaside.size() - 1)];
+    e.pc = pc;
+    e.epoch = epoch;
+    e.trans = t;
+}
+
+Translation *
+TranslationMap::flatLookup(Addr pc)
+{
+    // Dispatch lookaside: one direct-mapped line resolves the common
+    // case (same cold pc re-dispatched, or a hot pc between chains).
+    // Negative results are cached too; both stay correct because an
+    // install at pc refreshes the line and a flush bumps the epoch.
+    if (!lookaside.empty()) {
+        LsEntry &e =
+            lookaside[fibHash(pc) >> 32 & (lookaside.size() - 1)];
+        if (e.pc == pc && e.epoch == epoch) {
+            ++lsHits;
+            if (!e.trans)
+                ++nMisses;
+            return e.trans;
+        }
+        ++lsMisses;
+    }
+    Translation *t = nullptr;
+    if (const Slot *s = findSlot(pc))
+        t = s->byKind[1] ? s->byKind[1] : s->byKind[0];
+    if (!t)
+        ++nMisses;
+    lsUpdate(pc, t);
+    return t;
+}
+
+Translation *
+TranslationMap::legacyLookup(Addr pc)
+{
+    auto it = legacy[1].find(pc);
+    if (it != legacy[1].end())
+        return it->second;
+    it = legacy[0].find(pc);
+    if (it != legacy[0].end())
+        return it->second;
     ++nMisses;
     return nullptr;
 }
 
 Translation *
+TranslationMap::lookup(Addr pc)
+{
+    ++nLookups;
+    return conf.flat ? flatLookup(pc) : legacyLookup(pc);
+}
+
+Translation *
 TranslationMap::lookup(Addr pc, TransKind kind)
 {
-    Map &m = kind == TransKind::BasicBlock ? bbt : sbt;
-    auto it = m.find(pc);
-    return it == m.end() ? nullptr : it->second.get();
+    ++nLookups;
+    const unsigned k = kindIdx(kind);
+    Translation *t = nullptr;
+    if (conf.flat) {
+        if (const Slot *s = findSlot(pc))
+            t = s->byKind[k];
+    } else {
+        auto it = legacy[k].find(pc);
+        t = it == legacy[k].end() ? nullptr : it->second;
+    }
+    if (!t)
+        ++nMisses;
+    return t;
 }
 
 Translation *
 TranslationMap::insert(std::unique_ptr<Translation> t)
 {
-    Map &m = t->kind == TransKind::BasicBlock ? bbt : sbt;
+    const unsigned k = kindIdx(t->kind);
+    const Addr pc = t->entryPc;
     Translation *raw = t.get();
-    m[t->entryPc] = std::move(t);
+    arena[k].push_back(std::move(t));
+
+    if (conf.flat) {
+        maybeGrow();
+        Slot &s = probeFor(pc);
+        if (s.empty()) {
+            ++slotsUsed;
+            s.pc = pc;
+        } else if (s.byKind[k]) {
+            // Same pc/kind installed again: the old translation stays
+            // in the arena (chains into it remain safe) but is no
+            // longer dispatchable. Count it instead of leaking stats.
+            ++nOverwrites;
+            ++overwritten[k];
+        }
+        s.byKind[k] = raw;
+        // Refresh the lookaside line with the new SBT-preferred
+        // resolution so a cached (possibly negative) entry for this pc
+        // cannot go stale.
+        lsUpdate(pc, s.byKind[1] ? s.byKind[1] : s.byKind[0]);
+    } else {
+        auto [it, fresh] = legacy[k].try_emplace(pc, raw);
+        if (!fresh) {
+            ++nOverwrites;
+            ++overwritten[k];
+            it->second = raw;
+        }
+    }
     return raw;
 }
 
 void
 TranslationMap::unchainAll()
 {
-    for (auto &kv : bbt)
-        kv.second->clearChains();
-    for (auto &kv : sbt)
-        kv.second->clearChains();
+    for (unsigned k = 0; k < 2; ++k) {
+        for (const auto &t : arena[k])
+            t->clearChains();
+    }
 }
 
 void
@@ -51,14 +246,42 @@ TranslationMap::eraseKind(TransKind kind)
     // Chains may cross kinds, so conservatively unchain everything;
     // surviving translations re-chain lazily through the VMM.
     unchainAll();
-    (kind == TransKind::BasicBlock ? bbt : sbt).clear();
+    const unsigned k = kindIdx(kind);
+    arena[k].clear();
+    overwritten[k] = 0;
+    ++epoch; // every lookaside line is now stale by construction
+    if (conf.flat)
+        rebuildFromArenas(); // O(live in the surviving arena)
+    else
+        legacy[k].clear();
 }
 
 void
 TranslationMap::clear()
 {
-    bbt.clear();
-    sbt.clear();
+    for (unsigned k = 0; k < 2; ++k) {
+        arena[k].clear();
+        overwritten[k] = 0;
+        legacy[k].clear();
+    }
+    ++epoch;
+    for (Slot &s : slots)
+        s = Slot{};
+    slotsUsed = 0;
+}
+
+void
+TranslationMap::reserve(std::size_t n)
+{
+    if (conf.flat) {
+        // Size for load factor < 3/4 at n entries.
+        std::size_t want = roundPow2(n + n / 2, 64);
+        if (want > slots.size())
+            growTo(want);
+    } else {
+        legacy[0].reserve(n);
+        legacy[1].reserve(n);
+    }
 }
 
 void
@@ -69,12 +292,39 @@ TranslationMap::exportStats(StatRegistry &reg,
             "dispatch lookups not covered by chaining");
     reg.set(prefix + ".misses", static_cast<double>(nMisses),
             "lookups that found no translation");
+    reg.set(prefix + ".overwrites", static_cast<double>(nOverwrites),
+            "installs that replaced a live pc/kind entry");
     reg.set(prefix + ".live_basic_blocks",
-            static_cast<double>(bbt.size()),
+            static_cast<double>(numBasicBlocks()),
             "live BBT translations");
     reg.set(prefix + ".live_superblocks",
-            static_cast<double>(sbt.size()),
+            static_cast<double>(numSuperblocks()),
             "live SBT translations");
+    reg.set(prefix + ".flat", conf.flat ? 1.0 : 0.0,
+            "1: flat fast-path table, 0: legacy two-map baseline");
+    if (conf.flat) {
+        reg.set(prefix + ".capacity",
+                static_cast<double>(slots.size()),
+                "flat-table slot capacity");
+        reg.set(prefix + ".rehashes", static_cast<double>(nRehashes),
+                "flat-table growth rehashes");
+        reg.set(prefix + ".flush_epoch", static_cast<double>(epoch),
+                "lookaside invalidation epoch");
+    }
+    if (!lookaside.empty()) {
+        reg.set(prefix + ".lookaside.hits",
+                static_cast<double>(lsHits),
+                "dispatches resolved by the lookaside cache");
+        reg.set(prefix + ".lookaside.misses",
+                static_cast<double>(lsMisses),
+                "dispatches that fell through to the table");
+        const u64 total = lsHits + lsMisses;
+        reg.set(prefix + ".lookaside.hit_rate",
+                total ? static_cast<double>(lsHits) /
+                            static_cast<double>(total)
+                      : 0.0,
+                "lookaside hit fraction of non-chained dispatches");
+    }
 }
 
 } // namespace cdvm::dbt

@@ -3,13 +3,38 @@
  * The translation lookup table: architected PC -> translation.
  *
  * The VMM runtime consults this map on every dispatch that is not
- * covered by chaining (Fig. 1b "Translation Lookup in Code Cache").
+ * covered by chaining (Fig. 1b "Translation Lookup in Code Cache"),
+ * which makes it the hottest host-side data structure in the whole
+ * reproduction. Two implementations live behind one interface:
+ *
+ *  - the **flat fast path** (default): a single open-addressing hash
+ *    table with power-of-two capacity and fibonacci (multiplicative)
+ *    hashing on the PC. Each slot holds the PC and both per-kind
+ *    translation pointers, so one probe sequence resolves the
+ *    SBT-preferred dispatch lookup. The table is insert-only between
+ *    flushes (no tombstones); eraseKind rebuilds from the surviving
+ *    arena in O(live). In front of it sits a small direct-mapped
+ *    **dispatch lookaside cache** (pc -> resolved Translation*,
+ *    negative entries included) that is epoch-invalidated on every
+ *    flush and entry-updated on every install;
+ *
+ *  - the **legacy baseline** (fastDispatch=false / --legacy-lookup):
+ *    the original two chained std::unordered_map probes, kept
+ *    selectable so bench_host_mips can A/B the dispatch cost.
+ *
+ * Ownership is per-kind arena vectors in both modes: insert appends
+ * the unique_ptr to its kind's arena and eraseKind drops the whole
+ * arena at once. An insert that overwrites an existing pc/kind entry
+ * therefore keeps the old translation alive (and safely chainable)
+ * until the next flush instead of leaving dangling chain pointers;
+ * overwrites are counted and exported.
  */
 
 #ifndef CDVM_DBT_LOOKUP_HH
 #define CDVM_DBT_LOOKUP_HH
 
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -23,10 +48,31 @@ class StatRegistry;
 namespace cdvm::dbt
 {
 
+/** Fibonacci (multiplicative) hash: scrambles low-entropy PCs. */
+inline u64
+fibHash(u64 pc)
+{
+    return pc * 0x9E3779B97F4A7C15ull;
+}
+
 /** Owning map from x86 entry PC to translation. */
 class TranslationMap
 {
   public:
+    /** Capacity presets and mode selection (VmmConfig-sized). */
+    struct Config
+    {
+        /** Flat open-addressing table (false: legacy two-map probe). */
+        bool flat = true;
+        /** Initial table capacity hint (entries; rounded to pow2). */
+        std::size_t reserveEntries = 4096;
+        /** Dispatch lookaside entries (pow2; 0 disables). */
+        std::size_t lookasideEntries = 256;
+    };
+
+    TranslationMap() : TranslationMap(Config{}) {}
+    explicit TranslationMap(const Config &cfg);
+
     /** Find a translation for pc, preferring superblocks. */
     Translation *lookup(Addr pc);
 
@@ -42,11 +88,23 @@ class TranslationMap
     /** Remove everything. */
     void clear();
 
-    std::size_t size() const { return bbt.size() + sbt.size(); }
-    std::size_t numBasicBlocks() const { return bbt.size(); }
-    std::size_t numSuperblocks() const { return sbt.size(); }
+    /** Pre-size the table for n live translations (rehash avoidance). */
+    void reserve(std::size_t n);
+
+    std::size_t size() const { return liveCount(0) + liveCount(1); }
+    std::size_t numBasicBlocks() const { return liveCount(0); }
+    std::size_t numSuperblocks() const { return liveCount(1); }
     u64 lookups() const { return nLookups; }
     u64 lookupMisses() const { return nMisses; }
+    u64 overwrites() const { return nOverwrites; }
+    u64 rehashes() const { return nRehashes; }
+    u64 lookasideHits() const { return lsHits; }
+    u64 lookasideMisses() const { return lsMisses; }
+    /** Current flush epoch (bumped by eraseKind/clear). */
+    u64 flushEpoch() const { return epoch; }
+    /** Flat-table slot capacity (0 in legacy mode). */
+    std::size_t capacity() const { return slots.size(); }
+    bool flatMode() const { return conf.flat; }
 
     /** Publish lookup/occupancy counters under prefix. */
     void exportStats(StatRegistry &reg, const std::string &prefix) const;
@@ -56,22 +114,92 @@ class TranslationMap
     void
     forEach(Fn &&fn) const
     {
-        for (const auto &kv : bbt)
-            fn(*kv.second);
-        for (const auto &kv : sbt)
-            fn(*kv.second);
+        for (unsigned k = 0; k < 2; ++k) {
+            for (const auto &t : arena[k]) {
+                if (t && isLive(t.get()))
+                    fn(*t);
+            }
+        }
     }
 
   private:
-    using Map = std::unordered_map<Addr, std::unique_ptr<Translation>>;
+    /**
+     * One flat-table slot: the PC plus both per-kind pointers, so the
+     * SBT-preferred lookup resolves in a single probe sequence. A slot
+     * with both pointers null is empty (the table is insert-only
+     * between flushes, so no tombstones exist).
+     */
+    struct Slot
+    {
+        Addr pc = 0;
+        Translation *byKind[2] = {nullptr, nullptr};
 
-    /** Drop chains in every translation that point into a doomed map. */
+        bool empty() const { return !byKind[0] && !byKind[1]; }
+    };
+
+    /** Direct-mapped lookaside entry: resolved dispatch at an epoch. */
+    struct LsEntry
+    {
+        Addr pc = 0;
+        u64 epoch = 0; //!< 0: never filled
+        Translation *trans = nullptr;
+    };
+
+    static unsigned kindIdx(TransKind k)
+    {
+        return k == TransKind::BasicBlock ? 0 : 1;
+    }
+
+    std::size_t liveCount(unsigned k) const
+    {
+        return arena[k].size() - overwritten[k];
+    }
+
+    /** True when t is still reachable through the table. */
+    bool isLive(const Translation *t) const;
+
+    Slot *findSlot(Addr pc);
+    const Slot *findSlot(Addr pc) const;
+    /** Find pc's slot or the empty slot where it belongs. */
+    Slot &probeFor(Addr pc);
+    void growTo(std::size_t new_cap);
+    void maybeGrow();
+    void rebuildFromArenas();
+    /** Refill / invalidate the lookaside line for pc. */
+    void lsUpdate(Addr pc, Translation *t);
+
+    /** Drop chains in every translation that points into a doomed set. */
     void unchainAll();
 
-    Map bbt;
-    Map sbt;
+    Translation *legacyLookup(Addr pc);
+    Translation *flatLookup(Addr pc);
+
+    Config conf;
+
+    // Ownership: per-kind arenas ([0]=BBT, [1]=SBT). Entries stay until
+    // the kind is flushed; `overwritten` counts arena entries no longer
+    // reachable through the table (pc/kind overwrites).
+    std::vector<std::unique_ptr<Translation>> arena[2];
+    std::size_t overwritten[2] = {0, 0};
+
+    // Flat fast path.
+    std::vector<Slot> slots; //!< pow2 capacity; empty when legacy
+    std::size_t slotsUsed = 0;
+    std::vector<LsEntry> lookaside; //!< pow2; empty when disabled
+    u64 epoch = 1; //!< flush epoch; lookaside entries from older epochs
+                   //!< are stale by construction
+
+    // Legacy baseline: the original two chained-hashing probes
+    // (non-owning; the arenas own in both modes).
+    using LegacyMap = std::unordered_map<Addr, Translation *>;
+    LegacyMap legacy[2];
+
     u64 nLookups = 0;
     u64 nMisses = 0;
+    u64 nOverwrites = 0;
+    u64 nRehashes = 0;
+    u64 lsHits = 0;
+    u64 lsMisses = 0;
 };
 
 } // namespace cdvm::dbt

@@ -17,6 +17,9 @@ CodeCacheManager::CodeCacheManager(x86::Memory &memory,
     : mem(memory),
       st(stats),
       events(event_stream),
+      map(dbt::TranslationMap::Config{
+          cfg.fastDispatch, cfg.lookupReserve,
+          cfg.fastDispatch ? cfg.lookasideEntries : 0}),
       bbtCc("bbt-cache", cfg.bbtCacheBase, cfg.bbtCacheBytes),
       sbtCc("sbt-cache", cfg.sbtCacheBase, cfg.sbtCacheBytes)
 {

@@ -14,7 +14,7 @@ DirectColdExecutor::execute(x86::CpuState &cpu, InstCount budget,
     // directly. Functionally identical across strategies; profiled
     // and accounted differently by the hooks.
     u64 block_insns = 0;
-    x86::Interpreter interp(cpu, mem);
+    x86::Interpreter interp(cpu, mem, dcache.get());
     for (InstCount n = 0; n < budget; ++n) {
         x86::StepResult sr = interp.step();
         if (sr.exit != x86::Exit::None) {
@@ -34,8 +34,16 @@ DirectColdExecutor::execute(x86::CpuState &cpu, InstCount budget,
 }
 
 void
+DirectColdExecutor::exportStats(StatRegistry &reg) const
+{
+    if (dcache)
+        dcache->exportStats(reg, "x86.decode_cache");
+}
+
+void
 X86ModeColdExecutor::exportStats(StatRegistry &reg) const
 {
+    DirectColdExecutor::exportStats(reg);
     dual.exportStats(reg, "hwassist.dualmode");
 }
 

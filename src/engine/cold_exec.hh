@@ -21,6 +21,7 @@
 #include "engine/profile.hh"
 #include "engine/strategy.hh"
 #include "hwassist/dualmode.hh"
+#include "x86/decode_cache.hh"
 #include "x86/memory.hh"
 
 namespace cdvm::engine
@@ -30,9 +31,21 @@ namespace cdvm::engine
 class DirectColdExecutor : public ColdExecutor
 {
   public:
+    /**
+     * decode_cache_lines sizes the decoded-instruction cache shared
+     * by every block this executor runs (0 disables: each step
+     * re-fetches and re-decodes raw bytes, the pre-fast-path cost).
+     */
     DirectColdExecutor(x86::Memory &memory, EngineStats &stats,
-                       BranchProfile &branch_prof)
-        : mem(memory), st(stats), prof(branch_prof)
+                       BranchProfile &branch_prof,
+                       std::size_t decode_cache_lines = 0)
+        : mem(memory),
+          st(stats),
+          prof(branch_prof),
+          dcache(decode_cache_lines
+                     ? std::make_unique<x86::DecodeCache>(
+                           decode_cache_lines)
+                     : nullptr)
     {
     }
 
@@ -40,6 +53,15 @@ class DirectColdExecutor : public ColdExecutor
 
     x86::Exit execute(x86::CpuState &cpu, InstCount budget,
                       InstCount &retired) override;
+
+    void exportStats(StatRegistry &reg) const override;
+
+    /** The decoded-instruction cache (null when disabled). */
+    const x86::DecodeCache *
+    decodeCache() const override
+    {
+        return dcache.get();
+    }
 
   protected:
     /** Per-instruction retire accounting hook. */
@@ -53,6 +75,7 @@ class DirectColdExecutor : public ColdExecutor
     x86::Memory &mem;
     EngineStats &st;
     BranchProfile &prof;
+    std::unique_ptr<x86::DecodeCache> dcache;
 };
 
 /** Interpretation of cold code (vm.interp). */
@@ -72,8 +95,11 @@ class X86ModeColdExecutor final : public DirectColdExecutor
 {
   public:
     X86ModeColdExecutor(x86::Memory &memory, EngineStats &stats,
-                        BranchProfile &branch_prof)
-        : DirectColdExecutor(memory, stats, branch_prof), dual(memory)
+                        BranchProfile &branch_prof,
+                        std::size_t decode_cache_lines = 0)
+        : DirectColdExecutor(memory, stats, branch_prof,
+                             decode_cache_lines),
+          dual(memory)
     {
         // The machine boots fetching architected code: the first-level
         // decoder starts (and stays) powered until translated native

@@ -77,6 +77,29 @@ struct EngineConfig
     std::size_t coldCounterCap = 65536;
     std::size_t sbtFailedCap = 16384;
 
+    // --- host-side dispatch fast path -------------------------------
+    /**
+     * Use the flat open-addressing translation table, the dispatch
+     * lookaside cache, and the interpreter decode cache. False
+     * restores the pre-existing map-based dispatch (the
+     * --legacy-lookup A/B baseline of bench_host_mips); retire
+     * streams and StageEvent sequences are bit-identical either way.
+     */
+    bool fastDispatch = true;
+    /** Flat-table capacity preset (entries; rounded to a power of
+     *  two). Sized for the BBT-dominated startup transient so the
+     *  table does not rehash while cold code floods in. */
+    std::size_t lookupReserve = 4096;
+    /** Dispatch lookaside cache entries (pow2; 0 disables). */
+    std::size_t lookasideEntries = 256;
+    /** Interpreter decoded-instruction cache lines (pow2; 0
+     *  disables). Only execute-style cold paths consult it. */
+    std::size_t decodeCacheEntries = 8192;
+    /** Bucket preset for the branch-direction profile (rehash
+     *  avoidance during the startup transient; capped at
+     *  branchProfCap). */
+    std::size_t branchProfReserve = 4096;
+
     // --- asynchronous SBT pipeline ----------------------------------
     /**
      * Background translator contexts for the SBT (0 = synchronous:

@@ -12,6 +12,7 @@
 #ifndef CDVM_ENGINE_PROFILE_HH
 #define CDVM_ENGINE_PROFILE_HH
 
+#include <algorithm>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
@@ -29,9 +30,13 @@ namespace cdvm::engine
 class BranchProfile
 {
   public:
-    explicit BranchProfile(std::size_t max_entries = 65536)
+    explicit BranchProfile(std::size_t max_entries = 65536,
+                           std::size_t reserve_hint = 0)
         : cap(max_entries ? max_entries : 1)
     {
+        // Pre-size the buckets so the BBT-dominated startup transient
+        // does not pay rehash storms while branches flood in.
+        prof.reserve(std::min(reserve_hint, cap));
     }
 
     void

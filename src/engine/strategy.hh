@@ -38,6 +38,11 @@ namespace cdvm::hwassist
 class BranchBehaviorBuffer;
 }
 
+namespace cdvm::x86
+{
+class DecodeCache;
+}
+
 namespace cdvm::engine
 {
 
@@ -98,6 +103,16 @@ class ColdExecutor
 
     /** Trace phase of direct cold execution (Interp or X86Mode). */
     virtual TracePhase phase() const { return TracePhase::Interp; }
+
+    /**
+     * The decoded-instruction cache behind this executor, when there
+     * is one (execute-style executors with the fast path enabled).
+     */
+    virtual const x86::DecodeCache *
+    decodeCache() const
+    {
+        return nullptr;
+    }
 
     virtual void
     exportStats(StatRegistry &) const

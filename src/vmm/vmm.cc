@@ -19,13 +19,17 @@ std::unique_ptr<engine::ColdExecutor>
 makeColdExecutor(x86::Memory &mem, const VmmConfig &cfg, VmmStats &st,
                  engine::BranchProfile &prof)
 {
+    // The decode cache is part of the host fast path: the legacy
+    // baseline re-decodes every interpreted step.
+    const std::size_t dc_lines =
+        cfg.fastDispatch ? cfg.decodeCacheEntries : 0;
     switch (cfg.cold) {
       case engine::ColdKind::Interpret:
-        return std::make_unique<engine::InterpretColdExecutor>(mem, st,
-                                                               prof);
+        return std::make_unique<engine::InterpretColdExecutor>(
+            mem, st, prof, dc_lines);
       case engine::ColdKind::HardwareX86Mode:
-        return std::make_unique<engine::X86ModeColdExecutor>(mem, st,
-                                                             prof);
+        return std::make_unique<engine::X86ModeColdExecutor>(
+            mem, st, prof, dc_lines);
       case engine::ColdKind::SoftwareBbt:
         return std::make_unique<engine::BbtColdExecutor>(
             std::make_unique<engine::SoftwareBbtBackend>(
@@ -56,7 +60,7 @@ Vmm::Vmm(x86::Memory &memory, const VmmConfig &config)
     : mem(memory),
       cfg(config),
       traceSink(Tracer::global(), 0),
-      branchProf(cfg.branchProfCap),
+      branchProf(cfg.branchProfCap, cfg.branchProfReserve),
       sbtFailed(cfg.sbtFailedCap),
       ccm(memory, cfg, st, events),
       cold(makeColdExecutor(memory, cfg, st, branchProf)),
@@ -311,6 +315,13 @@ Vmm::exportStats(StatRegistry &reg) const
         "dispatches short-circuited by chaining");
     set("vmm.chain.installs", st.chainsInstalled,
         "chain links installed between translations");
+    const u64 decisions = st.chainFollows + st.dispatches;
+    reg.set("vmm.chain.coverage",
+            decisions ? static_cast<double>(st.chainFollows) /
+                            static_cast<double>(decisions)
+                      : 0.0,
+            "fraction of dispatch decisions short-circuited by "
+            "chaining (the rest hit the lookup path)");
     set("vmm.hotspot_detections", st.hotspotDetections,
         "hot-threshold crossings that invoked the SBT");
     set("vmm.precise_state_recoveries", st.preciseStateRecoveries,

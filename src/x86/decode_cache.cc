@@ -1,0 +1,76 @@
+#include "x86/decode_cache.hh"
+
+#include "common/statreg.hh"
+
+namespace cdvm::x86
+{
+
+namespace
+{
+
+/** Same multiplicative scramble the dispatch structures use. */
+inline u64
+mix(u64 pc)
+{
+    return pc * 0x9E3779B97F4A7C15ull;
+}
+
+} // namespace
+
+DecodeCache::DecodeCache(std::size_t entries)
+{
+    std::size_t cap = 16;
+    while (cap < entries)
+        cap <<= 1;
+    lines.resize(cap);
+}
+
+const DecodeResult &
+DecodeCache::fetchDecode(const Memory &mem, Addr pc)
+{
+    Line &l = lines[mix(pc) >> 32 & (lines.size() - 1)];
+    // gen is the memory's code version at fill time, offset by one so
+    // that 0 always means "empty line".
+    const u64 want = mem.codeVersion() + 1;
+    if (l.pc == pc && l.gen == want) {
+        ++nHits;
+        return l.dr;
+    }
+    ++nMisses;
+    u8 window[MAX_INSN_LEN + 1];
+    const bool cacheable = mem.fetchCode(pc, window, sizeof(window));
+    if (!cacheable) {
+        // The window read through an unallocated page: decode, but do
+        // not cache (see Memory::fetchCode).
+        scratch = decode(std::span<const u8>(window, sizeof(window)),
+                         pc);
+        return scratch;
+    }
+    l.dr = decode(std::span<const u8>(window, sizeof(window)), pc);
+    l.pc = pc;
+    l.gen = want;
+    return l.dr;
+}
+
+void
+DecodeCache::invalidateAll()
+{
+    for (Line &l : lines)
+        l.gen = 0;
+}
+
+void
+DecodeCache::exportStats(StatRegistry &reg,
+                         const std::string &prefix) const
+{
+    reg.set(prefix + ".hits", static_cast<double>(nHits),
+            "interpreted steps served from the decode cache");
+    reg.set(prefix + ".misses", static_cast<double>(nMisses),
+            "interpreted steps that ran the byte decoder");
+    reg.set(prefix + ".hit_rate", hitRate(),
+            "decode-cache hit fraction");
+    reg.set(prefix + ".capacity", static_cast<double>(lines.size()),
+            "decode-cache lines");
+}
+
+} // namespace cdvm::x86

@@ -4,6 +4,7 @@
 
 #include "common/bitfield.hh"
 #include "common/logging.hh"
+#include "x86/decode_cache.hh"
 #include "x86/decoder.hh"
 
 namespace cdvm::x86
@@ -358,6 +359,15 @@ Interpreter::writeOperand(const Operand &o, unsigned size, u32 v)
 StepResult
 Interpreter::step()
 {
+    if (dcache) {
+        const DecodeResult &dr = dcache->fetchDecode(mem, cpu.eip);
+        if (!dr.ok) {
+            StepResult sr;
+            sr.exit = Exit::DecodeFault;
+            return sr;
+        }
+        return execute(dr.insn);
+    }
     u8 window[MAX_INSN_LEN + 1];
     mem.fetchWindow(cpu.eip, window, sizeof(window));
     DecodeResult dr = decode(std::span<const u8>(window, sizeof(window)),

@@ -69,16 +69,23 @@ struct StepResult
     Insn insn;            //!< the instruction that executed
 };
 
+class DecodeCache;
+
 /**
  * Interpreter over a CpuState and a Memory. Also exposes the
  * instruction-execution core so the micro-op layer can reuse the exact
  * flag semantics.
+ *
+ * An optional DecodeCache memoizes the fetch+decode half of step();
+ * execution semantics are identical with or without it (the cache is
+ * invalidated by guest code writes, see decode_cache.hh).
  */
 class Interpreter
 {
   public:
-    Interpreter(CpuState &state, Memory &memory)
-        : cpu(state), mem(memory)
+    Interpreter(CpuState &state, Memory &memory,
+                DecodeCache *decode_cache = nullptr)
+        : cpu(state), mem(memory), dcache(decode_cache)
     {
     }
 
@@ -101,6 +108,7 @@ class Interpreter
 
     CpuState &cpu;
     Memory &mem;
+    DecodeCache *dcache; //!< optional decoded-instruction cache
 };
 
 /**

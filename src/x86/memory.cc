@@ -11,7 +11,7 @@ Memory::getPage(Addr a)
     Addr key = a >> PAGE_SHIFT;
     auto it = pages.find(key);
     if (it == pages.end())
-        it = pages.emplace(key, Page(PAGE_SIZE, 0)).first;
+        it = pages.emplace(key, Page(PAGE_SIZE)).first;
     return &it->second;
 }
 
@@ -26,7 +26,7 @@ u8
 Memory::read8(Addr a) const
 {
     const Page *p = findPage(a);
-    return p ? (*p)[a & (PAGE_SIZE - 1)] : 0;
+    return p ? p->bytes[a & (PAGE_SIZE - 1)] : 0;
 }
 
 u16
@@ -43,7 +43,7 @@ Memory::read32(Addr a) const
     Addr off = a & (PAGE_SIZE - 1);
     if (p && off + 4 <= PAGE_SIZE) {
         u32 v;
-        std::memcpy(&v, p->data() + off, 4);
+        std::memcpy(&v, p->bytes.data() + off, 4);
         return v;
     }
     return static_cast<u32>(read16(a)) | (static_cast<u32>(read16(a + 2)) << 16);
@@ -52,7 +52,9 @@ Memory::read32(Addr a) const
 void
 Memory::write8(Addr a, u8 v)
 {
-    (*getPage(a))[a & (PAGE_SIZE - 1)] = v;
+    Page *p = getPage(a);
+    noteWrite(*p);
+    p->bytes[a & (PAGE_SIZE - 1)] = v;
     ++written;
 }
 
@@ -69,7 +71,8 @@ Memory::write32(Addr a, u32 v)
     Page *p = getPage(a);
     Addr off = a & (PAGE_SIZE - 1);
     if (off + 4 <= PAGE_SIZE) {
-        std::memcpy(p->data() + off, &v, 4);
+        noteWrite(*p);
+        std::memcpy(p->bytes.data() + off, &v, 4);
         written += 4;
         return;
     }
@@ -82,10 +85,11 @@ Memory::writeBlock(Addr a, std::span<const u8> data)
 {
     for (std::size_t i = 0; i < data.size();) {
         Page *p = getPage(a + i);
+        noteWrite(*p);
         Addr off = (a + i) & (PAGE_SIZE - 1);
         std::size_t chunk = std::min<std::size_t>(PAGE_SIZE - off,
                                                   data.size() - i);
-        std::memcpy(p->data() + off, data.data() + i, chunk);
+        std::memcpy(p->bytes.data() + off, data.data() + i, chunk);
         written += chunk;
         i += chunk;
     }
@@ -107,11 +111,34 @@ Memory::fetchWindow(Addr a, u8 *out, std::size_t n) const
         Addr off = (a + i) & (PAGE_SIZE - 1);
         std::size_t chunk = std::min<std::size_t>(PAGE_SIZE - off, n - i);
         if (p)
-            std::memcpy(out + i, p->data() + off, chunk);
+            std::memcpy(out + i, p->bytes.data() + off, chunk);
         else
             std::memset(out + i, 0, chunk);
         i += chunk;
     }
+}
+
+bool
+Memory::fetchCode(Addr a, u8 *out, std::size_t n) const
+{
+    bool all_present = true;
+    for (std::size_t i = 0; i < n;) {
+        const Page *p = findPage(a + i);
+        Addr off = (a + i) & (PAGE_SIZE - 1);
+        std::size_t chunk = std::min<std::size_t>(PAGE_SIZE - off, n - i);
+        if (p) {
+            p->code = true;
+            std::memcpy(out + i, p->bytes.data() + off, chunk);
+        } else {
+            // A hole cannot be marked, so a later write creating the
+            // page would not bump codeVersion: the caller must not
+            // cache a decode that read through it.
+            all_present = false;
+            std::memset(out + i, 0, chunk);
+        }
+        i += chunk;
+    }
+    return all_present;
 }
 
 } // namespace cdvm::x86

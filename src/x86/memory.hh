@@ -48,6 +48,24 @@ class Memory
      */
     void fetchWindow(Addr a, u8 *out, std::size_t n) const;
 
+    /**
+     * Instruction fetch for the decode cache: like fetchWindow, but
+     * additionally marks the touched pages as *code pages*. Writes to
+     * code pages bump codeVersion so cached decodes are invalidated
+     * (self-modifying code, program reloads); writes to pure data
+     * pages do not. Returns false when the window read through an
+     * unallocated page (such a fetch must not be cached: the hole
+     * cannot be marked, so a write creating the page later would not
+     * bump codeVersion).
+     */
+    bool fetchCode(Addr a, u8 *out, std::size_t n) const;
+
+    /**
+     * Generation of the guest's code bytes: bumped by every write
+     * that touches a page previously fetched through fetchCode.
+     */
+    u64 codeVersion() const { return codeVer; }
+
     /** Number of pages currently allocated. */
     std::size_t numPages() const { return pages.size(); }
 
@@ -55,12 +73,27 @@ class Memory
     u64 bytesWritten() const { return written; }
 
   private:
-    using Page = std::vector<u8>;
+    struct Page
+    {
+        explicit Page(std::size_t n) : bytes(n, 0) {}
+
+        std::vector<u8> bytes;
+        /** Served instruction fetches (set from const fetch paths). */
+        mutable bool code = false;
+    };
     Page *getPage(Addr a);
     const Page *findPage(Addr a) const;
+    /** Bump codeVersion when writing into a code page. */
+    void
+    noteWrite(const Page &p)
+    {
+        if (p.code)
+            ++codeVer;
+    }
 
     std::unordered_map<Addr, Page> pages;
     u64 written = 0;
+    u64 codeVer = 0;
 };
 
 } // namespace cdvm::x86

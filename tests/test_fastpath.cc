@@ -1,0 +1,428 @@
+/**
+ * @file
+ * Host fast-path tests: the flat translation table (tortured against a
+ * std::unordered_map oracle), the dispatch lookaside cache's epoch
+ * invalidation, the decoded-instruction cache's coherence with guest
+ * code writes, and the fast-vs-legacy dispatch differential.
+ */
+
+#include <array>
+#include <random>
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+#include "common/statreg.hh"
+#include "dbt/lookup.hh"
+#include "helpers.hh"
+#include "x86/decode_cache.hh"
+
+namespace cdvm
+{
+namespace
+{
+
+using namespace cdvm::x86;
+
+std::unique_ptr<dbt::Translation>
+makeTrans(Addr pc, dbt::TransKind kind)
+{
+    auto t = std::make_unique<dbt::Translation>();
+    t->entryPc = pc;
+    t->kind = kind;
+    return t;
+}
+
+// --- decode cache ----------------------------------------------------
+
+TEST(DecodeCache, HitsAfterFirstFetch)
+{
+    Memory mem;
+    Assembler as(0x1000);
+    as.movRI(EAX, 1);
+    as.hlt();
+    mem.writeBlock(0x1000, as.finalize());
+
+    DecodeCache dc(64);
+    const DecodeResult &a = dc.fetchDecode(mem, 0x1000);
+    ASSERT_TRUE(a.ok);
+    EXPECT_EQ(dc.misses(), 1u);
+    const DecodeResult &b = dc.fetchDecode(mem, 0x1000);
+    ASSERT_TRUE(b.ok);
+    EXPECT_EQ(dc.hits(), 1u);
+    EXPECT_EQ(b.insn.length, a.insn.length);
+}
+
+TEST(DecodeCache, CodeWriteInvalidates)
+{
+    Memory mem;
+    Assembler as(0x1000);
+    as.movRI(EAX, 0x11111111);
+    as.hlt();
+    mem.writeBlock(0x1000, as.finalize());
+
+    DecodeCache dc(64);
+    ASSERT_TRUE(dc.fetchDecode(mem, 0x1000).ok);
+    ASSERT_TRUE(dc.fetchDecode(mem, 0x1000).ok); // cached
+    EXPECT_EQ(dc.hits(), 1u);
+    const u64 ver = mem.codeVersion();
+
+    // Rewrite the mov's immediate in place: same page the cache
+    // fetched through, so the write must bump the code version and
+    // the next fetch must re-decode the new bytes.
+    Assembler as2(0x1000);
+    as2.movRI(EAX, 0x22222222);
+    as2.hlt();
+    mem.writeBlock(0x1000, as2.finalize());
+    EXPECT_GT(mem.codeVersion(), ver);
+
+    const DecodeResult &dr = dc.fetchDecode(mem, 0x1000);
+    ASSERT_TRUE(dr.ok);
+    ASSERT_TRUE(dr.insn.src.isImm());
+    EXPECT_EQ(dr.insn.src.imm, 0x22222222);
+    EXPECT_EQ(dc.misses(), 2u);
+}
+
+TEST(DecodeCache, DataWritesDoNotInvalidate)
+{
+    Memory mem;
+    Assembler as(0x1000);
+    as.movRI(EAX, 1);
+    as.hlt();
+    mem.writeBlock(0x1000, as.finalize());
+
+    DecodeCache dc(64);
+    ASSERT_TRUE(dc.fetchDecode(mem, 0x1000).ok);
+    const u64 ver = mem.codeVersion();
+
+    // Heavy store traffic to a pure data page: the common case that
+    // must NOT flush cached decodes.
+    for (u32 i = 0; i < 256; ++i)
+        mem.write32(0x00800000 + 4 * i, i);
+    EXPECT_EQ(mem.codeVersion(), ver);
+    ASSERT_TRUE(dc.fetchDecode(mem, 0x1000).ok);
+    EXPECT_EQ(dc.hits(), 1u);
+    EXPECT_EQ(dc.misses(), 1u);
+}
+
+TEST(DecodeCache, FetchThroughHoleIsUncacheable)
+{
+    Memory mem;
+    // A one-byte hlt at the very last byte of an otherwise untouched
+    // page: the decoder's fetch window spills into the next,
+    // unallocated page. That hole can't be marked as a code page, so
+    // the decode must not be cached (a later write materializing the
+    // page would not bump the code version).
+    const Addr pc = 0x5000 + Memory::PAGE_SIZE - 1;
+    mem.write8(pc, 0xF4); // hlt
+    DecodeCache dc(64);
+    ASSERT_TRUE(dc.fetchDecode(mem, pc).ok);
+    ASSERT_TRUE(dc.fetchDecode(mem, pc).ok);
+    EXPECT_EQ(dc.hits(), 0u);
+    EXPECT_EQ(dc.misses(), 2u);
+
+    // Materialize the next page; the window is now hole-free and the
+    // decode becomes cacheable again.
+    mem.write8(pc + 1, 0x90);
+    ASSERT_TRUE(dc.fetchDecode(mem, pc).ok);
+    ASSERT_TRUE(dc.fetchDecode(mem, pc).ok);
+    EXPECT_EQ(dc.hits(), 1u);
+}
+
+TEST(DecodeCache, InterpreterSeesCodeRewrite)
+{
+    // End-to-end: an interpreter running through the decode cache must
+    // execute rewritten code, not a stale cached decode.
+    Memory mem;
+    Assembler as(0x1000);
+    as.movRI(EAX, 7);
+    as.hlt();
+    mem.writeBlock(0x1000, as.finalize());
+
+    DecodeCache dc(256);
+    CpuState cpu;
+    cpu.eip = 0x1000;
+    {
+        Interpreter interp(cpu, mem, &dc);
+        EXPECT_EQ(interp.run(100), Exit::Halted);
+    }
+    EXPECT_EQ(cpu.regs[EAX], 7u);
+
+    Assembler as2(0x1000);
+    as2.movRI(EAX, 9);
+    as2.hlt();
+    mem.writeBlock(0x1000, as2.finalize());
+
+    cpu = CpuState{};
+    cpu.eip = 0x1000;
+    {
+        Interpreter interp(cpu, mem, &dc);
+        EXPECT_EQ(interp.run(100), Exit::Halted);
+    }
+    EXPECT_EQ(cpu.regs[EAX], 9u);
+}
+
+// --- dispatch lookaside ----------------------------------------------
+
+TEST(Lookaside, NegativeCachingAndInstallRefresh)
+{
+    dbt::TranslationMap map(
+        dbt::TranslationMap::Config{true, 64, 16});
+    // Two misses on the same pc: the second is served by the
+    // lookaside's negative entry but still counts as a lookup miss.
+    EXPECT_EQ(map.lookup(0x100), nullptr);
+    EXPECT_EQ(map.lookup(0x100), nullptr);
+    EXPECT_EQ(map.lookups(), 2u);
+    EXPECT_EQ(map.lookupMisses(), 2u);
+    EXPECT_GE(map.lookasideHits(), 1u);
+
+    // Installing at that pc must refresh the line: the negative entry
+    // may not shadow the new translation.
+    dbt::Translation *t =
+        map.insert(makeTrans(0x100, dbt::TransKind::BasicBlock));
+    EXPECT_EQ(map.lookup(0x100), t);
+}
+
+TEST(Lookaside, EpochInvalidationOnFlush)
+{
+    dbt::TranslationMap map(
+        dbt::TranslationMap::Config{true, 64, 16});
+    dbt::Translation *bb =
+        map.insert(makeTrans(0x100, dbt::TransKind::BasicBlock));
+    EXPECT_EQ(map.lookup(0x100), bb);
+    EXPECT_EQ(map.lookup(0x100), bb); // lookaside-served
+    EXPECT_GE(map.lookasideHits(), 1u);
+    const u64 e0 = map.flushEpoch();
+
+    // eraseKind bumps the epoch: every lookaside line filled before
+    // the flush is stale by construction, so the dangling pointer in
+    // it can never be returned.
+    map.eraseKind(dbt::TransKind::BasicBlock);
+    EXPECT_GT(map.flushEpoch(), e0);
+    EXPECT_EQ(map.lookup(0x100), nullptr);
+
+    dbt::Translation *sb =
+        map.insert(makeTrans(0x100, dbt::TransKind::Superblock));
+    EXPECT_EQ(map.lookup(0x100), sb);
+    map.clear();
+    EXPECT_GT(map.flushEpoch(), e0 + 1);
+    EXPECT_EQ(map.lookup(0x100), nullptr);
+    EXPECT_EQ(map.size(), 0u);
+}
+
+TEST(TranslationMap, OverwriteKeepsOldAliveUntilFlush)
+{
+    dbt::TranslationMap map;
+    dbt::Translation *oldt =
+        map.insert(makeTrans(0x100, dbt::TransKind::BasicBlock));
+    dbt::Translation *other =
+        map.insert(makeTrans(0x200, dbt::TransKind::BasicBlock));
+    EXPECT_TRUE(other->addChain(0x100, oldt));
+
+    dbt::Translation *newt =
+        map.insert(makeTrans(0x100, dbt::TransKind::BasicBlock));
+    EXPECT_EQ(map.overwrites(), 1u);
+    EXPECT_EQ(map.numBasicBlocks(), 2u); // live count, not arena size
+    EXPECT_EQ(map.lookup(0x100), newt);
+    // The overwritten translation is unreachable through the table but
+    // still owned by the arena: the chain pointer into it stays valid
+    // until the kind is flushed.
+    EXPECT_EQ(other->chainedTo(0x100), oldt);
+    EXPECT_EQ(oldt->entryPc, 0x100u);
+
+    map.eraseKind(dbt::TransKind::BasicBlock);
+    EXPECT_EQ(map.size(), 0u);
+    EXPECT_EQ(map.overwrites(), 1u);
+}
+
+TEST(TranslationMap, StatsExportIncludesLookaside)
+{
+    dbt::TranslationMap map;
+    map.insert(makeTrans(0x100, dbt::TransKind::BasicBlock));
+    map.lookup(0x100);
+    map.lookup(0x100);
+    map.lookup(0x999);
+    StatRegistry reg;
+    map.exportStats(reg, "t");
+    EXPECT_TRUE(reg.has("t.lookups"));
+    EXPECT_TRUE(reg.has("t.misses"));
+    EXPECT_TRUE(reg.has("t.overwrites"));
+    EXPECT_TRUE(reg.has("t.lookaside.hit_rate"));
+    EXPECT_TRUE(reg.has("t.flush_epoch"));
+}
+
+// --- flat table vs oracle --------------------------------------------
+
+TEST(FlatTableTorture, MatchesUnorderedMapOracle)
+{
+    // Random interleaving of insert / lookup / eraseKind / clear /
+    // reserve against a trivially-correct oracle. PCs are
+    // collision-heavy on purpose: identical low bits (the part a
+    // naive mask-indexed table would key on) with entropy only in
+    // the high bits, plus a small pool so overwrites are frequent.
+    dbt::TranslationMap map(
+        dbt::TranslationMap::Config{true, 16, 32});
+    std::unordered_map<Addr, std::array<bool, 2>> oracle;
+
+    std::mt19937_64 rng(20260807);
+    auto randPc = [&rng]() -> Addr {
+        return 0x00400000u + (static_cast<Addr>(rng() % 509) << 20);
+    };
+
+    auto checkLookup = [&](Addr pc) {
+        const auto it = oracle.find(pc);
+        const bool bb = it != oracle.end() && it->second[0];
+        const bool sb = it != oracle.end() && it->second[1];
+        dbt::Translation *got = map.lookup(pc);
+        if (!bb && !sb) {
+            ASSERT_EQ(got, nullptr) << "pc 0x" << std::hex << pc;
+            return;
+        }
+        ASSERT_NE(got, nullptr) << "pc 0x" << std::hex << pc;
+        ASSERT_EQ(got->entryPc, pc);
+        // SBT-preferred resolution.
+        ASSERT_EQ(got->kind, sb ? dbt::TransKind::Superblock
+                                : dbt::TransKind::BasicBlock);
+        ASSERT_EQ(map.lookup(pc, dbt::TransKind::BasicBlock) != nullptr,
+                  bb);
+        ASSERT_EQ(map.lookup(pc, dbt::TransKind::Superblock) != nullptr,
+                  sb);
+    };
+
+    for (int op = 0; op < 60000; ++op) {
+        const u64 roll = rng() % 1000;
+        if (roll < 450) { // insert
+            const Addr pc = randPc();
+            const dbt::TransKind kind = (rng() & 1)
+                                            ? dbt::TransKind::Superblock
+                                            : dbt::TransKind::BasicBlock;
+            dbt::Translation *t = map.insert(makeTrans(pc, kind));
+            ASSERT_NE(t, nullptr);
+            ASSERT_EQ(t->entryPc, pc);
+            oracle[pc][kind == dbt::TransKind::Superblock ? 1 : 0] =
+                true;
+        } else if (roll < 980) { // lookup
+            checkLookup(randPc());
+        } else if (roll < 994) { // eraseKind
+            const unsigned k = rng() & 1;
+            map.eraseKind(k ? dbt::TransKind::Superblock
+                            : dbt::TransKind::BasicBlock);
+            for (auto it = oracle.begin(); it != oracle.end();) {
+                it->second[k] = false;
+                if (!it->second[0] && !it->second[1])
+                    it = oracle.erase(it);
+                else
+                    ++it;
+            }
+        } else if (roll < 998) { // clear
+            map.clear();
+            oracle.clear();
+        } else { // reserve mid-stream must not lose entries
+            map.reserve(1024);
+        }
+
+        if (op % 997 == 0) {
+            std::size_t bb = 0, sb = 0;
+            for (const auto &[pc, kinds] : oracle) {
+                bb += kinds[0];
+                sb += kinds[1];
+            }
+            ASSERT_EQ(map.numBasicBlocks(), bb) << "op " << op;
+            ASSERT_EQ(map.numSuperblocks(), sb) << "op " << op;
+        }
+    }
+
+    // Full final sweep over every pc the stream ever touched.
+    for (Addr base = 0; base < 509; ++base)
+        checkLookup(0x00400000u + (base << 20));
+    // forEach visits exactly the live set.
+    std::size_t visited = 0;
+    map.forEach([&](const dbt::Translation &t) {
+        ++visited;
+        const auto it = oracle.find(t.entryPc);
+        ASSERT_NE(it, oracle.end());
+        ASSERT_TRUE(
+            it->second[t.kind == dbt::TransKind::Superblock ? 1 : 0]);
+    });
+    EXPECT_EQ(visited, map.size());
+}
+
+// --- fast vs legacy dispatch differential ----------------------------
+
+TEST(FastVsLegacy, IdenticalOutcomeAndRetireCounts)
+{
+    // The fast path is a pure host-side optimization: architected
+    // state, retire counts, and staging decisions must be
+    // bit-identical to the legacy two-map dispatch. A tiny BBT cache
+    // forces flush/retranslate cycles so the epoch invalidation and
+    // table rebuild paths are exercised under a real Vmm.
+    for (u64 seed : {1u, 7u, 42u}) {
+        workload::ProgramParams pp;
+        pp.seed = seed;
+        pp.numFuncs = 4;
+        pp.blocksPerFunc = 4;
+        pp.mainIterations = 40;
+        workload::Program prog = workload::generateProgram(pp);
+
+        x86::Memory ref_mem;
+        test::RunResult ref = test::runInterp(prog, ref_mem);
+        ASSERT_EQ(ref.exit, Exit::Halted) << "seed " << seed;
+
+        for (u64 cache_kb : {256u, 2u}) {
+            vmm::VmmConfig base;
+            base.hotThreshold = 30;
+            base.bbtCacheBytes = cache_kb * 1024;
+
+            vmm::VmmConfig fast = base;
+            fast.fastDispatch = true;
+            vmm::VmmConfig slow = base;
+            slow.fastDispatch = false;
+
+            x86::Memory fmem, smem;
+            vmm::VmmStats fst, sst;
+            test::RunResult fr = test::runVmm(prog, fmem, fast, &fst);
+            test::RunResult sr = test::runVmm(prog, smem, slow, &sst);
+
+            EXPECT_TRUE(
+                test::sameOutcome(prog, ref, ref_mem, fr, fmem))
+                << "fast, seed " << seed << " cache " << cache_kb;
+            EXPECT_TRUE(
+                test::sameOutcome(prog, ref, ref_mem, sr, smem))
+                << "legacy, seed " << seed << " cache " << cache_kb;
+
+            // Staging decisions, not just final state.
+            EXPECT_EQ(fst.totalRetired(), sst.totalRetired());
+            EXPECT_EQ(fst.bbtTranslations, sst.bbtTranslations);
+            EXPECT_EQ(fst.sbtTranslations, sst.sbtTranslations);
+            EXPECT_EQ(fst.bbtCacheFlushes, sst.bbtCacheFlushes);
+            EXPECT_EQ(fst.dispatches, sst.dispatches);
+            EXPECT_EQ(fst.chainFollows, sst.chainFollows);
+        }
+    }
+}
+
+TEST(FastVsLegacy, FlushesBumpEpochUnderVmm)
+{
+    workload::ProgramParams pp;
+    pp.seed = 3;
+    pp.numFuncs = 5;
+    pp.blocksPerFunc = 5;
+    pp.mainIterations = 50;
+    workload::Program prog = workload::generateProgram(pp);
+
+    x86::Memory mem;
+    prog.loadInto(mem);
+    x86::CpuState cpu = prog.initialState();
+    vmm::VmmConfig cfg;
+    cfg.hotThreshold = 30;
+    cfg.bbtCacheBytes = 2 * 1024; // force flushes
+    vmm::Vmm vm(mem, cfg);
+    ASSERT_EQ(vm.run(cpu, 10'000'000), Exit::Halted);
+    ASSERT_GT(vm.stats().bbtCacheFlushes, 0u);
+    // Every code-cache flush must have advanced the lookaside epoch.
+    EXPECT_GT(vm.translations().flushEpoch(),
+              vm.stats().bbtCacheFlushes);
+}
+
+} // namespace
+} // namespace cdvm
