@@ -30,6 +30,8 @@ main(int argc, char **argv)
     auto soft = bench::runMachine(timing::MachineConfig::vmSoft(), apps);
     auto soft_async = bench::runMachine(
         timing::MachineConfig::vmSoftAsync(), apps);
+    auto soft_warm = bench::runMachine(
+        timing::MachineConfig::vmSoftWarm(), apps);
 
     // Normalize so the reference's end-of-run aggregate is 1.0, as in
     // the paper's plots.
@@ -54,6 +56,8 @@ main(int argc, char **argv)
         scale(analysis::averageNormalizedIpc(soft, "VM: BBT & SBT")));
     series.push_back(scale(analysis::averageNormalizedIpc(
         soft_async, "VM: BBT & async SBT")));
+    series.push_back(scale(analysis::averageNormalizedIpc(
+        soft_warm, "VM: warm-start BBT & SBT")));
 
     // The steady-state line (paper: +8% over the reference).
     double gain = 0.0;
@@ -101,6 +105,8 @@ main(int argc, char **argv)
     bench::exportSuiteStartup("bench.fig2.vm_interp", interp, &ref);
     bench::exportSuiteStartup("bench.fig2.vm_soft", soft, &ref);
     bench::exportSuiteStartup("bench.fig2.vm_soft_async", soft_async,
+                              &ref);
+    bench::exportSuiteStartup("bench.fig2.vm_soft_warm", soft_warm,
                               &ref);
     dumpObservability();
     return 0;

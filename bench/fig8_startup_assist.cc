@@ -25,6 +25,8 @@ main(int argc, char **argv)
     auto be = bench::runMachine(timing::MachineConfig::vmBe(), apps);
     auto be_async = bench::runMachine(timing::MachineConfig::vmBeAsync(),
                                       apps);
+    auto be_warm = bench::runMachine(timing::MachineConfig::vmBeWarm(),
+                                     apps);
     auto fe = bench::runMachine(timing::MachineConfig::vmFe(), apps);
 
     double ref_final = 0.0;
@@ -47,6 +49,8 @@ main(int argc, char **argv)
     series.push_back(scale(analysis::averageNormalizedIpc(be, "VM.be")));
     series.push_back(scale(
         analysis::averageNormalizedIpc(be_async, "VM.be.async")));
+    series.push_back(scale(
+        analysis::averageNormalizedIpc(be_warm, "VM.be.warm")));
     series.push_back(scale(analysis::averageNormalizedIpc(fe, "VM.fe")));
 
     double gain = 0.0;
@@ -101,6 +105,7 @@ main(int argc, char **argv)
     summarize("VM.soft", soft);
     summarize("VM.be", be);
     summarize("VM.be.async", be_async);
+    summarize("VM.be.warm", be_warm);
     summarize("VM.fe", fe);
     std::printf("(paper: VM.fe ~zero startup overhead; VM.be breakeven "
                 "~10M cycles;\n VM.soft breakeven beyond 200M cycles)\n");
@@ -110,6 +115,7 @@ main(int argc, char **argv)
     bench::exportSuiteStartup("bench.fig8.vm_soft", soft, &ref);
     bench::exportSuiteStartup("bench.fig8.vm_be", be, &ref);
     bench::exportSuiteStartup("bench.fig8.vm_be_async", be_async, &ref);
+    bench::exportSuiteStartup("bench.fig8.vm_be_warm", be_warm, &ref);
     bench::exportSuiteStartup("bench.fig8.vm_fe", fe, &ref);
     dumpObservability();
     return 0;

@@ -40,19 +40,26 @@ namespace
 
 /** Timing-machine preset matching an engine configuration. */
 timing::MachineConfig
-machineFor(const std::string &name)
+machineFor(const std::string &name, bool warm_start)
 {
+    timing::MachineConfig m = timing::MachineConfig::vmSoft();
     if (name == "vm.fe")
-        return timing::MachineConfig::vmFe();
-    if (name == "vm.be" || name == "vm.dual")
-        return timing::MachineConfig::vmBe();
-    if (name == "vm.be.async")
-        return timing::MachineConfig::vmBeAsync();
-    if (name == "vm.soft.async")
-        return timing::MachineConfig::vmSoftAsync();
-    if (name == "vm.interp")
-        return timing::MachineConfig::vmInterp();
-    return timing::MachineConfig::vmSoft();
+        m = timing::MachineConfig::vmFe();
+    else if (name == "vm.be" || name == "vm.dual")
+        m = timing::MachineConfig::vmBe();
+    else if (name == "vm.be.async")
+        m = timing::MachineConfig::vmBeAsync();
+    else if (name == "vm.soft.async")
+        m = timing::MachineConfig::vmSoftAsync();
+    else if (name == "vm.interp")
+        m = timing::MachineConfig::vmInterp();
+    // --load-cache also warm-starts the timing model: translations are
+    // installed from the repository before the first instruction.
+    if (warm_start) {
+        m.warmStart = true;
+        m.name += ".warm";
+    }
+    return m;
 }
 
 } // namespace
@@ -66,6 +73,11 @@ main(int argc, char **argv)
     cli.flag("config", "vm.soft",
              "engine configuration: vm.soft|vm.fe|vm.be|vm.dual|"
              "vm.interp|vm.soft.async|vm.be.async");
+    cli.flag("load-cache", "",
+             "warm start: load a translation repository saved by a "
+             "previous run (stale entries fall back to cold)");
+    cli.flag("save-cache", "",
+             "save the translation repository after the run");
     addObservabilityFlags(cli);
     cli.parse(argc, argv);
     applyObservabilityFlags(cli);
@@ -130,6 +142,8 @@ main(int argc, char **argv)
     cfg.hotThreshold = 50;
     cfg.interpHotThreshold = 50;
     cfg.bbbParams.hotThreshold = 50;
+    cfg.warmStartLoadPath = cli.str("load-cache");
+    cfg.warmStartSavePath = cli.str("save-cache");
     vmm::Vmm vm(vm_mem, cfg);
     const auto host_t0 = std::chrono::steady_clock::now();
     e = vm.run(vm_cpu, 100'000'000);
@@ -158,6 +172,17 @@ main(int argc, char **argv)
     std::printf("  dispatches / chained:   %llu / %llu\n",
                 static_cast<unsigned long long>(st.dispatches),
                 static_cast<unsigned long long>(st.chainFollows));
+    if (!cfg.warmStartLoadPath.empty()) {
+        std::printf("  warm start:             %llu loaded, %llu "
+                    "installed, %llu invalidated, %llu profile "
+                    "entries seeded\n",
+                    static_cast<unsigned long long>(st.warmLoaded),
+                    static_cast<unsigned long long>(st.warmInstalled),
+                    static_cast<unsigned long long>(
+                        st.warmInvalidated),
+                    static_cast<unsigned long long>(
+                        st.warmProfileSeeded));
+    }
     if (cfg.asyncTranslators > 0) {
         std::printf("  async SBT requests:     %llu (%llu installed, "
                     "%llu stale, %llu queue-full)\n",
@@ -202,6 +227,12 @@ main(int argc, char **argv)
                                                     dc->misses()));
     }
 
+    if (!cfg.warmStartSavePath.empty()) {
+        std::printf("\nsaved translation repository: %s (%s)\n",
+                    cfg.warmStartSavePath.c_str(),
+                    vm.saveWarmStart() ? "ok" : "FAILED");
+    }
+
     // --- startup-transient timing simulation --------------------------
     // A short run of the matching Table 2 machine over the
     // suite-average workload, plus the reference superscalar for the
@@ -209,7 +240,8 @@ main(int argc, char **argv)
     // milestone ladder) and traces the cycle-timebase phases on
     // track 1.
     workload::AppProfile app = workload::winstoneAverage(2'000'000);
-    timing::StartupSim sim(machineFor(cfg.name), app);
+    timing::StartupSim sim(
+        machineFor(cfg.name, !cfg.warmStartLoadPath.empty()), app);
     timing::StartupResult sr = sim.run();
     timing::StartupSim ref_sim(timing::MachineConfig::refSuperscalar(),
                                app);

@@ -30,6 +30,7 @@ constexpr PhaseInfo PHASE_INFO[] = {
     {"dispatch", "dispatch"},      // Dispatch
     {"hw-assist", "hwassist"},     // HwAssist
     {"cold-exec", "cold"},         // ColdExec
+    {"warm-install", "translate"}, // WarmInstall
 };
 
 static_assert(sizeof(PHASE_INFO) / sizeof(PHASE_INFO[0]) ==

@@ -48,6 +48,7 @@ enum class TracePhase : u8
     Dispatch,     //!< VMM dispatch / lookup work
     HwAssist,     //!< hardware-assist activity (XLTx86, BBB hit)
     ColdExec,     //!< timing-sim cold execution (native/interp)
+    WarmInstall,  //!< warm-start repository install work
     NUM_PHASES,
 };
 

@@ -35,10 +35,10 @@ TranslationMap::isLive(const Translation *t) const
     const unsigned k = kindIdx(t->kind);
     if (conf.flat) {
         const Slot *s = findSlot(t->entryPc);
-        return s && s->byKind[k] == t;
+        return s && s->byKind[k] == t->id;
     }
     auto it = legacy[k].find(t->entryPc);
-    return it != legacy[k].end() && it->second == t;
+    return it != legacy[k].end() && it->second == t->id;
 }
 
 TranslationMap::Slot *
@@ -97,28 +97,32 @@ TranslationMap::maybeGrow()
 }
 
 void
-TranslationMap::rebuildFromArenas()
+TranslationMap::rebuildFromOrder()
 {
     for (Slot &s : slots)
         s = Slot{};
     slotsUsed = 0;
     for (unsigned k = 0; k < 2; ++k) {
-        // Replay the arena in install order so a pc/kind overwrite
-        // resolves to the most recent translation, as before.
-        for (const auto &t : arena[k]) {
+        // Replay the surviving installs in order so a pc/kind
+        // overwrite resolves to the most recent translation, as
+        // before.
+        for (TransId id : order[k]) {
+            const Translation *t = resolve(id);
+            if (!t)
+                continue;
             maybeGrow();
             Slot &s = probeFor(t->entryPc);
             if (s.empty()) {
                 ++slotsUsed;
                 s.pc = t->entryPc;
             }
-            s.byKind[k] = t.get();
+            s.byKind[k] = id;
         }
     }
 }
 
 void
-TranslationMap::lsUpdate(Addr pc, Translation *t)
+TranslationMap::lsUpdate(Addr pc, TransId t)
 {
     if (lookaside.empty())
         return;
@@ -141,18 +145,20 @@ TranslationMap::flatLookup(Addr pc)
             lookaside[fibHash(pc) >> 32 & (lookaside.size() - 1)];
         if (e.pc == pc && e.epoch == epoch) {
             ++lsHits;
-            if (!e.trans)
+            Translation *t = resolve(e.trans);
+            if (!t)
                 ++nMisses;
-            return e.trans;
+            return t;
         }
         ++lsMisses;
     }
-    Translation *t = nullptr;
+    TransId tid;
     if (const Slot *s = findSlot(pc))
-        t = s->byKind[1] ? s->byKind[1] : s->byKind[0];
+        tid = s->byKind[1] ? s->byKind[1] : s->byKind[0];
+    Translation *t = resolve(tid);
     if (!t)
         ++nMisses;
-    lsUpdate(pc, t);
+    lsUpdate(pc, tid);
     return t;
 }
 
@@ -161,10 +167,10 @@ TranslationMap::legacyLookup(Addr pc)
 {
     auto it = legacy[1].find(pc);
     if (it != legacy[1].end())
-        return it->second;
+        return resolve(it->second);
     it = legacy[0].find(pc);
     if (it != legacy[0].end())
-        return it->second;
+        return resolve(it->second);
     ++nMisses;
     return nullptr;
 }
@@ -181,14 +187,15 @@ TranslationMap::lookup(Addr pc, TransKind kind)
 {
     ++nLookups;
     const unsigned k = kindIdx(kind);
-    Translation *t = nullptr;
+    TransId tid;
     if (conf.flat) {
         if (const Slot *s = findSlot(pc))
-            t = s->byKind[k];
+            tid = s->byKind[k];
     } else {
         auto it = legacy[k].find(pc);
-        t = it == legacy[k].end() ? nullptr : it->second;
+        tid = it == legacy[k].end() ? NO_TRANS : it->second;
     }
+    Translation *t = resolve(tid);
     if (!t)
         ++nMisses;
     return t;
@@ -199,8 +206,23 @@ TranslationMap::insert(std::unique_ptr<Translation> t)
 {
     const unsigned k = kindIdx(t->kind);
     const Addr pc = t->entryPc;
+
+    // Allocate an arena slot (reusing a freed one keeps the arena
+    // dense across flush cycles) and stamp the translation's id.
+    u32 slot;
+    if (!freeList.empty()) {
+        slot = freeList.back();
+        freeList.pop_back();
+    } else {
+        slot = static_cast<u32>(arena.size());
+        arena.emplace_back();
+    }
+    ArenaEntry &ae = arena[slot];
+    const TransId id{slot + 1, ae.gen};
+    t->id = id;
     Translation *raw = t.get();
-    arena[k].push_back(std::move(t));
+    ae.t = std::move(t);
+    order[k].push_back(id);
 
     if (conf.flat) {
         maybeGrow();
@@ -215,17 +237,17 @@ TranslationMap::insert(std::unique_ptr<Translation> t)
             ++nOverwrites;
             ++overwritten[k];
         }
-        s.byKind[k] = raw;
+        s.byKind[k] = id;
         // Refresh the lookaside line with the new SBT-preferred
         // resolution so a cached (possibly negative) entry for this pc
         // cannot go stale.
         lsUpdate(pc, s.byKind[1] ? s.byKind[1] : s.byKind[0]);
     } else {
-        auto [it, fresh] = legacy[k].try_emplace(pc, raw);
+        auto [it, fresh] = legacy[k].try_emplace(pc, id);
         if (!fresh) {
             ++nOverwrites;
             ++overwritten[k];
-            it->second = raw;
+            it->second = id;
         }
     }
     return raw;
@@ -235,9 +257,20 @@ void
 TranslationMap::unchainAll()
 {
     for (unsigned k = 0; k < 2; ++k) {
-        for (const auto &t : arena[k])
-            t->clearChains();
+        for (TransId id : order[k]) {
+            if (Translation *t = resolve(id))
+                t->clearChains();
+        }
     }
+}
+
+void
+TranslationMap::freeEntry(TransId id)
+{
+    ArenaEntry &e = arena[id.idx - 1];
+    e.t.reset();
+    ++e.gen; // any surviving handle to this slot now resolves null
+    freeList.push_back(id.idx - 1);
 }
 
 void
@@ -247,11 +280,13 @@ TranslationMap::eraseKind(TransKind kind)
     // surviving translations re-chain lazily through the VMM.
     unchainAll();
     const unsigned k = kindIdx(kind);
-    arena[k].clear();
+    for (TransId id : order[k])
+        freeEntry(id);
+    order[k].clear();
     overwritten[k] = 0;
     ++epoch; // every lookaside line is now stale by construction
     if (conf.flat)
-        rebuildFromArenas(); // O(live in the surviving arena)
+        rebuildFromOrder(); // O(live in the surviving kind)
     else
         legacy[k].clear();
 }
@@ -260,7 +295,9 @@ void
 TranslationMap::clear()
 {
     for (unsigned k = 0; k < 2; ++k) {
-        arena[k].clear();
+        for (TransId id : order[k])
+            freeEntry(id);
+        order[k].clear();
         overwritten[k] = 0;
         legacy[k].clear();
     }

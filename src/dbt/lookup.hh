@@ -10,11 +10,11 @@
  *  - the **flat fast path** (default): a single open-addressing hash
  *    table with power-of-two capacity and fibonacci (multiplicative)
  *    hashing on the PC. Each slot holds the PC and both per-kind
- *    translation pointers, so one probe sequence resolves the
+ *    translation ids, so one probe sequence resolves the
  *    SBT-preferred dispatch lookup. The table is insert-only between
  *    flushes (no tombstones); eraseKind rebuilds from the surviving
- *    arena in O(live). In front of it sits a small direct-mapped
- *    **dispatch lookaside cache** (pc -> resolved Translation*,
+ *    installs in O(live). In front of it sits a small direct-mapped
+ *    **dispatch lookaside cache** (pc -> resolved TransId,
  *    negative entries included) that is epoch-invalidated on every
  *    flush and entry-updated on every install;
  *
@@ -22,12 +22,16 @@
  *    the original two chained std::unordered_map probes, kept
  *    selectable so bench_host_mips can A/B the dispatch cost.
  *
- * Ownership is per-kind arena vectors in both modes: insert appends
- * the unique_ptr to its kind's arena and eraseKind drops the whole
- * arena at once. An insert that overwrites an existing pc/kind entry
- * therefore keeps the old translation alive (and safely chainable)
- * until the next flush instead of leaving dangling chain pointers;
- * overwrites are counted and exported.
+ * Ownership is one generational arena: insert allocates a slot (from
+ * the free list or by appending) and stamps the translation with its
+ * TransId {slot, generation}; eraseKind frees every slot of that kind
+ * and bumps the freed slots' generations, so every handle into the
+ * flushed kind — chains, the lookaside, the VMM's last-executed
+ * cursor — resolves to nullptr from then on. An insert that
+ * overwrites an existing pc/kind entry keeps the old translation
+ * alive (and safely chainable) until the next flush of its kind
+ * instead of leaving dangling references; overwrites are counted and
+ * exported.
  */
 
 #ifndef CDVM_DBT_LOOKUP_HH
@@ -79,7 +83,23 @@ class TranslationMap
     /** Find only a translation of the given kind. */
     Translation *lookup(Addr pc, TransKind kind);
 
-    /** Register a new translation (takes ownership). */
+    /** Resolve a handle; nullptr if null, freed, or from a past life. */
+    Translation *
+    resolve(TransId id)
+    {
+        if (id.idx == 0 || id.idx > arena.size())
+            return nullptr;
+        ArenaEntry &e = arena[id.idx - 1];
+        return e.gen == id.gen ? e.t.get() : nullptr;
+    }
+
+    const Translation *
+    resolve(TransId id) const
+    {
+        return const_cast<TranslationMap *>(this)->resolve(id);
+    }
+
+    /** Register a new translation (takes ownership, assigns its id). */
     Translation *insert(std::unique_ptr<Translation> t);
 
     /** Remove every translation of the given kind (arena flush). */
@@ -109,30 +129,38 @@ class TranslationMap
     /** Publish lookup/occupancy counters under prefix. */
     void exportStats(StatRegistry &reg, const std::string &prefix) const;
 
-    /** Visit every live translation. */
+    /** Visit every live (table-reachable) translation, install order. */
     template <typename Fn>
     void
     forEach(Fn &&fn) const
     {
         for (unsigned k = 0; k < 2; ++k) {
-            for (const auto &t : arena[k]) {
-                if (t && isLive(t.get()))
+            for (TransId id : order[k]) {
+                const Translation *t = resolve(id);
+                if (t && isLive(t))
                     fn(*t);
             }
         }
     }
 
   private:
+    /** One arena slot: the owned translation plus its generation. */
+    struct ArenaEntry
+    {
+        std::unique_ptr<Translation> t;
+        u32 gen = 1;
+    };
+
     /**
-     * One flat-table slot: the PC plus both per-kind pointers, so the
+     * One flat-table slot: the PC plus both per-kind ids, so the
      * SBT-preferred lookup resolves in a single probe sequence. A slot
-     * with both pointers null is empty (the table is insert-only
-     * between flushes, so no tombstones exist).
+     * with both ids null is empty (the table is insert-only between
+     * flushes, so no tombstones exist).
      */
     struct Slot
     {
         Addr pc = 0;
-        Translation *byKind[2] = {nullptr, nullptr};
+        TransId byKind[2];
 
         bool empty() const { return !byKind[0] && !byKind[1]; }
     };
@@ -142,7 +170,7 @@ class TranslationMap
     {
         Addr pc = 0;
         u64 epoch = 0; //!< 0: never filled
-        Translation *trans = nullptr;
+        TransId trans; //!< null: cached negative result
     };
 
     static unsigned kindIdx(TransKind k)
@@ -152,7 +180,7 @@ class TranslationMap
 
     std::size_t liveCount(unsigned k) const
     {
-        return arena[k].size() - overwritten[k];
+        return order[k].size() - overwritten[k];
     }
 
     /** True when t is still reachable through the table. */
@@ -164,22 +192,29 @@ class TranslationMap
     Slot &probeFor(Addr pc);
     void growTo(std::size_t new_cap);
     void maybeGrow();
-    void rebuildFromArenas();
+    void rebuildFromOrder();
     /** Refill / invalidate the lookaside line for pc. */
-    void lsUpdate(Addr pc, Translation *t);
+    void lsUpdate(Addr pc, TransId t);
 
     /** Drop chains in every translation that points into a doomed set. */
     void unchainAll();
+
+    /** Free one arena slot: destroy + generation bump. */
+    void freeEntry(TransId id);
 
     Translation *legacyLookup(Addr pc);
     Translation *flatLookup(Addr pc);
 
     Config conf;
 
-    // Ownership: per-kind arenas ([0]=BBT, [1]=SBT). Entries stay until
-    // the kind is flushed; `overwritten` counts arena entries no longer
-    // reachable through the table (pc/kind overwrites).
-    std::vector<std::unique_ptr<Translation>> arena[2];
+    // Ownership: the generational arena. Freed slots go on the free
+    // list with a bumped generation; `order[k]` records the install
+    // order per kind ([0]=BBT, [1]=SBT) for flushes and rebuilds, and
+    // `overwritten` counts installs no longer reachable through the
+    // table (pc/kind overwrites).
+    std::vector<ArenaEntry> arena;
+    std::vector<u32> freeList; //!< 0-based arena indices
+    std::vector<TransId> order[2];
     std::size_t overwritten[2] = {0, 0};
 
     // Flat fast path.
@@ -190,8 +225,8 @@ class TranslationMap
                    //!< are stale by construction
 
     // Legacy baseline: the original two chained-hashing probes
-    // (non-owning; the arenas own in both modes).
-    using LegacyMap = std::unordered_map<Addr, Translation *>;
+    // (non-owning; the arena owns in both modes).
+    using LegacyMap = std::unordered_map<Addr, TransId>;
     LegacyMap legacy[2];
 
     u64 nLookups = 0;

@@ -1,0 +1,456 @@
+#include "dbt/persist.hh"
+
+#include <cstdio>
+#include <unordered_map>
+
+#include "uops/encoding.hh"
+#include "x86/decoder.hh"
+
+namespace cdvm::dbt
+{
+
+namespace
+{
+
+constexpr std::size_t PAGE_BYTES = 4096;
+constexpr Addr PAGE_MASK = ~static_cast<Addr>(PAGE_BYTES - 1);
+
+// --- little-endian writers/readers ---------------------------------
+
+void
+putU8(std::vector<u8> &out, u8 v)
+{
+    out.push_back(v);
+}
+
+void
+putU32(std::vector<u8> &out, u32 v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<u8>(v >> 8 * i));
+}
+
+void
+putU64(std::vector<u8> &out, u64 v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<u8>(v >> 8 * i));
+}
+
+/** Bounds-checked sequential reader over the serialized image. */
+struct Reader
+{
+    std::span<const u8> buf;
+    std::size_t pos = 0;
+    bool ok = true;
+
+    bool
+    need(std::size_t n)
+    {
+        if (!ok || buf.size() - pos < n)
+            ok = false;
+        return ok;
+    }
+
+    u8
+    getU8()
+    {
+        if (!need(1))
+            return 0;
+        return buf[pos++];
+    }
+
+    u32
+    getU32()
+    {
+        if (!need(4))
+            return 0;
+        u32 v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<u32>(buf[pos++]) << 8 * i;
+        return v;
+    }
+
+    u64
+    getU64()
+    {
+        if (!need(8))
+            return 0;
+        u64 v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<u64>(buf[pos++]) << 8 * i;
+        return v;
+    }
+
+    std::vector<u8>
+    getBytes(std::size_t n)
+    {
+        if (!need(n))
+            return {};
+        std::vector<u8> v(buf.begin() + pos, buf.begin() + pos + n);
+        pos += n;
+        return v;
+    }
+};
+
+u64
+pageHash(const x86::Memory &mem, Addr page)
+{
+    std::vector<u8> bytes = mem.readBlock(page, PAGE_BYTES);
+    return fnv1a(bytes);
+}
+
+u64
+idKey(TransId id)
+{
+    return static_cast<u64>(id.idx) << 32 | id.gen;
+}
+
+void
+putEntry(std::vector<u8> &out, const SavedTranslation &e)
+{
+    putU8(out, static_cast<u8>(e.kind));
+    const u8 flags = (e.containsComplex ? 1 : 0) |
+                     (e.endsInCti ? 2 : 0) |
+                     (e.endsInCondBranch ? 4 : 0);
+    putU8(out, flags);
+    putU64(out, e.entryPc);
+    putU32(out, e.numX86Insns);
+    putU32(out, e.x86Bytes);
+    putU64(out, e.fallthroughPc);
+    putU64(out, e.condBranchTarget);
+    putU64(out, e.condBranchPc);
+    putU64(out, e.execCount);
+    putU64(out, e.takenCount);
+    putU64(out, e.notTakenCount);
+    for (const SavedChain &c : e.chains) {
+        putU64(out, c.targetPc);
+        putU32(out, c.record);
+    }
+    putU32(out, static_cast<u32>(e.x86pcs.size()));
+    for (Addr pc : e.x86pcs)
+        putU64(out, pc);
+    putU32(out, static_cast<u32>(e.uopPcs.size()));
+    for (Addr pc : e.uopPcs)
+        putU64(out, pc);
+    putU32(out, static_cast<u32>(e.body.size()));
+    out.insert(out.end(), e.body.begin(), e.body.end());
+}
+
+bool
+getEntry(Reader &r, SavedTranslation &e)
+{
+    const u8 kind = r.getU8();
+    const u8 flags = r.getU8();
+    e.kind = kind ? TransKind::Superblock : TransKind::BasicBlock;
+    e.containsComplex = flags & 1;
+    e.endsInCti = flags & 2;
+    e.endsInCondBranch = flags & 4;
+    e.entryPc = r.getU64();
+    e.numX86Insns = r.getU32();
+    e.x86Bytes = r.getU32();
+    e.fallthroughPc = r.getU64();
+    e.condBranchTarget = r.getU64();
+    e.condBranchPc = r.getU64();
+    e.execCount = r.getU64();
+    e.takenCount = r.getU64();
+    e.notTakenCount = r.getU64();
+    for (SavedChain &c : e.chains) {
+        c.targetPc = r.getU64();
+        c.record = r.getU32();
+    }
+    const u32 n_pcs = r.getU32();
+    e.x86pcs.clear();
+    for (u32 i = 0; i < n_pcs && r.ok; ++i)
+        e.x86pcs.push_back(r.getU64());
+    const u32 n_upcs = r.getU32();
+    e.uopPcs.clear();
+    for (u32 i = 0; i < n_upcs && r.ok; ++i)
+        e.uopPcs.push_back(r.getU64());
+    const u32 n_body = r.getU32();
+    e.body = r.getBytes(n_body);
+    return r.ok;
+}
+
+} // namespace
+
+const char *
+loadErrorName(LoadError e)
+{
+    switch (e) {
+      case LoadError::None: return "none";
+      case LoadError::Io: return "io";
+      case LoadError::BadMagic: return "bad-magic";
+      case LoadError::BadVersion: return "bad-version";
+      case LoadError::Truncated: return "truncated";
+      case LoadError::Corrupt: return "corrupt";
+    }
+    return "?";
+}
+
+u64
+fnv1a(std::span<const u8> bytes)
+{
+    u64 h = 0xCBF29CE484222325ull;
+    for (u8 b : bytes) {
+        h ^= b;
+        h *= 0x100000001B3ull;
+    }
+    return h;
+}
+
+std::vector<Addr>
+SavedTranslation::coveredPages() const
+{
+    std::vector<Addr> pages;
+    auto add = [&pages](Addr page) {
+        for (Addr p : pages) {
+            if (p == page)
+                return;
+        }
+        pages.push_back(page);
+    };
+    // Conservative: every covered instruction may straddle into the
+    // next page (x86 insns are up to MAX_INSN_LEN bytes).
+    for (Addr pc : x86pcs) {
+        add(pc & PAGE_MASK);
+        add((pc + x86::MAX_INSN_LEN - 1) & PAGE_MASK);
+    }
+    add(entryPc & PAGE_MASK);
+    return pages;
+}
+
+std::unique_ptr<Translation>
+SavedTranslation::materialize() const
+{
+    auto t = std::make_unique<Translation>();
+    t->kind = kind;
+    t->entryPc = entryPc;
+    t->numX86Insns = numX86Insns;
+    t->x86Bytes = x86Bytes;
+    t->fallthroughPc = fallthroughPc;
+    t->containsComplex = containsComplex;
+    t->endsInCti = endsInCti;
+    t->endsInCondBranch = endsInCondBranch;
+    t->condBranchTarget = condBranchTarget;
+    t->condBranchPc = condBranchPc;
+    t->execCount = execCount;
+    t->takenCount = takenCount;
+    t->notTakenCount = notTakenCount;
+    t->x86pcs = x86pcs;
+    t->codeBytes = static_cast<u32>(body.size());
+    if (!uops::decodeAll(body, t->uops) || t->uops.empty())
+        return nullptr;
+    // Re-attach the precise-state tags the encoding does not carry.
+    if (uopPcs.size() != t->uops.size())
+        return nullptr;
+    for (std::size_t i = 0; i < uopPcs.size(); ++i)
+        t->uops[i].x86pc = uopPcs[i];
+    return t;
+}
+
+Repository
+capture(const TranslationMap &map, const x86::Memory &mem)
+{
+    Repository repo;
+
+    // Pass 1: record every live translation and remember which record
+    // index each TransId became.
+    std::unordered_map<u64, u32> id_to_record;
+    std::vector<const Translation *> live;
+    map.forEach([&](const Translation &t) {
+        id_to_record.emplace(idKey(t.id),
+                             static_cast<u32>(repo.entries.size()));
+        live.push_back(&t);
+        SavedTranslation e;
+        e.kind = t.kind;
+        e.entryPc = t.entryPc;
+        e.numX86Insns = t.numX86Insns;
+        e.x86Bytes = t.x86Bytes;
+        e.fallthroughPc = t.fallthroughPc;
+        e.containsComplex = t.containsComplex;
+        e.endsInCti = t.endsInCti;
+        e.endsInCondBranch = t.endsInCondBranch;
+        e.condBranchTarget = t.condBranchTarget;
+        e.condBranchPc = t.condBranchPc;
+        e.execCount = t.execCount;
+        e.takenCount = t.takenCount;
+        e.notTakenCount = t.notTakenCount;
+        e.x86pcs = t.x86pcs;
+        e.uopPcs.reserve(t.uops.size());
+        for (const uops::Uop &u : t.uops)
+            e.uopPcs.push_back(u.x86pc);
+        e.body = uops::encode(t.uops);
+        repo.entries.push_back(std::move(e));
+    });
+
+    // Pass 2: chains as record indices. Links to translations outside
+    // the live set (overwritten, or already flushed) are dropped.
+    for (std::size_t i = 0; i < live.size(); ++i) {
+        for (unsigned c = 0; c < 2; ++c) {
+            const Translation::Chain &ch = live[i]->chains[c];
+            if (!ch.to)
+                continue;
+            auto it = id_to_record.find(idKey(ch.to));
+            if (it == id_to_record.end())
+                continue;
+            repo.entries[i].chains[c] =
+                SavedChain{ch.targetPc, it->second};
+        }
+    }
+
+    // Page hashes for every guest code page any entry touches.
+    std::unordered_map<Addr, u64> hashes;
+    for (const SavedTranslation &e : repo.entries) {
+        for (Addr page : e.coveredPages()) {
+            if (!hashes.count(page))
+                hashes.emplace(page, pageHash(mem, page));
+        }
+    }
+    repo.pageHashes.assign(hashes.begin(), hashes.end());
+    return repo;
+}
+
+std::vector<u8>
+serialize(const Repository &repo)
+{
+    std::vector<u8> out;
+    putU64(out, REPO_MAGIC);
+    putU32(out, REPO_VERSION);
+    putU32(out, 0); // reserved
+    putU32(out, static_cast<u32>(repo.pageHashes.size()));
+    for (const auto &[page, hash] : repo.pageHashes) {
+        putU64(out, page);
+        putU64(out, hash);
+    }
+    putU32(out, static_cast<u32>(repo.entries.size()));
+    for (const SavedTranslation &e : repo.entries)
+        putEntry(out, e);
+    putU32(out, static_cast<u32>(repo.branchProfile.size()));
+    for (const SavedBranchStat &b : repo.branchProfile) {
+        putU64(out, b.pc);
+        putU64(out, b.taken);
+        putU64(out, b.notTaken);
+    }
+    putU64(out, fnv1a(out));
+    return out;
+}
+
+LoadError
+deserialize(std::span<const u8> bytes, Repository &out)
+{
+    // Header + trailing checksum is the minimum plausible file.
+    if (bytes.size() < 8 + 4 + 4 + 8)
+        return LoadError::Truncated;
+
+    Reader r{bytes.subspan(0, bytes.size() - 8)};
+    if (r.getU64() != REPO_MAGIC)
+        return LoadError::BadMagic;
+    if (r.getU32() != REPO_VERSION)
+        return LoadError::BadVersion;
+    r.getU32(); // reserved
+
+    out = Repository{};
+    const u32 n_pages = r.getU32();
+    for (u32 i = 0; i < n_pages && r.ok; ++i) {
+        const Addr page = r.getU64();
+        const u64 hash = r.getU64();
+        out.pageHashes.emplace_back(page, hash);
+    }
+    const u32 n_entries = r.getU32();
+    for (u32 i = 0; i < n_entries && r.ok; ++i) {
+        SavedTranslation e;
+        if (getEntry(r, e))
+            out.entries.push_back(std::move(e));
+    }
+    const u32 n_branch = r.getU32();
+    for (u32 i = 0; i < n_branch && r.ok; ++i) {
+        SavedBranchStat b;
+        b.pc = r.getU64();
+        b.taken = r.getU64();
+        b.notTaken = r.getU64();
+        out.branchProfile.push_back(b);
+    }
+    if (!r.ok)
+        return LoadError::Truncated;
+    if (r.pos != r.buf.size())
+        return LoadError::Corrupt; // trailing garbage before checksum
+
+    const u64 want = fnv1a(bytes.subspan(0, bytes.size() - 8));
+    Reader tail{bytes.subspan(bytes.size() - 8)};
+    if (tail.getU64() != want)
+        return LoadError::Corrupt;
+
+    // Structural sanity: chain records must point into the table.
+    for (const SavedTranslation &e : out.entries) {
+        for (const SavedChain &c : e.chains) {
+            if (c.record != NO_RECORD && c.record >= out.entries.size())
+                return LoadError::Corrupt;
+        }
+    }
+    return LoadError::None;
+}
+
+std::unordered_set<std::size_t>
+staleEntries(const Repository &repo, const x86::Memory &mem)
+{
+    std::unordered_map<Addr, u64> saved(repo.pageHashes.begin(),
+                                        repo.pageHashes.end());
+    std::unordered_map<Addr, bool> page_ok;
+    auto pageFresh = [&](Addr page) {
+        auto cached = page_ok.find(page);
+        if (cached != page_ok.end())
+            return cached->second;
+        auto it = saved.find(page);
+        const bool fresh =
+            it != saved.end() && pageHash(mem, page) == it->second;
+        page_ok.emplace(page, fresh);
+        return fresh;
+    };
+
+    std::unordered_set<std::size_t> stale;
+    for (std::size_t i = 0; i < repo.entries.size(); ++i) {
+        for (Addr page : repo.entries[i].coveredPages()) {
+            if (!pageFresh(page)) {
+                stale.insert(i);
+                break;
+            }
+        }
+    }
+    // An entry chained into a stale entry keeps its other links; the
+    // stale link is simply dropped at install time (the record is
+    // never installed, so the re-bind finds no target).
+    return stale;
+}
+
+bool
+saveFile(const std::string &path, const Repository &repo)
+{
+    const std::vector<u8> bytes = serialize(repo);
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        return false;
+    const bool ok =
+        std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+    return std::fclose(f) == 0 && ok;
+}
+
+LoadError
+loadFile(const std::string &path, Repository &out)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return LoadError::Io;
+    std::vector<u8> bytes;
+    u8 buf[65536];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+        bytes.insert(bytes.end(), buf, buf + n);
+    const bool read_err = std::ferror(f) != 0;
+    std::fclose(f);
+    if (read_err)
+        return LoadError::Io;
+    return deserialize(bytes, out);
+}
+
+} // namespace cdvm::dbt

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Persistent translation repository: save a TranslationMap's contents
+ * (and a branch-direction profile) to a versioned binary file and load
+ * it back in a later run, so a warm-started VM skips most of the BBT
+ * startup transient the paper measures.
+ *
+ * The handle refactor makes this possible: a Translation is a
+ * relocatable value (chains are {targetPc, TransId}, never pointers;
+ * codeAddr is recomputed at install time), so a saved record is just
+ * the translation's value fields plus its micro-op body re-encoded
+ * through uops/encoding. Chains are saved as indices into the record
+ * table and re-bound to fresh TransIds after the load-time installs.
+ *
+ * On-disk format (all fields little-endian):
+ *
+ *   u64 magic "CDVMREPO" | u32 version | u32 reserved
+ *   u32 nPages   { u64 pageAddr, u64 fnv1aHashOfPage }*
+ *   u32 nEntries { kind/flags, pcs, counts, profile, chains,
+ *                  x86pc side table, encoded uop body }*
+ *   u32 nBranch  { u64 pc, u64 taken, u64 notTaken }*
+ *   u64 fnv1aChecksumOfEverythingAbove
+ *
+ * Robustness: deserialize() rejects bad magic, unknown versions,
+ * truncation, and any bit flip (whole-file checksum). Staleness is
+ * per-entry: the per-page hashes of the guest code captured at save
+ * time are compared against current guest memory at load time, and
+ * any entry touching a changed page is invalidated (the VM silently
+ * falls back to cold translation for it).
+ */
+
+#ifndef CDVM_DBT_PERSIST_HH
+#define CDVM_DBT_PERSIST_HH
+
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "dbt/lookup.hh"
+#include "dbt/translation.hh"
+#include "x86/memory.hh"
+
+namespace cdvm::dbt
+{
+
+/** Repository file magic ("CDVMREPO" as a little-endian u64). */
+constexpr u64 REPO_MAGIC = 0x4F5045524D564443ull;
+/** Current repository format version. */
+constexpr u32 REPO_VERSION = 1;
+
+/** Why a repository failed to load. */
+enum class LoadError
+{
+    None,
+    Io,         //!< file missing / unreadable
+    BadMagic,   //!< not a repository file
+    BadVersion, //!< format version mismatch
+    Truncated,  //!< file ends mid-record
+    Corrupt,    //!< checksum mismatch (bit flip) or malformed record
+};
+
+const char *loadErrorName(LoadError e);
+
+/** Chain record: target PC plus the successor's record index. */
+struct SavedChain
+{
+    Addr targetPc = 0;
+    /** Index into Repository::entries; NO_RECORD when unchained or
+     *  the successor was not captured. */
+    u32 record = 0xFFFFFFFFu;
+};
+
+constexpr u32 NO_RECORD = 0xFFFFFFFFu;
+
+/** One branch-profile entry (engine::BranchProfile contents). */
+struct SavedBranchStat
+{
+    Addr pc = 0;
+    u64 taken = 0;
+    u64 notTaken = 0;
+};
+
+/**
+ * One serialized translation: every value field of dbt::Translation
+ * except codeAddr (recomputed when the body is re-installed into a
+ * fresh code cache) and id (assigned by the map at re-insert).
+ */
+struct SavedTranslation
+{
+    TransKind kind = TransKind::BasicBlock;
+    Addr entryPc = 0;
+    u32 numX86Insns = 0;
+    u32 x86Bytes = 0;
+    Addr fallthroughPc = 0;
+    bool containsComplex = false;
+    bool endsInCti = false;
+    bool endsInCondBranch = false;
+    Addr condBranchTarget = 0;
+    Addr condBranchPc = 0;
+    u64 execCount = 0;
+    u64 takenCount = 0;
+    u64 notTakenCount = 0;
+    SavedChain chains[2];
+    std::vector<Addr> x86pcs;
+    std::vector<u8> body; //!< encoded micro-op sequence
+    /**
+     * Per-micro-op precise-state tags (Uop::x86pc). The binary uop
+     * encoding round-trips every semantic field but deliberately not
+     * this provenance tag, so the repository carries it as a side
+     * table and materialize() re-attaches it.
+     */
+    std::vector<Addr> uopPcs;
+
+    /**
+     * Rebuild an installable Translation (body decoded back to uops;
+     * chains NOT applied — the installer re-binds them to the fresh
+     * TransIds). Returns null if the body does not decode.
+     */
+    std::unique_ptr<Translation> materialize() const;
+
+    /** The 4K guest pages this translation's x86 code touches. */
+    std::vector<Addr> coveredPages() const;
+};
+
+/** An in-memory repository: what the file format carries. */
+struct Repository
+{
+    /** Guest code pages referenced by any entry, with content hash. */
+    std::vector<std::pair<Addr, u64>> pageHashes;
+    std::vector<SavedTranslation> entries;
+    std::vector<SavedBranchStat> branchProfile;
+};
+
+/** FNV-1a over a byte span (the format's page and file hash). */
+u64 fnv1a(std::span<const u8> bytes);
+
+/**
+ * Capture every live translation in the map (branch profile is
+ * appended by the caller — it lives in the engine layer). Chains are
+ * captured as record indices; links into translations that are not
+ * themselves live (e.g. overwritten ones) are dropped.
+ */
+Repository capture(const TranslationMap &map, const x86::Memory &mem);
+
+/** Serialize to the on-disk byte format (checksum appended). */
+std::vector<u8> serialize(const Repository &repo);
+
+/** Parse and verify a byte image; out is valid only on None. */
+LoadError deserialize(std::span<const u8> bytes, Repository &out);
+
+/**
+ * Indices of entries whose guest code changed since capture: any
+ * entry touching a page whose saved hash no longer matches current
+ * guest memory (or whose page was never hashed).
+ */
+std::unordered_set<std::size_t> staleEntries(const Repository &repo,
+                                             const x86::Memory &mem);
+
+/** Write the serialized repository to path. @return success. */
+bool saveFile(const std::string &path, const Repository &repo);
+
+/** Read and deserialize path. */
+LoadError loadFile(const std::string &path, Repository &out);
+
+} // namespace cdvm::dbt
+
+#endif // CDVM_DBT_PERSIST_HH

@@ -2,6 +2,16 @@
  * @file
  * Translation descriptors: the unit the DBT system produces, caches,
  * chains and executes.
+ *
+ * Translations are addressed by generational **TransId handles**
+ * rather than raw pointers. The owning TranslationMap hands out ids at
+ * insert time and resolves them on use; a flush bumps the generation
+ * of the freed slots, so any id that survived a flush resolves to
+ * nullptr instead of dangling. This keeps every cross-translation
+ * reference (chains, the dispatch lookaside, the VMM's last-executed
+ * cursor) safe by construction and makes a translation a relocatable,
+ * serializable value: nothing in it encodes the address of another
+ * translation or of its own heap allocation.
  */
 
 #ifndef CDVM_DBT_TRANSLATION_HH
@@ -21,6 +31,25 @@ enum class TransKind : u8
     BasicBlock,
     Superblock,
 };
+
+/**
+ * Generational handle to a translation owned by a TranslationMap.
+ *
+ * idx is 1-based (0 means "no translation"); gen must match the
+ * owning arena slot's current generation for the handle to resolve.
+ * Default-constructed ids are the null handle.
+ */
+struct TransId
+{
+    u32 idx = 0;
+    u32 gen = 0;
+
+    explicit operator bool() const { return idx != 0; }
+    bool operator==(const TransId &) const = default;
+};
+
+/** The null handle (resolves to nullptr). */
+inline constexpr TransId NO_TRANS{};
 
 /**
  * One translation: the micro-op body plus the metadata the VMM needs
@@ -43,6 +72,9 @@ struct Translation
     Addr condBranchTarget = 0;
     /** Its x86 PC (valid when endsInCondBranch). */
     Addr condBranchPc = 0;
+
+    /** This translation's own handle (set by TranslationMap::insert). */
+    TransId id;
 
     /** Execution form of the body (decoded once at translation time). */
     uops::UopVec uops;
@@ -71,39 +103,31 @@ struct Translation
      * Direct links from this translation's exits to successor
      * translations, keyed by successor x86 entry PC. Exit 0 is the
      * taken/branch target, exit 1 the fall-through; indirect exits are
-     * never chained (they go through the VMM's lookup).
+     * never chained (they go through the VMM's lookup). Links are
+     * handles, not pointers: a successor freed by a cache flush stops
+     * resolving instead of dangling.
      */
     struct Chain
     {
         Addr targetPc = 0;
-        Translation *to = nullptr;
+        TransId to;
     };
     Chain chains[2];
 
-    /** Find a chained successor for the given next PC. */
-    Translation *
-    chainedTo(Addr pc)
-    {
-        for (const Chain &c : chains) {
-            if (c.to && c.targetPc == pc)
-                return c.to;
-        }
-        return nullptr;
-    }
-
-    const Translation *
+    /** Find the chained successor handle for the given next PC. */
+    TransId
     chainedTo(Addr pc) const
     {
         for (const Chain &c : chains) {
             if (c.to && c.targetPc == pc)
                 return c.to;
         }
-        return nullptr;
+        return NO_TRANS;
     }
 
     /** Install a chain to a successor; returns false if no slot. */
     bool
-    addChain(Addr pc, Translation *to)
+    addChain(Addr pc, TransId to)
     {
         for (Chain &c : chains) {
             if (!c.to) {

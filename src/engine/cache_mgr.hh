@@ -58,7 +58,17 @@ class CodeCacheManager
         return map.lookup(pc, kind);
     }
 
+    /** Resolve a translation handle (nullptr once flushed). */
+    dbt::Translation *resolve(dbt::TransId id) { return map.resolve(id); }
+
+    const dbt::Translation *
+    resolve(dbt::TransId id) const
+    {
+        return map.resolve(id);
+    }
+
     dbt::TranslationMap &translations() { return map; }
+    const dbt::TranslationMap &translations() const { return map; }
     const dbt::CodeCache &bbtCache() const { return bbtCc; }
     const dbt::CodeCache &sbtCache() const { return sbtCc; }
 

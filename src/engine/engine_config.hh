@@ -119,6 +119,18 @@ struct EngineConfig
      */
     bool asyncDeterministic = false;
 
+    // --- persistent warm start --------------------------------------
+    /**
+     * Load a translation repository (dbt/persist format) before the
+     * first dispatched instruction: validated BBT+SBT translations are
+     * installed into the fresh code caches and the branch profile and
+     * hot counts are seeded. Stale or invalid entries silently fall
+     * back to the cold path. Empty: cold start.
+     */
+    std::string warmStartLoadPath;
+    /** Save the translation repository after run() (empty: never). */
+    std::string warmStartSavePath;
+
     // --- named configurations ---------------------------------------
     static EngineConfig vmSoft();
     static EngineConfig vmFe();
@@ -172,6 +184,11 @@ struct EngineStats
     u64 asyncSbtInstalls = 0;     //!< background results installed
     u64 asyncSbtStaleDropped = 0; //!< results dropped as stale
     u64 asyncSbtQueueRejects = 0; //!< requests dropped (queue full)
+    // Persistent warm start.
+    u64 warmLoaded = 0;        //!< records read from the repository
+    u64 warmInstalled = 0;     //!< translations installed pre-dispatch
+    u64 warmInvalidated = 0;   //!< records rejected (stale/malformed)
+    u64 warmProfileSeeded = 0; //!< branch-profile entries seeded
 
     u64
     totalRetired() const

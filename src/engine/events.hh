@@ -141,6 +141,10 @@ class StageCounter : public StageSink
             ++sbtTranslations;
             staticInsnsSbt += e.insns;
             return;
+          case TracePhase::WarmInstall:
+            ++warmInstalls;
+            staticInsnsWarm += e.insns;
+            return;
           case TracePhase::Interp:
           case TracePhase::X86Mode:
           case TracePhase::ColdExec:
@@ -166,6 +170,8 @@ class StageCounter : public StageSink
     u64 sbtTranslations = 0;
     u64 staticInsnsBbt = 0;
     u64 staticInsnsSbt = 0;
+    u64 warmInstalls = 0;
+    u64 staticInsnsWarm = 0;
 };
 
 } // namespace cdvm::engine

@@ -60,6 +60,35 @@ class BranchProfile
             ++it->second.second;
     }
 
+    /**
+     * Pre-load a branch's counters (warm start). Adds to any existing
+     * entry; respects the cap like record().
+     */
+    void
+    seed(Addr branch_pc, u64 taken, u64 not_taken)
+    {
+        auto it = prof.find(branch_pc);
+        if (it == prof.end()) {
+            if (prof.size() >= cap) {
+                prof.erase(prof.begin());
+                ++nEvictions;
+            }
+            it = prof.emplace(branch_pc, std::pair<u64, u64>{0, 0})
+                     .first;
+        }
+        it->second.first += taken;
+        it->second.second += not_taken;
+    }
+
+    /** Visit every resident entry as (pc, taken, notTaken). */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (const auto &[pc, counts] : prof)
+            fn(pc, counts.first, counts.second);
+    }
+
     /** Observed taken-bias of the branch, if profiled. */
     std::optional<double>
     bias(Addr branch_pc) const

@@ -25,6 +25,31 @@ StagedPipeline::StagedPipeline(
         regionLast[r] = std::max(regionLast[r], i);
     }
     ctxFreeAt.assign(p.asyncTranslators, 0.0);
+
+    // Warm start: install the whole repository before the first
+    // dispatched instruction. Each block gets its code-cache image up
+    // front and skips the per-touch BBT translation below; the cost is
+    // whatever the attached cycle model prices a WarmInstall at.
+    if (p.warmStart && p.translateCold) {
+        for (u32 i = 0; i < blocks.size(); ++i) {
+            BlockState &bs = st[i];
+            bs.bbtBytes = static_cast<u32>(
+                std::lround(blocks[i].bytes * p.codeExpansion));
+            bs.bbtAddr = bbtNext;
+            bbtNext += (bs.bbtBytes + 3u) & ~3u;
+            bs.mode = 1;
+
+            StageEvent e;
+            e.stage = TracePhase::WarmInstall;
+            e.insns = blocks[i].insns;
+            e.x86Addr = blocks[i].x86Addr;
+            e.x86Bytes = blocks[i].bytes;
+            e.codeAddr = bs.bbtAddr;
+            e.codeBytes = bs.bbtBytes;
+            e.arg = blocks[i].x86Addr;
+            events.emit(e);
+        }
+    }
 }
 
 void

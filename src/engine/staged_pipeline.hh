@@ -43,6 +43,15 @@ struct StagedParams
     Addr sbtBase = 0xe8000000;
 
     /**
+     * Warm start from a persistent translation repository: every block
+     * begins in BBT mode, with the install work (repository validation
+     * + code-cache writes) emitted as up-front WarmInstall events
+     * before the first executed instruction. Only meaningful with
+     * translateCold (the repository replaces the BBT transient).
+     */
+    bool warmStart = false;
+
+    /**
      * Background SBT contexts (0 = synchronous: a region is optimized
      * the instant it crosses the threshold, charging Delta_SBT on the
      * emulation thread, exactly the paper's model). With N >= 1 a hot

@@ -1,0 +1,87 @@
+#include "engine/warm_start.hh"
+
+#include "common/logging.hh"
+
+namespace cdvm::engine
+{
+
+using dbt::LoadError;
+using dbt::NO_RECORD;
+using dbt::Repository;
+using dbt::SavedChain;
+using dbt::SavedTranslation;
+using dbt::TransId;
+using dbt::Translation;
+
+WarmStartReport
+warmStartLoad(const std::string &path, const x86::Memory &mem,
+              CodeCacheManager &ccm, BranchProfile &prof)
+{
+    WarmStartReport rep;
+    Repository repo;
+    rep.error = dbt::loadFile(path, repo);
+    if (rep.error != LoadError::None) {
+        cdvm_debug("warm start: '%s' not loaded (%s)", path.c_str(),
+                   dbt::loadErrorName(rep.error));
+        return rep;
+    }
+    rep.ok = true;
+    rep.loaded = repo.entries.size();
+
+    const std::unordered_set<std::size_t> stale =
+        dbt::staleEntries(repo, mem);
+
+    // Install the fresh records; remember record -> new TransId so
+    // the saved chains can be re-bound afterwards.
+    std::vector<TransId> record_ids(repo.entries.size());
+    for (std::size_t i = 0; i < repo.entries.size(); ++i) {
+        if (stale.count(i)) {
+            ++rep.invalidated;
+            continue;
+        }
+        std::unique_ptr<Translation> t = repo.entries[i].materialize();
+        if (!t) {
+            ++rep.invalidated;
+            continue;
+        }
+        CodeCacheManager::InstallResult res = ccm.install(std::move(t));
+        record_ids[i] = res.trans->id;
+        ++rep.installed;
+    }
+
+    // Re-bind chains: both ends must have survived (a flush during the
+    // warm fill, or an invalidated endpoint, makes resolve fail and
+    // the link is simply dropped — the VMM re-chains lazily).
+    for (std::size_t i = 0; i < repo.entries.size(); ++i) {
+        Translation *from = ccm.resolve(record_ids[i]);
+        if (!from)
+            continue;
+        for (const SavedChain &c : repo.entries[i].chains) {
+            if (c.record == NO_RECORD)
+                continue;
+            const TransId to = record_ids[c.record];
+            if (ccm.resolve(to))
+                from->addChain(c.targetPc, to);
+        }
+    }
+
+    for (const dbt::SavedBranchStat &b : repo.branchProfile) {
+        prof.seed(b.pc, b.taken, b.notTaken);
+        ++rep.profileSeeded;
+    }
+    return rep;
+}
+
+bool
+warmStartSave(const std::string &path, const dbt::TranslationMap &map,
+              const x86::Memory &mem, const BranchProfile &prof)
+{
+    Repository repo = dbt::capture(map, mem);
+    prof.forEach([&repo](Addr pc, u64 taken, u64 not_taken) {
+        repo.branchProfile.push_back(
+            dbt::SavedBranchStat{pc, taken, not_taken});
+    });
+    return dbt::saveFile(path, repo);
+}
+
+} // namespace cdvm::engine

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Warm start: populate a fresh engine from a persistent translation
+ * repository (dbt/persist) before the first dispatched instruction.
+ *
+ * Loading validates every record against current guest memory (page
+ * hashes), materializes the survivors, installs them through the
+ * normal CodeCacheManager path (so codeAddr is recomputed and the
+ * encoded bodies really land in the concealed code caches), re-binds
+ * the saved chains to the freshly assigned TransIds, and seeds the
+ * branch-direction profile plus per-translation hot counts. Anything
+ * stale or malformed is skipped: the VM silently falls back to the
+ * cold path for exactly those regions.
+ */
+
+#ifndef CDVM_ENGINE_WARM_START_HH
+#define CDVM_ENGINE_WARM_START_HH
+
+#include <string>
+
+#include "dbt/persist.hh"
+#include "engine/cache_mgr.hh"
+#include "engine/profile.hh"
+
+namespace cdvm::engine
+{
+
+/** Outcome of a warm-start load. */
+struct WarmStartReport
+{
+    /** The repository file parsed and verified (individual entries
+     *  may still have been invalidated). */
+    bool ok = false;
+    dbt::LoadError error = dbt::LoadError::None;
+    u64 loaded = 0;        //!< records read from the repository
+    u64 installed = 0;     //!< translations installed pre-dispatch
+    u64 invalidated = 0;   //!< records rejected (stale guest code or
+                           //!< malformed body)
+    u64 profileSeeded = 0; //!< branch-profile entries seeded
+};
+
+/**
+ * Load path into the engine: install validated translations into ccm
+ * and seed prof. Never throws; a missing/corrupt file or stale
+ * entries just leave the engine (partially) cold.
+ */
+WarmStartReport warmStartLoad(const std::string &path,
+                              const x86::Memory &mem,
+                              CodeCacheManager &ccm,
+                              BranchProfile &prof);
+
+/**
+ * Capture the live translations and branch profile into a repository
+ * file. @return success.
+ */
+bool warmStartSave(const std::string &path,
+                   const dbt::TranslationMap &map,
+                   const x86::Memory &mem, const BranchProfile &prof);
+
+} // namespace cdvm::engine
+
+#endif // CDVM_ENGINE_WARM_START_HH

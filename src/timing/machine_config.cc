@@ -117,6 +117,24 @@ MachineConfig::vmBeAsync(unsigned contexts)
     return m;
 }
 
+MachineConfig
+MachineConfig::vmSoftWarm()
+{
+    MachineConfig m = vmSoft();
+    m.name = "VM.soft.warm";
+    m.warmStart = true;
+    return m;
+}
+
+MachineConfig
+MachineConfig::vmBeWarm()
+{
+    MachineConfig m = vmBe();
+    m.name = "VM.be.warm";
+    m.warmStart = true;
+    return m;
+}
+
 std::vector<MachineConfig>
 MachineConfig::table2()
 {

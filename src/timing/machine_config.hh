@@ -142,6 +142,36 @@ struct MachineConfig
      */
     unsigned asyncTranslators = 0;
 
+    /**
+     * Warm start from a persistent translation repository (dbt/persist
+     * format saved by a previous run). Instead of paying Delta_BBT
+     * lazily on every first touch, the machine pays an up-front load
+     * cost -- validating the repository against guest memory and
+     * copying the pre-translated bodies into the code cache -- and
+     * then runs every block as BBT code from the first instruction.
+     */
+    bool warmStart = false;
+
+    /**
+     * Per-instruction cost of a warm install: page-hash validation,
+     * decode of the saved micro-op body, and the code-cache copy. Far
+     * below Delta_BBT (83 cycles software, ~20 assisted) because no
+     * x86 decode, cracking, or register mapping happens -- the
+     * repository stores finished translations, so installing one is a
+     * fixed-format decode plus a short copy.
+     */
+    double warmLoadCyclesPerInsn = 3.0;
+
+    /**
+     * Fraction of warm-load memory stall hidden by streaming: the
+     * loader walks the repository and both images strictly
+     * sequentially, so hardware prefetch covers most read-miss
+     * latency and write buffers drain code-cache stores off the
+     * critical path. Demand misses during execution get no such
+     * treatment (they are priced by the normal fetch/data paths).
+     */
+    double warmStreamOverlap = 0.85;
+
     // --- presets --------------------------------------------------------
     static MachineConfig refSuperscalar();
     static MachineConfig vmSoft();
@@ -152,6 +182,10 @@ struct MachineConfig
     static MachineConfig vmSoftAsync(unsigned contexts = 2);
     /** VM.be with N background SBT contexts. */
     static MachineConfig vmBeAsync(unsigned contexts = 2);
+    /** VM.soft warm-started from a translation repository. */
+    static MachineConfig vmSoftWarm();
+    /** VM.be warm-started from a translation repository. */
+    static MachineConfig vmBeWarm();
 
     /** All four Table 2 machines in paper order. */
     static std::vector<MachineConfig> table2();

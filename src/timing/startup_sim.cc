@@ -32,6 +32,8 @@ phaseOf(CycleCat c)
         return TracePhase::BbtTranslate;
       case CycleCat::SbtXlate:
         return TracePhase::SbtOptimize;
+      case CycleCat::WarmLoad:
+        return TracePhase::WarmInstall;
       case CycleCat::Dispatch:
       default:
         return TracePhase::Dispatch;
@@ -79,6 +81,23 @@ class CycleModelSink : public engine::StageSink
           case TracePhase::Dispatch:
             add(CycleCat::Dispatch, m.dispatchCycles, false);
             break;
+          case TracePhase::WarmInstall: {
+            // The warm loader validates the saved page hashes against
+            // the x86 image (data-side reads) and copies the finished
+            // translation body into the code cache (data-side stores);
+            // no decode or cracking happens, so the per-instruction
+            // cost is far below Delta_BBT.
+            double tcyc = m.warmLoadCyclesPerInsn *
+                          static_cast<double>(e.insns);
+            // The loader streams both images sequentially; prefetch
+            // and write buffering hide most of the miss latency the
+            // lazy (demand-miss) translator would stall on.
+            tcyc += (dataPenalty(e.x86Addr, e.x86Bytes, false) +
+                     dataPenalty(e.codeAddr, e.codeBytes, true)) *
+                    (1.0 - m.warmStreamOverlap);
+            add(CycleCat::WarmLoad, tcyc, false);
+            break;
+          }
           case TracePhase::SbtOptimize: {
             double tcyc = m.costs.sbtCyclesPerInsn *
                           static_cast<double>(e.insns);
@@ -300,6 +319,7 @@ StartupSim::run()
     sp.hasSbt = m.hasSbt;
     sp.hotThreshold = m.hotThreshold;
     sp.codeExpansion = m.codeExpansion;
+    sp.warmStart = m.warmStart;
     sp.asyncTranslators = m.asyncTranslators;
     if (m.asyncTranslators > 0) {
         // The pipeline's clock is executed instructions; one
@@ -329,6 +349,8 @@ StartupSim::run()
     res.staticInsnsSbt = counts.staticInsnsSbt;
     res.bbtTranslations = counts.bbtTranslations;
     res.sbtRegionTranslations = counts.sbtTranslations;
+    res.warmInstalls = counts.warmInstalls;
+    res.staticInsnsWarm = counts.staticInsnsWarm;
 
     return res;
 }
@@ -363,6 +385,12 @@ StartupResult::exportStats(StatRegistry &reg,
     reg.set(prefix + ".sbt_region_translations",
             static_cast<double>(sbtRegionTranslations),
             "hotspot regions optimized");
+    reg.set(prefix + ".warm_installs",
+            static_cast<double>(warmInstalls),
+            "repository entries installed at warm start");
+    reg.set(prefix + ".static_insns.warm",
+            static_cast<double>(staticInsnsWarm),
+            "static instructions installed from the repository");
     reg.set(prefix + ".decode_active_cycles", decodeActiveCycles,
             "cycles with the x86 decode logic powered on");
     reg.set(prefix + ".cycles.sbt_xlate_bg", bgSbtXlateCycles,
@@ -371,7 +399,7 @@ StartupResult::exportStats(StatRegistry &reg,
 
     static const char *const CAT_NAMES[] = {
         "cold_exec", "bbt_exec", "sbt_exec",
-        "bbt_xlate", "sbt_xlate", "dispatch",
+        "bbt_xlate", "sbt_xlate", "dispatch", "warm_load",
     };
     static_assert(sizeof(CAT_NAMES) / sizeof(CAT_NAMES[0]) ==
                       static_cast<size_t>(CycleCat::NUM_CATS),

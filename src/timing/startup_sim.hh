@@ -53,6 +53,7 @@ enum class CycleCat : u8
     BbtXlate,     //!< BBT translation work (the paper's "BBT overhead")
     SbtXlate,     //!< SBT translation work
     Dispatch,     //!< VMM dispatch / linking not covered by chaining
+    WarmLoad,     //!< warm-start repository load/install work
     NUM_CATS,
 };
 
@@ -85,6 +86,10 @@ struct StartupResult
     u64 staticInsnsSbt = 0;   //!< M_SBT actually optimized
     u64 bbtTranslations = 0;
     u64 sbtRegionTranslations = 0;
+    /** Warm start: repository entries installed before execution. */
+    u64 warmInstalls = 0;
+    /** Warm start: static instructions installed from the repository. */
+    u64 staticInsnsWarm = 0;
 
     // Dynamic instruction mix.
     u64 insnsCold = 0;

@@ -4,6 +4,7 @@
 #include "common/statreg.hh"
 #include "engine/cold_exec.hh"
 #include "engine/hotspot.hh"
+#include "engine/warm_start.hh"
 
 namespace cdvm::vmm
 {
@@ -73,6 +74,29 @@ Vmm::Vmm(x86::Memory &memory, const VmmConfig &config)
       translatedExec(memory, st, branchProf)
 {
     events.attach(&traceSink);
+
+    // Persistent warm start: install a previous run's validated
+    // translations and profiles before the first dispatched
+    // instruction. Failure of any kind just leaves the engine cold.
+    if (!cfg.warmStartLoadPath.empty()) {
+        engine::WarmStartReport rep = engine::warmStartLoad(
+            cfg.warmStartLoadPath, mem, ccm, branchProf);
+        st.warmLoaded = rep.loaded;
+        st.warmInstalled = rep.installed;
+        st.warmInvalidated = rep.invalidated;
+        st.warmProfileSeeded = rep.profileSeeded;
+    }
+}
+
+bool
+Vmm::saveWarmStart(const std::string &path) const
+{
+    const std::string &dst =
+        path.empty() ? cfg.warmStartSavePath : path;
+    if (dst.empty())
+        return false;
+    return engine::warmStartSave(dst, ccm.translations(), mem,
+                                 branchProf);
 }
 
 const hwassist::BranchBehaviorBuffer &
@@ -101,7 +125,7 @@ Vmm::installSbt(Addr seed_pc, std::unique_ptr<Translation> t)
     events.emit(e);
 
     if (ccm.install(std::move(t)).flushed)
-        lastTrans = nullptr;
+        lastTrans = dbt::NO_TRANS;
 }
 
 void
@@ -187,11 +211,15 @@ Vmm::run(x86::CpuState &cpu, InstCount max_insns)
             drainAsyncSbt();
 
         // Dispatch: chain from the previous translation, else look up.
+        // Both hops are handle resolutions, so a last-executed cursor
+        // or chain link that a flush freed simply misses.
         Translation *t = nullptr;
         if (cfg.enableChaining && lastTrans) {
-            t = lastTrans->chainedTo(pc);
-            if (t)
-                ++st.chainFollows;
+            if (Translation *from = ccm.resolve(lastTrans)) {
+                t = ccm.resolve(from->chainedTo(pc));
+                if (t)
+                    ++st.chainFollows;
+            }
         }
         if (!t) {
             ++st.dispatches;
@@ -218,13 +246,13 @@ Vmm::run(x86::CpuState &cpu, InstCount max_insns)
             engine::CodeCacheManager::InstallResult ir =
                 ccm.install(std::move(nt));
             if (ir.flushed)
-                lastTrans = nullptr;
+                lastTrans = dbt::NO_TRANS;
             t = ir.trans;
         }
 
         if (!t) {
             // Execute-style cold strategy (interpreter or x86-mode).
-            lastTrans = nullptr;
+            lastTrans = dbt::NO_TRANS;
             if (detector->onColdEntry(pc))
                 invokeSbt(pc);
             const InstCount cold_start = retired;
@@ -268,7 +296,7 @@ Vmm::run(x86::CpuState &cpu, InstCount max_insns)
         // actually went to, so the next visit skips the lookup table.
         if (cfg.enableChaining) {
             Translation *succ = ccm.lookup(cpu.eip);
-            if (succ && executed->addChain(cpu.eip, succ)) {
+            if (succ && executed->addChain(cpu.eip, succ->id)) {
                 ++st.chainsInstalled;
                 StageEvent ev;
                 ev.stage = TracePhase::Chain;
@@ -277,7 +305,7 @@ Vmm::run(x86::CpuState &cpu, InstCount max_insns)
                 events.emit(ev);
             }
         }
-        lastTrans = executed;
+        lastTrans = executed->id;
 
         // Hotspot detection on the translated-code entry.
         if (detector->onTranslatedEntry(*executed))
@@ -349,6 +377,16 @@ Vmm::exportStats(StatRegistry &reg) const
             "background results dropped as stale");
         set("vmm.async.queue_rejects", st.asyncSbtQueueRejects,
             "requests dropped by queue back-pressure");
+    }
+    if (!cfg.warmStartLoadPath.empty()) {
+        set("vmm.warm.loaded", st.warmLoaded,
+            "repository records read at warm start");
+        set("vmm.warm.installed", st.warmInstalled,
+            "translations installed before the first dispatch");
+        set("vmm.warm.invalidated", st.warmInvalidated,
+            "repository records rejected as stale or malformed");
+        set("vmm.warm.profile_seeded", st.warmProfileSeeded,
+            "branch-profile entries seeded from the repository");
     }
     set("vmm.xlt.insns_translated", st.xltInsnsTranslated,
         "x86 instructions translated through the HAloop");

@@ -85,6 +85,13 @@ class Vmm
         return sbtBackend.translator();
     }
 
+    /**
+     * Save the live translations and branch profile as a warm-start
+     * repository (dbt/persist format). Uses
+     * config().warmStartSavePath when path is empty. @return success.
+     */
+    bool saveWarmStart(const std::string &path = "") const;
+
     /** The hotspot detector's BBB (an idle unit when not used). */
     const hwassist::BranchBehaviorBuffer &bbb() const;
 
@@ -155,8 +162,12 @@ class Vmm
     std::unique_ptr<engine::AsyncSbtEngine> asyncSbt;
     engine::TranslatedExecutor translatedExec;
 
-    /** The translation we last exited from (chaining source). */
-    dbt::Translation *lastTrans = nullptr;
+    /**
+     * The translation we last exited from (chaining source). A
+     * generational handle, not a pointer: a code-cache flush makes it
+     * resolve to nullptr instead of dangling.
+     */
+    dbt::TransId lastTrans;
 };
 
 } // namespace cdvm::vmm

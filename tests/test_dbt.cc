@@ -72,27 +72,56 @@ TEST(TranslationMap, EraseKindUnchains)
     b->entryPc = 0x200;
     dbt::Translation *pa = map.insert(std::move(a));
     dbt::Translation *pb = map.insert(std::move(b));
-    EXPECT_TRUE(pa->addChain(0x200, pb));
-    EXPECT_EQ(pa->chainedTo(0x200), pb);
+    const dbt::TransId idb = pb->id;
+    EXPECT_TRUE(pa->addChain(0x200, pb->id));
+    EXPECT_EQ(map.resolve(pa->chainedTo(0x200)), pb);
 
     map.eraseKind(dbt::TransKind::BasicBlock);
     // The superblock survives but its chain into the erased arena is
-    // gone (conservative unchain-all).
+    // gone (conservative unchain-all) — and even a handle squirreled
+    // away before the flush resolves to null, not a dangling pointer.
     EXPECT_EQ(map.lookup(0x100), pa);
-    EXPECT_EQ(pa->chainedTo(0x200), nullptr);
+    EXPECT_FALSE(pa->chainedTo(0x200));
+    EXPECT_EQ(map.resolve(idb), nullptr);
 }
 
 TEST(Translation, ChainSlots)
 {
+    const dbt::TransId x{1, 1}, y{2, 1}, z{3, 1};
     dbt::Translation t;
-    dbt::Translation x, y, z;
-    EXPECT_TRUE(t.addChain(1, &x));
-    EXPECT_TRUE(t.addChain(2, &y));
-    EXPECT_FALSE(t.addChain(3, &z)); // only two exits
-    EXPECT_TRUE(t.addChain(2, &z));  // retarget an existing slot
-    EXPECT_EQ(t.chainedTo(2), &z);
-    EXPECT_EQ(t.chainedTo(1), &x);
-    EXPECT_EQ(t.chainedTo(9), nullptr);
+    EXPECT_TRUE(t.addChain(1, x));
+    EXPECT_TRUE(t.addChain(2, y));
+    EXPECT_FALSE(t.addChain(3, z)); // only two exits
+    EXPECT_TRUE(t.addChain(2, z));  // retarget an existing slot
+    EXPECT_EQ(t.chainedTo(2), z);
+    EXPECT_EQ(t.chainedTo(1), x);
+    EXPECT_FALSE(t.chainedTo(9));
+}
+
+TEST(Translation, HandleGenerations)
+{
+    // A handle from a previous life of an arena slot must not resolve
+    // after the slot is reused.
+    dbt::TranslationMap map;
+    auto a = std::make_unique<dbt::Translation>();
+    a->entryPc = 0x100;
+    const dbt::TransId ida = map.insert(std::move(a))->id;
+    EXPECT_TRUE(static_cast<bool>(ida));
+    EXPECT_NE(map.resolve(ida), nullptr);
+
+    map.eraseKind(dbt::TransKind::BasicBlock);
+    EXPECT_EQ(map.resolve(ida), nullptr);
+
+    // Reinstall at the same pc: the freed arena slot is reused with a
+    // bumped generation, so the old handle still resolves null.
+    auto b = std::make_unique<dbt::Translation>();
+    b->entryPc = 0x100;
+    dbt::Translation *pb = map.insert(std::move(b));
+    EXPECT_EQ(pb->id.idx, ida.idx);
+    EXPECT_NE(pb->id.gen, ida.gen);
+    EXPECT_EQ(map.resolve(ida), nullptr);
+    EXPECT_EQ(map.resolve(pb->id), pb);
+    EXPECT_EQ(map.resolve(dbt::NO_TRANS), nullptr);
 }
 
 TEST(Bbt, BlockEndsAtCti)

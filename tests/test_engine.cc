@@ -123,10 +123,11 @@ TEST(CodeCacheManager, FlushResetsChainsAndDropsStaleTranslations)
     ASSERT_TRUE(r1.trans && r2.trans);
 
     // Chain both within the BBT set and from the superblock into it.
-    ASSERT_TRUE(r1.trans->addChain(0x2000, r2.trans));
-    ASSERT_TRUE(psb->addChain(0x2000, r2.trans));
-    EXPECT_EQ(r1.trans->chainedTo(0x2000), r2.trans);
-    EXPECT_EQ(psb->chainedTo(0x2000), r2.trans);
+    ASSERT_TRUE(r1.trans->addChain(0x2000, r2.trans->id));
+    ASSERT_TRUE(psb->addChain(0x2000, r2.trans->id));
+    EXPECT_EQ(ccm.resolve(r1.trans->chainedTo(0x2000)), r2.trans);
+    EXPECT_EQ(ccm.resolve(psb->chainedTo(0x2000)), r2.trans);
+    const dbt::TransId id2 = r2.trans->id;
 
     // Third install overflows the arena: flush-everything.
     auto r3 = ccm.install(std::move(t3));
@@ -140,9 +141,11 @@ TEST(CodeCacheManager, FlushResetsChainsAndDropsStaleTranslations)
     EXPECT_EQ(ccm.lookup(0x1000, dbt::TransKind::BasicBlock), nullptr);
     EXPECT_EQ(ccm.lookup(0x2000), nullptr);
     EXPECT_EQ(ccm.lookup(0x1000, dbt::TransKind::Superblock), psb);
-    EXPECT_EQ(psb->chainedTo(0x2000), nullptr);
+    EXPECT_FALSE(psb->chainedTo(0x2000));
     EXPECT_EQ(ccm.lookup(0x3000), r3.trans);
-    EXPECT_EQ(r3.trans->chainedTo(0x1000), nullptr);
+    EXPECT_FALSE(r3.trans->chainedTo(0x1000));
+    // A pre-flush handle into the doomed set resolves null forever.
+    EXPECT_EQ(ccm.resolve(id2), nullptr);
 }
 
 TEST(CodeCacheManager, ExecutionCorrectAcrossForcedFlush)

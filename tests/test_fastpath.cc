@@ -217,7 +217,8 @@ TEST(TranslationMap, OverwriteKeepsOldAliveUntilFlush)
         map.insert(makeTrans(0x100, dbt::TransKind::BasicBlock));
     dbt::Translation *other =
         map.insert(makeTrans(0x200, dbt::TransKind::BasicBlock));
-    EXPECT_TRUE(other->addChain(0x100, oldt));
+    EXPECT_TRUE(other->addChain(0x100, oldt->id));
+    const dbt::TransId old_id = oldt->id;
 
     dbt::Translation *newt =
         map.insert(makeTrans(0x100, dbt::TransKind::BasicBlock));
@@ -225,14 +226,15 @@ TEST(TranslationMap, OverwriteKeepsOldAliveUntilFlush)
     EXPECT_EQ(map.numBasicBlocks(), 2u); // live count, not arena size
     EXPECT_EQ(map.lookup(0x100), newt);
     // The overwritten translation is unreachable through the table but
-    // still owned by the arena: the chain pointer into it stays valid
-    // until the kind is flushed.
-    EXPECT_EQ(other->chainedTo(0x100), oldt);
+    // still owned by the arena: the chain handle into it keeps
+    // resolving until the kind is flushed.
+    EXPECT_EQ(map.resolve(other->chainedTo(0x100)), oldt);
     EXPECT_EQ(oldt->entryPc, 0x100u);
 
     map.eraseKind(dbt::TransKind::BasicBlock);
     EXPECT_EQ(map.size(), 0u);
     EXPECT_EQ(map.overwrites(), 1u);
+    EXPECT_EQ(map.resolve(old_id), nullptr);
 }
 
 TEST(TranslationMap, StatsExportIncludesLookaside)
