@@ -78,6 +78,15 @@ main(int argc, char **argv)
              "previous run (stale entries fall back to cold)");
     cli.flag("save-cache", "",
              "save the translation repository after the run");
+    cli.flag("profile-out", "",
+             "write the guest-hotness heatmap (sampling profiler) as "
+             "JSON");
+    cli.flag("flight-dump", "",
+             "write the flight-recorder ring here after the run (the "
+             "same path receives flush-storm and abnormal-exit dumps)");
+    cli.flag("snapshot-every", "0",
+             "take an interval snapshot of the vmm.* counters every N "
+             "retired instructions (0 = off)");
     addObservabilityFlags(cli);
     cli.parse(argc, argv);
     applyObservabilityFlags(cli);
@@ -144,6 +153,9 @@ main(int argc, char **argv)
     cfg.bbbParams.hotThreshold = 50;
     cfg.warmStartLoadPath = cli.str("load-cache");
     cfg.warmStartSavePath = cli.str("save-cache");
+    cfg.flightDumpPath = cli.str("flight-dump");
+    cfg.snapshotEveryInsns =
+        static_cast<u64>(cli.num("snapshot-every"));
     vmm::Vmm vm(vm_mem, cfg);
     const auto host_t0 = std::chrono::steady_clock::now();
     e = vm.run(vm_cpu, 100'000'000);
@@ -225,6 +237,36 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(dc->hits()),
                     static_cast<unsigned long long>(dc->hits() +
                                                     dc->misses()));
+    }
+
+    // Continuous profiling: the sampling profiler's view of the run,
+    // the flight recorder, and any interval snapshots.
+    const engine::SamplingProfiler &prof = vm.profiler();
+    if (prof.enabled() && prof.samples()) {
+        std::printf("\n%s", prof.dumpTopN(5).c_str());
+    }
+    if (!cli.str("profile-out").empty()) {
+        std::printf("wrote hotness profile: %s (%s)\n",
+                    cli.str("profile-out").c_str(),
+                    prof.writeJson(cli.str("profile-out")) ? "ok"
+                                                           : "FAILED");
+    }
+    if (!cfg.flightDumpPath.empty()) {
+        std::printf("wrote flight dump: %s (%s; %zu of %llu events "
+                    "retained, %llu storms)\n",
+                    cfg.flightDumpPath.c_str(),
+                    vm.dumpFlight(cfg.flightDumpPath) ? "ok" : "FAILED",
+                    vm.flightRecorder().size(),
+                    static_cast<unsigned long long>(
+                        vm.flightRecorder().recorded()),
+                    static_cast<unsigned long long>(
+                        vm.flightSink().storms()));
+    }
+    if (cfg.snapshotEveryInsns) {
+        std::printf("interval snapshots: %zu rows every %llu insns\n",
+                    vm.snapshots().rows(),
+                    static_cast<unsigned long long>(
+                        cfg.snapshotEveryInsns));
     }
 
     if (!cfg.warmStartSavePath.empty()) {

@@ -1,0 +1,79 @@
+#include "common/flight_recorder.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace cdvm
+{
+
+namespace
+{
+
+std::size_t
+roundUpPow2(std::size_t n)
+{
+    std::size_t p = 1;
+    while (p < n)
+        p <<= 1;
+    return p;
+}
+
+} // namespace
+
+FlightRecorder::FlightRecorder(std::size_t capacity_events)
+{
+    if (capacity_events == 0)
+        return;
+    buf.resize(roundUpPow2(capacity_events));
+    mask = buf.size() - 1;
+}
+
+std::vector<FlightEvent>
+FlightRecorder::snapshot() const
+{
+    std::vector<FlightEvent> out;
+    const std::size_t n = size();
+    out.reserve(n);
+    const u64 first = head - n;
+    for (std::size_t i = 0; i < n; ++i)
+        out.push_back(buf[static_cast<std::size_t>(first + i) & mask]);
+    return out;
+}
+
+std::string
+FlightRecorder::dumpText() const
+{
+    std::ostringstream os;
+    os << "# flight recorder: " << size() << " of " << recorded()
+       << " events retained (" << dropped() << " overwritten), "
+       << "capacity " << capacity() << "\n";
+    os << "# clock phase insns arg\n";
+    char line[96];
+    for (const FlightEvent &e : snapshot()) {
+        std::snprintf(line, sizeof(line),
+                      "%12llu %-13s %6u 0x%llx\n",
+                      static_cast<unsigned long long>(e.clock),
+                      tracePhaseName(e.phase), e.insns,
+                      static_cast<unsigned long long>(e.arg));
+        os << line;
+    }
+    return os.str();
+}
+
+bool
+FlightRecorder::writeText(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        cdvm_warn("cannot open flight-dump output '%s'", path.c_str());
+        return false;
+    }
+    std::string doc = dumpText();
+    std::size_t n = std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fclose(f);
+    return n == doc.size();
+}
+
+} // namespace cdvm

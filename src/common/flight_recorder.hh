@@ -1,0 +1,117 @@
+/**
+ * @file
+ * In-VM flight recorder: a fixed-size ring of the most recent
+ * emulation events, always on.
+ *
+ * The Tracer (trace.hh) answers "what did the whole run look like" --
+ * it is enabled explicitly, sized generously, and dumped once at exit.
+ * The flight recorder answers the post-hoc question "what was the VM
+ * doing just before *this*": a small preallocated ring records every
+ * stage event as it happens, overwriting the oldest, so the last few
+ * thousand block entries, translations, flushes and chain installs
+ * are always available for dumping -- on demand, on a code-cache
+ * flush storm, or from the panic path on abnormal exit.
+ *
+ * Recording is wait-free for its single producer: one masked store
+ * plus a counter increment, no locks, no allocation after
+ * construction. The reproduction's dispatch loop is single-threaded
+ * (background SBT workers never emit stage events), so producer-side
+ * synchronization is unnecessary; the crash-dump path may read the
+ * ring from another thread, which is acceptable for a best-effort
+ * post-mortem artifact.
+ */
+
+#ifndef CDVM_COMMON_FLIGHT_RECORDER_HH
+#define CDVM_COMMON_FLIGHT_RECORDER_HH
+
+#include <string>
+#include <vector>
+
+#include "common/trace.hh"
+#include "common/types.hh"
+
+namespace cdvm
+{
+
+/** One recorded event (compact: the ring is resident per-VM). */
+struct FlightEvent
+{
+    u64 clock = 0; //!< work-unit clock at the event's start
+    u64 arg = 0;   //!< phase payload (pc, arena id, ...)
+    u32 insns = 0; //!< x86 instructions covered (0 for instants)
+    TracePhase phase = TracePhase::Interp;
+};
+
+/** The always-on ring recorder. */
+class FlightRecorder
+{
+  public:
+    /**
+     * Preallocate a ring of at least capacity_events entries (rounded
+     * up to a power of two). 0 constructs a disabled recorder whose
+     * record() is a no-op.
+     */
+    explicit FlightRecorder(std::size_t capacity_events);
+
+    FlightRecorder(const FlightRecorder &) = delete;
+    FlightRecorder &operator=(const FlightRecorder &) = delete;
+
+    bool enabled() const { return !buf.empty(); }
+    std::size_t capacity() const { return buf.size(); }
+
+    /** Record one event: a masked store, overwriting the oldest. */
+    void
+    record(TracePhase phase, u64 clock, u32 insns, u64 arg)
+    {
+        if (buf.empty())
+            return;
+        FlightEvent &e = buf[static_cast<std::size_t>(head) & mask];
+        e.clock = clock;
+        e.arg = arg;
+        e.insns = insns;
+        e.phase = phase;
+        ++head;
+    }
+
+    /** Events ever recorded since construction (or clear()). */
+    u64 recorded() const { return head; }
+
+    /** Events lost to ring overwrite. */
+    u64
+    dropped() const
+    {
+        return head > buf.size() ? head - buf.size() : 0;
+    }
+
+    /** Events currently retained (<= capacity). */
+    std::size_t
+    size() const
+    {
+        return head < buf.size() ? static_cast<std::size_t>(head)
+                                 : buf.size();
+    }
+
+    /** Retained events, oldest first. */
+    std::vector<FlightEvent> snapshot() const;
+
+    /** Forget everything recorded; the ring stays allocated. */
+    void clear() { head = 0; }
+
+    /**
+     * Human-readable dump of the retained events, oldest first, with
+     * a header line carrying the recorded/dropped totals.
+     */
+    std::string dumpText() const;
+
+    /** Write dumpText() to path. @return false on I/O failure. */
+    bool writeText(const std::string &path) const;
+
+  private:
+    std::vector<FlightEvent> buf;
+    std::size_t mask = 0;
+    u64 head = 0; //!< events ever recorded; next slot = head & mask
+};
+
+} // namespace cdvm
+
+#endif // CDVM_COMMON_FLIGHT_RECORDER_HH

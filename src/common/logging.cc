@@ -33,6 +33,9 @@ envLogLevel()
 
 LogLevel curLevel = envLogLevel();
 
+std::function<void()> crashHook;
+bool inCrashHook = false;
+
 } // namespace
 
 LogLevel
@@ -60,8 +63,19 @@ quiet()
 }
 
 void
+setCrashHook(std::function<void()> hook)
+{
+    crashHook = std::move(hook);
+}
+
+void
 panicImpl(const char *file, int line, const char *fmt, ...)
 {
+    if (crashHook && !inCrashHook) {
+        inCrashHook = true;
+        crashHook();
+        inCrashHook = false;
+    }
     std::fprintf(stderr, "panic: %s:%d: ", file, line);
     va_list args;
     va_start(args, fmt);

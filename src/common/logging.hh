@@ -18,6 +18,7 @@
 #define CDVM_COMMON_LOGGING_HH
 
 #include <cstdarg>
+#include <functional>
 #include <string>
 
 namespace cdvm
@@ -53,6 +54,14 @@ void setLogLevel(LogLevel level);
  */
 void setQuiet(bool quiet);
 bool quiet();
+
+/**
+ * Install a crash hook run once at the top of panic(), before the
+ * abort -- the flight recorder registers its dump here so abnormal
+ * exits leave a post-mortem artifact. An empty function uninstalls.
+ * Recursive panics skip the hook.
+ */
+void setCrashHook(std::function<void()> hook);
 
 } // namespace cdvm
 

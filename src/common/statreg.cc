@@ -197,6 +197,15 @@ StatRegistry::has(const std::string &name) const
     return entries.count(name) != 0;
 }
 
+std::optional<StatKind>
+StatRegistry::kind(const std::string &name) const
+{
+    auto it = entries.find(name);
+    if (it == entries.end())
+        return std::nullopt;
+    return it->second.kind;
+}
+
 std::vector<std::string>
 StatRegistry::names() const
 {
@@ -300,6 +309,7 @@ StatRegistry::dumpJson() const
             }
             os << "], \"p50\": " << jsonNum(h.percentile(50))
                << ", \"p90\": " << jsonNum(h.percentile(90))
+               << ", \"p95\": " << jsonNum(h.percentile(95))
                << ", \"p99\": " << jsonNum(h.percentile(99)) << "}";
             break;
           }
@@ -352,6 +362,74 @@ void
 StatRegistry::clear()
 {
     entries.clear();
+}
+
+void
+SnapshotSeries::take(const StatRegistry &reg, u64 clock)
+{
+    Row row;
+    row.clock = clock;
+    for (const std::string &name : reg.names()) {
+        std::optional<StatKind> k = reg.kind(name);
+        if (k != StatKind::Scalar && k != StatKind::Gauge)
+            continue;
+        row.values.emplace(name, reg.value(name));
+    }
+    series.push_back(std::move(row));
+}
+
+double
+SnapshotSeries::at(std::size_t row, const std::string &name) const
+{
+    const Row &r = series.at(row);
+    auto it = r.values.find(name);
+    return it == r.values.end() ? 0.0 : it->second;
+}
+
+std::string
+SnapshotSeries::dumpJson() const
+{
+    // Union of names over all rows (later rows may add stats).
+    std::map<std::string, bool> names;
+    for (const Row &r : series)
+        for (const auto &kv : r.values)
+            names.emplace(kv.first, true);
+
+    std::ostringstream os;
+    os << "{\n  \"rows\": " << series.size() << ",\n  \"clock\": [";
+    for (std::size_t i = 0; i < series.size(); ++i)
+        os << (i ? ", " : "") << series[i].clock;
+    os << "],\n  \"stats\": {";
+    bool first = true;
+    for (const auto &nk : names) {
+        os << (first ? "\n" : ",\n") << "    \"" << nk.first
+           << "\": {\"values\": [";
+        first = false;
+        for (std::size_t i = 0; i < series.size(); ++i)
+            os << (i ? ", " : "") << jsonNum(at(i, nk.first));
+        os << "], \"deltas\": [";
+        for (std::size_t i = 0; i < series.size(); ++i)
+            os << (i ? ", " : "") << jsonNum(delta(i, nk.first));
+        os << "]}";
+    }
+    if (!first)
+        os << "\n  ";
+    os << "}\n}\n";
+    return os.str();
+}
+
+bool
+SnapshotSeries::writeJson(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        cdvm_warn("cannot open snapshot output '%s'", path.c_str());
+        return false;
+    }
+    std::string doc = dumpJson();
+    std::size_t n = std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fclose(f);
+    return n == doc.size();
 }
 
 } // namespace cdvm

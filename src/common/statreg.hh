@@ -29,6 +29,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -90,6 +91,10 @@ class StatRegistry
     double value(const std::string &name) const;
 
     bool has(const std::string &name) const;
+
+    /** Kind of the named statistic (nullopt if absent). */
+    std::optional<StatKind> kind(const std::string &name) const;
+
     std::size_t size() const { return entries.size(); }
 
     /** All registered names, sorted. */
@@ -123,6 +128,57 @@ class StatRegistry
 
     /** Sorted by full dotted name; ordering drives the JSON nesting. */
     std::map<std::string, Entry> entries;
+};
+
+/**
+ * Interval snapshots of a StatRegistry: periodic rows of every
+ * scalar/gauge value on whatever clock the caller owns (the VMM takes
+ * rows on the executed-instruction clock), with per-interval deltas.
+ * Fig. 2-style startup curves -- instructions per stage over time --
+ * can be reconstructed from one live run instead of a ladder of
+ * truncated ones.
+ *
+ * Running/histogram entries are skipped: a row is a flat value
+ * vector, and deltas of distribution summaries are not meaningful.
+ */
+class SnapshotSeries
+{
+  public:
+    /** Capture one row of reg's scalar/gauge values at clock. */
+    void take(const StatRegistry &reg, u64 clock);
+
+    std::size_t rows() const { return series.size(); }
+
+    /** The clock the row was taken at. */
+    u64 clockAt(std::size_t row) const { return series.at(row).clock; }
+
+    /** Value of name in the row (0 if absent from that row). */
+    double at(std::size_t row, const std::string &name) const;
+
+    /**
+     * Interval delta of name at the row: its value minus the previous
+     * row's (row 0 deltas against zero, i.e. against a fresh start).
+     */
+    double
+    delta(std::size_t row, const std::string &name) const
+    {
+        return at(row, name) - (row ? at(row - 1, name) : 0.0);
+    }
+
+    /** JSON: {"rows": N, "clock": [...], "stats": {name: {"values":
+     *  [...], "deltas": [...]}}} over the union of captured names. */
+    std::string dumpJson() const;
+
+    /** Write dumpJson() to path. @return false on I/O failure. */
+    bool writeJson(const std::string &path) const;
+
+  private:
+    struct Row
+    {
+        u64 clock = 0;
+        std::map<std::string, double> values;
+    };
+    std::vector<Row> series;
 };
 
 } // namespace cdvm

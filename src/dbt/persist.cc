@@ -1,5 +1,6 @@
 #include "dbt/persist.hh"
 
+#include <algorithm>
 #include <cstdio>
 #include <unordered_map>
 
@@ -250,18 +251,35 @@ SavedTranslation::materialize() const
 }
 
 Repository
-capture(const TranslationMap &map, const x86::Memory &mem)
+capture(const TranslationMap &map, const x86::Memory &mem,
+        const HotnessFn &hotness)
 {
     Repository repo;
+
+    // Collect the live set first: the hotness ordering must be fixed
+    // before pass 1 assigns record indices, or the chain indices of
+    // pass 2 would point at the wrong rows.
+    std::vector<const Translation *> live;
+    map.forEach([&](const Translation &t) { live.push_back(&t); });
+    if (hotness) {
+        std::stable_sort(live.begin(), live.end(),
+                         [&hotness](const Translation *a,
+                                    const Translation *b) {
+                             const u64 ha = hotness(*a);
+                             const u64 hb = hotness(*b);
+                             if (ha != hb)
+                                 return ha > hb;
+                             return a->entryPc < b->entryPc;
+                         });
+    }
 
     // Pass 1: record every live translation and remember which record
     // index each TransId became.
     std::unordered_map<u64, u32> id_to_record;
-    std::vector<const Translation *> live;
-    map.forEach([&](const Translation &t) {
+    for (const Translation *tp : live) {
+        const Translation &t = *tp;
         id_to_record.emplace(idKey(t.id),
                              static_cast<u32>(repo.entries.size()));
-        live.push_back(&t);
         SavedTranslation e;
         e.kind = t.kind;
         e.entryPc = t.entryPc;
@@ -282,7 +300,7 @@ capture(const TranslationMap &map, const x86::Memory &mem)
             e.uopPcs.push_back(u.x86pc);
         e.body = uops::encode(t.uops);
         repo.entries.push_back(std::move(e));
-    });
+    }
 
     // Pass 2: chains as record indices. Links to translations outside
     // the live set (overwritten, or already flushed) are dropped.

@@ -32,6 +32,7 @@
 #ifndef CDVM_DBT_PERSIST_HH
 #define CDVM_DBT_PERSIST_HH
 
+#include <functional>
 #include <memory>
 #include <span>
 #include <string>
@@ -137,12 +138,23 @@ struct Repository
 u64 fnv1a(std::span<const u8> bytes);
 
 /**
+ * Rank of a translation for hotness-ordered capture; bigger = hotter.
+ */
+using HotnessFn = std::function<u64(const Translation &)>;
+
+/**
  * Capture every live translation in the map (branch profile is
  * appended by the caller — it lives in the engine layer). Chains are
  * captured as record indices; links into translations that are not
  * themselves live (e.g. overwritten ones) are dropped.
+ *
+ * With a hotness function, entries are ordered hottest-first (ties by
+ * ascending entry PC), so a warm start installs the most valuable
+ * translations before the code-cache arenas can fill and flush.
+ * Without one, map iteration order is kept.
  */
-Repository capture(const TranslationMap &map, const x86::Memory &mem);
+Repository capture(const TranslationMap &map, const x86::Memory &mem,
+                   const HotnessFn &hotness = {});
 
 /** Serialize to the on-disk byte format (checksum appended). */
 std::vector<u8> serialize(const Repository &repo);

@@ -46,6 +46,20 @@ struct TransId
 
     explicit operator bool() const { return idx != 0; }
     bool operator==(const TransId &) const = default;
+
+    /** Pack into one u64 key (0 iff null handle); fromRaw inverts. */
+    u64
+    raw() const
+    {
+        return (static_cast<u64>(gen) << 32) | idx;
+    }
+
+    static TransId
+    fromRaw(u64 v)
+    {
+        return TransId{static_cast<u32>(v),
+                       static_cast<u32>(v >> 32)};
+    }
 };
 
 /** The null handle (resolves to nullptr). */

@@ -1,9 +1,26 @@
 #include "engine/async_sbt.hh"
 
+#include <chrono>
+
 #include "common/statreg.hh"
 
 namespace cdvm::engine
 {
+
+namespace
+{
+
+/** Monotonic host time in nanoseconds (latency telemetry only). */
+u64
+nowNs()
+{
+    return static_cast<u64>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace
 
 AsyncSbtEngine::AsyncSbtEngine(const EngineConfig &cfg)
     : pool(cfg.asyncTranslators, cfg.asyncQueueCap)
@@ -17,14 +34,18 @@ bool
 AsyncSbtEngine::request(Addr seed, dbt::SuperblockTrace trace)
 {
     const u64 ticket = nSubmitted;
+    const u64 enqueue_ns = nowNs();
     // The trace is moved into the task: the worker owns it outright
     // and never touches guest memory or the branch profile.
-    auto work = [this, seed, ticket,
+    auto work = [this, seed, ticket, enqueue_ns,
                  tr = std::move(trace)](unsigned ctx) {
         AsyncSbtResult r;
         r.seed = seed;
         r.ticket = ticket;
+        r.enqueueNs = enqueue_ns;
+        r.optStartNs = nowNs();
         r.trans = translators[ctx].translate(tr);
+        r.optEndNs = nowNs();
         pushDone(std::move(r));
     };
     if (!pool.trySubmit(std::move(work)))
@@ -49,6 +70,15 @@ AsyncSbtEngine::tryPop()
         doneCount.fetch_sub(1, std::memory_order_release);
     }
     inFlight.erase(r.seed);
+
+    // Latency accounting happens here, on the dispatch thread: the
+    // worker's timestamps arrived through the locked queue, and the
+    // histograms are never touched anywhere else.
+    const u64 drain_ns = nowNs();
+    latQueue.add(r.optStartNs - r.enqueueNs);
+    latOptimize.add(r.optEndNs - r.optStartNs);
+    latDrain.add(drain_ns - r.optEndNs);
+    latTotal.add(drain_ns - r.enqueueNs);
     return r;
 }
 
@@ -129,6 +159,17 @@ AsyncSbtEngine::exportStats(StatRegistry &reg,
     reg.set("engine.async.rejected_full",
             static_cast<double>(pool.rejectedFull()),
             "requests dropped by queue back-pressure");
+
+    // Publish the latency distributions by copy: the registry's JSON
+    // dump then carries bucket weights plus p50/p90/p95/p99.
+    reg.histogram("engine.async.latency.queue_ns", 2.0, 40,
+                  "enqueue -> optimize start (ns)") = latQueue;
+    reg.histogram("engine.async.latency.optimize_ns", 2.0, 40,
+                  "optimize start -> end (ns)") = latOptimize;
+    reg.histogram("engine.async.latency.drain_ns", 2.0, 40,
+                  "optimize end -> install drain (ns)") = latDrain;
+    reg.histogram("engine.async.latency.total_ns", 2.0, 40,
+                  "enqueue -> install drain (ns)") = latTotal;
 }
 
 } // namespace cdvm::engine

@@ -48,6 +48,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/stats.hh"
 #include "common/threadpool.hh"
 #include "dbt/sbt.hh"
 #include "dbt/superblock.hh"
@@ -68,6 +69,16 @@ struct AsyncSbtResult
     u64 ticket = 0; //!< submission order (0-based)
     /** The optimized superblock; null when the optimizer declined. */
     std::unique_ptr<dbt::Translation> trans;
+    /**
+     * Host-side latency timestamps (steady-clock ns). Stamped on the
+     * dispatch thread at enqueue, on the worker around the
+     * optimization, and consumed on the dispatch thread at drain --
+     * they travel through the locked completion queue, so no cross-
+     * thread access is unsynchronized.
+     */
+    u64 enqueueNs = 0;
+    u64 optStartNs = 0;
+    u64 optEndNs = 0;
 };
 
 /** Background superblock-optimization contexts + completion queue. */
@@ -116,6 +127,15 @@ class AsyncSbtEngine
     u64 totalUopsEmitted() const;
     u64 totalPairsFused() const;
 
+    // Per-job pipeline latency, accumulated at drain time (dispatch
+    // thread only): enqueue -> optimize start (queue wait), optimize
+    // start -> end (worker occupancy), optimize end -> drain (done-
+    // queue wait), and enqueue -> drain (end to end).
+    const LogHistogram &queueLatency() const { return latQueue; }
+    const LogHistogram &optimizeLatency() const { return latOptimize; }
+    const LogHistogram &drainLatency() const { return latDrain; }
+    const LogHistogram &totalLatency() const { return latTotal; }
+
     /**
      * Publish dbt.sbt.*-shaped aggregates plus engine.async.* queue
      * counters. Call only when the contexts are quiescent (after
@@ -139,6 +159,13 @@ class AsyncSbtEngine
     std::deque<AsyncSbtResult> done;
     /** Fast empty-check so the dispatch loop's poll is one load. */
     std::atomic<u64> doneCount{0};
+
+    // Latency histograms (ns, power-of-two buckets), dispatch thread
+    // only: tryPop records them after taking the lock.
+    LogHistogram latQueue{2.0, 40};
+    LogHistogram latOptimize{2.0, 40};
+    LogHistogram latDrain{2.0, 40};
+    LogHistogram latTotal{2.0, 40};
 };
 
 } // namespace cdvm::engine

@@ -131,6 +131,41 @@ struct EngineConfig
     /** Save the translation repository after run() (empty: never). */
     std::string warmStartSavePath;
 
+    // --- continuous profiling / observability -----------------------
+    /**
+     * Sampling period of the guest-hotness profiler, in executed x86
+     * instructions (0 disables sampling). Every period-th instruction
+     * the dispatch loop attributes one sample to {guest page,
+     * translation, stage}; the aggregate heatmap feeds the warm-start
+     * repository's hotness ranking and the --profile-out export.
+     */
+    u64 profileSamplePeriod = 4096;
+    /**
+     * Capacity of the always-on flight recorder, in stage events
+     * (rounded up to a power of two; 0 disables). The ring holds the
+     * most recent events for on-demand, flush-storm, and abnormal-exit
+     * dumps.
+     */
+    std::size_t flightRecorderEvents = 4096;
+    /**
+     * Where flush-storm and abnormal-exit flight dumps are written
+     * (empty: storm dumps are skipped and crash dumps go to stderr).
+     */
+    std::string flightDumpPath;
+    /**
+     * CacheFlush events within flushStormWindowInsns executed
+     * instructions that constitute a storm and trigger an automatic
+     * flight dump (0 disables storm detection).
+     */
+    unsigned flushStormThreshold = 8;
+    /** Storm detection window, in executed x86 instructions. */
+    u64 flushStormWindowInsns = 1u << 20;
+    /**
+     * Take a SnapshotSeries row of the vmm.* counters every N executed
+     * instructions (0 disables). Rows accumulate in Vmm::snapshots().
+     */
+    u64 snapshotEveryInsns = 0;
+
     // --- named configurations ---------------------------------------
     static EngineConfig vmSoft();
     static EngineConfig vmFe();

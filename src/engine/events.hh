@@ -58,6 +58,14 @@ struct StageEvent
     bool background = false;
     /** Phase-specific tracer payload (pc, arena id, ...). */
     u64 arg = 0;
+    /**
+     * Packed dbt::TransId (TransId::raw()) of the translation the
+     * event covers; 0 for stages with no translation identity
+     * (interpretation, x86-mode, instants). Lets sampling consumers
+     * attribute work to individual translations without a reverse
+     * code-address lookup.
+     */
+    u64 transId = 0;
 };
 
 /** A consumer of stage events. */

@@ -15,7 +15,8 @@ using dbt::Translation;
 
 WarmStartReport
 warmStartLoad(const std::string &path, const x86::Memory &mem,
-              CodeCacheManager &ccm, BranchProfile &prof)
+              CodeCacheManager &ccm, BranchProfile &prof,
+              EventStream *events)
 {
     WarmStartReport rep;
     Repository repo;
@@ -47,6 +48,18 @@ warmStartLoad(const std::string &path, const x86::Memory &mem,
         CodeCacheManager::InstallResult res = ccm.install(std::move(t));
         record_ids[i] = res.trans->id;
         ++rep.installed;
+        if (events) {
+            StageEvent ev;
+            ev.stage = TracePhase::WarmInstall;
+            ev.insns = res.trans->numX86Insns;
+            ev.x86Addr = res.trans->entryPc;
+            ev.x86Bytes = res.trans->x86Bytes;
+            ev.codeAddr = res.trans->codeAddr;
+            ev.codeBytes = res.trans->codeBytes;
+            ev.arg = res.trans->entryPc;
+            ev.transId = res.trans->id.raw();
+            events->emit(ev);
+        }
     }
 
     // Re-bind chains: both ends must have survived (a flush during the
@@ -74,9 +87,10 @@ warmStartLoad(const std::string &path, const x86::Memory &mem,
 
 bool
 warmStartSave(const std::string &path, const dbt::TranslationMap &map,
-              const x86::Memory &mem, const BranchProfile &prof)
+              const x86::Memory &mem, const BranchProfile &prof,
+              const dbt::HotnessFn &hotness)
 {
-    Repository repo = dbt::capture(map, mem);
+    Repository repo = dbt::capture(map, mem, hotness);
     prof.forEach([&repo](Addr pc, u64 taken, u64 not_taken) {
         repo.branchProfile.push_back(
             dbt::SavedBranchStat{pc, taken, not_taken});

@@ -20,6 +20,7 @@
 
 #include "dbt/persist.hh"
 #include "engine/cache_mgr.hh"
+#include "engine/events.hh"
 #include "engine/profile.hh"
 
 namespace cdvm::engine
@@ -42,20 +43,27 @@ struct WarmStartReport
 /**
  * Load path into the engine: install validated translations into ccm
  * and seed prof. Never throws; a missing/corrupt file or stale
- * entries just leave the engine (partially) cold.
+ * entries just leave the engine (partially) cold. With an event
+ * stream, each install is emitted as a WarmInstall StageEvent (insns
+ * = translated x86 instructions), so attached profiling sinks see the
+ * warm fill as work.
  */
 WarmStartReport warmStartLoad(const std::string &path,
                               const x86::Memory &mem,
                               CodeCacheManager &ccm,
-                              BranchProfile &prof);
+                              BranchProfile &prof,
+                              EventStream *events = nullptr);
 
 /**
  * Capture the live translations and branch profile into a repository
- * file. @return success.
+ * file. With a hotness function, entries are saved hottest-first (see
+ * dbt::capture) so the next warm start installs the most valuable
+ * translations before the arenas can fill. @return success.
  */
 bool warmStartSave(const std::string &path,
                    const dbt::TranslationMap &map,
-                   const x86::Memory &mem, const BranchProfile &prof);
+                   const x86::Memory &mem, const BranchProfile &prof,
+                   const dbt::HotnessFn &hotness = {});
 
 } // namespace cdvm::engine
 

@@ -313,6 +313,8 @@ StartupSim::run()
                        xlt_busy_frac);
     events.attach(&counts);
     events.attach(&cyc);
+    for (engine::StageSink *s : extraSinks)
+        events.attach(s);
 
     engine::StagedParams sp;
     sp.translateCold = m.cold == ColdMode::BbtCode;

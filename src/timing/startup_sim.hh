@@ -31,6 +31,7 @@
 #include <array>
 #include <vector>
 
+#include "engine/events.hh"
 #include "memsys/hierarchy.hh"
 #include "timing/machine_config.hh"
 #include "workload/trace_gen.hh"
@@ -150,12 +151,21 @@ class StartupSim
     StartupSim(const MachineConfig &machine,
                const workload::AppProfile &app);
 
+    /**
+     * Attach an extra consumer of the simulated stage-event stream
+     * (the same profiling sinks the functional VMM takes: a
+     * SamplingProfiler heatmaps the simulated run, a FlightSink rides
+     * the simulated timeline). Must outlive run().
+     */
+    void attachSink(engine::StageSink *s) { extraSinks.push_back(s); }
+
     /** Run the whole trace; returns the result. */
     StartupResult run();
 
   private:
     MachineConfig m;
     workload::AppProfile app;
+    std::vector<engine::StageSink *> extraSinks;
 };
 
 } // namespace cdvm::timing

@@ -1,5 +1,7 @@
 #include "vmm/vmm.hh"
 
+#include <cstdio>
+
 #include "common/logging.hh"
 #include "common/statreg.hh"
 #include "engine/cold_exec.hh"
@@ -71,21 +73,54 @@ Vmm::Vmm(x86::Memory &memory, const VmmConfig &config)
       asyncSbt(cfg.asyncTranslators > 0
                    ? std::make_unique<engine::AsyncSbtEngine>(cfg)
                    : nullptr),
-      translatedExec(memory, st, branchProf)
+      translatedExec(memory, st, branchProf),
+      prof(cfg.profileSamplePeriod),
+      flight(cfg.flightRecorderEvents),
+      flightFeed(flight, cfg.flushStormThreshold,
+                 cfg.flushStormWindowInsns, cfg.flightDumpPath)
 {
     events.attach(&traceSink);
+    // Profiling sinks attach before the warm start so the warm fill
+    // is recorded and sampled like any other stage work.
+    if (prof.enabled())
+        events.attach(&prof);
+    if (flight.enabled()) {
+        events.attach(&flightFeed);
+        // Abnormal-exit post-mortem: panics dump the ring before the
+        // abort. Installed per-Vmm, last constructed wins.
+        setCrashHook([this] {
+            if (!cfg.flightDumpPath.empty()) {
+                if (flight.writeText(cfg.flightDumpPath)) {
+                    std::fprintf(stderr,
+                                 "panic: flight recorder dumped to "
+                                 "%s\n",
+                                 cfg.flightDumpPath.c_str());
+                }
+                return;
+            }
+            std::fprintf(stderr, "%s", flight.dumpText().c_str());
+        });
+    }
+    if (cfg.snapshotEveryInsns)
+        nextSnapshotAt = cfg.snapshotEveryInsns;
 
     // Persistent warm start: install a previous run's validated
     // translations and profiles before the first dispatched
     // instruction. Failure of any kind just leaves the engine cold.
     if (!cfg.warmStartLoadPath.empty()) {
         engine::WarmStartReport rep = engine::warmStartLoad(
-            cfg.warmStartLoadPath, mem, ccm, branchProf);
+            cfg.warmStartLoadPath, mem, ccm, branchProf, &events);
         st.warmLoaded = rep.loaded;
         st.warmInstalled = rep.installed;
         st.warmInvalidated = rep.invalidated;
         st.warmProfileSeeded = rep.profileSeeded;
     }
+}
+
+Vmm::~Vmm()
+{
+    if (flight.enabled())
+        setCrashHook({});
 }
 
 bool
@@ -95,8 +130,18 @@ Vmm::saveWarmStart(const std::string &path) const
         path.empty() ? cfg.warmStartSavePath : path;
     if (dst.empty())
         return false;
+    // Hotness-ordered capture: the profiler's samples rank first (the
+    // measured heat of this run), per-translation entry counts break
+    // ties and carry the ranking when sampling is off. The repository
+    // then installs the most valuable translations first on the next
+    // warm start.
+    auto hotness = [this](const dbt::Translation &t) {
+        const u64 cap = (u64{1} << 20) - 1;
+        const u64 execs = t.execCount < cap ? t.execCount : cap;
+        return (prof.transSamples(t.id.raw()) << 20) | execs;
+    };
     return engine::warmStartSave(dst, ccm.translations(), mem,
-                                 branchProf);
+                                 branchProf, hotness);
 }
 
 const hwassist::BranchBehaviorBuffer &
@@ -200,7 +245,38 @@ Vmm::drainAsyncSbt()
 x86::Exit
 Vmm::run(x86::CpuState &cpu, InstCount max_insns)
 {
+    const x86::Exit e = runLoop(cpu, max_insns);
+    if (e == x86::Exit::Trap || e == x86::Exit::DecodeFault)
+        dumpFlightOnAbnormal(e);
+    return e;
+}
+
+void
+Vmm::dumpFlightOnAbnormal(x86::Exit e) const
+{
+    if (!flight.enabled() || cfg.flightDumpPath.empty())
+        return;
+    if (flight.writeText(cfg.flightDumpPath)) {
+        cdvm_debug("flight recorder: abnormal exit (%s), dumped %zu "
+                   "events to %s",
+                   x86::exitName(e), flight.size(),
+                   cfg.flightDumpPath.c_str());
+    }
+}
+
+void
+Vmm::snapshotNow()
+{
+    StatRegistry reg;
+    exportCoreStats(reg);
+    snaps.take(reg, st.totalRetired());
+}
+
+x86::Exit
+Vmm::runLoop(x86::CpuState &cpu, InstCount max_insns)
+{
     InstCount retired = 0;
+    const u64 snap_every = cfg.snapshotEveryInsns;
 
     while (retired < max_insns) {
         const Addr pc = cpu.eip;
@@ -209,6 +285,15 @@ Vmm::run(x86::CpuState &cpu, InstCount max_insns)
         // (one relaxed load when there is nothing to do).
         if (asyncSbt)
             drainAsyncSbt();
+
+        // Interval snapshots on the retired-instruction clock (one
+        // predictable branch when disabled).
+        if (snap_every && st.totalRetired() >= nextSnapshotAt) {
+            snapshotNow();
+            do {
+                nextSnapshotAt += snap_every;
+            } while (nextSnapshotAt <= st.totalRetired());
+        }
 
         // Dispatch: chain from the previous translation, else look up.
         // Both hops are handle resolutions, so a last-executed cursor
@@ -287,6 +372,7 @@ Vmm::run(x86::CpuState &cpu, InstCount max_insns)
             ev.codeAddr = executed->codeAddr;
             ev.codeBytes = executed->codeBytes;
             ev.arg = executed->entryPc;
+            ev.transId = executed->id.raw();
             events.emit(ev);
         }
         if (e != x86::Exit::None)
@@ -315,7 +401,7 @@ Vmm::run(x86::CpuState &cpu, InstCount max_insns)
 }
 
 void
-Vmm::exportStats(StatRegistry &reg) const
+Vmm::exportCoreStats(StatRegistry &reg) const
 {
     auto set = [&reg](const std::string &name, u64 v,
                       const char *desc) {
@@ -406,6 +492,34 @@ Vmm::exportStats(StatRegistry &reg) const
         "failed-seed entries resident");
     set("engine.sbt_failed.evictions", sbtFailed.evictions(),
         "failed-seed entries evicted at capacity");
+
+    // engine.profiler.* / engine.flight.*: continuous profiling.
+    if (prof.enabled())
+        prof.exportStats(reg);
+    if (flight.enabled()) {
+        set("engine.flight.capacity", flight.capacity(),
+            "flight recorder ring capacity (events)");
+        set("engine.flight.recorded", flight.recorded(),
+            "stage events recorded by the flight recorder");
+        set("engine.flight.dropped", flight.dropped(),
+            "flight recorder events lost to ring overwrite");
+        set("engine.flight.storms", flightFeed.storms(),
+            "cache-flush storm episodes detected");
+        set("engine.flight.storm_dumps", flightFeed.stormDumps(),
+            "storm episodes that produced a dump file");
+    }
+    if (cfg.snapshotEveryInsns) {
+        set("vmm.snapshots.rows", snaps.rows(),
+            "interval snapshot rows taken");
+        set("vmm.snapshots.every_insns", cfg.snapshotEveryInsns,
+            "snapshot period (retired instructions)");
+    }
+}
+
+void
+Vmm::exportStats(StatRegistry &reg) const
+{
+    exportCoreStats(reg);
 
     // dbt.*: translators, code caches, and the lookup table. The BBT
     // backend publishes dbt.bbt.* (and, for the XLTx86-assisted path,

@@ -36,6 +36,8 @@
 #include <memory>
 #include <optional>
 
+#include "common/flight_recorder.hh"
+#include "common/statreg.hh"
 #include "common/trace.hh"
 #include "engine/async_sbt.hh"
 #include "engine/backend.hh"
@@ -43,16 +45,12 @@
 #include "engine/engine_config.hh"
 #include "engine/events.hh"
 #include "engine/profile.hh"
+#include "engine/profiler.hh"
 #include "engine/strategy.hh"
 #include "engine/translated_exec.hh"
 #include "hwassist/bbb.hh"
 #include "x86/interp.hh"
 #include "x86/memory.hh"
-
-namespace cdvm
-{
-class StatRegistry;
-}
 
 namespace cdvm::vmm
 {
@@ -67,6 +65,7 @@ class Vmm
 {
   public:
     Vmm(x86::Memory &memory, const VmmConfig &config = {});
+    ~Vmm();
 
     /**
      * Emulate from the CPU state until program exit, a trap, or at
@@ -134,7 +133,45 @@ class Vmm
      */
     u64 traceClock() const { return traceSink.clock(); }
 
+    // --- continuous profiling ---------------------------------------
+    /** The guest-hotness sampling profiler (disabled when period 0). */
+    const engine::SamplingProfiler &profiler() const { return prof; }
+
+    /** The always-on flight recorder ring. */
+    const FlightRecorder &flightRecorder() const { return flight; }
+
+    /** Flush-storm detection counters. */
+    const engine::FlightSink &flightSink() const { return flightFeed; }
+
+    /** Dump the flight recorder to path now. @return success. */
+    bool
+    dumpFlight(const std::string &path) const
+    {
+        return flight.writeText(path);
+    }
+
+    /** Interval snapshots taken on the retired-instruction clock. */
+    const SnapshotSeries &snapshots() const { return snaps; }
+
+    /**
+     * Take one snapshot row of the vmm.* and engine.* counters now,
+     * at the current retire clock. Cheap: no async barrier, no
+     * dbt/hwassist export -- safe from inside the run loop.
+     */
+    void snapshotNow();
+
+    /**
+     * Publish only this object's own counters (the vmm.* and
+     * engine.(branch_prof|sbt_failed|profiler|flight).* namespaces)
+     * -- the barrier-free subset of exportStats that interval
+     * snapshots capture.
+     */
+    void exportCoreStats(StatRegistry &reg) const;
+
   private:
+    x86::Exit runLoop(x86::CpuState &cpu, InstCount max_insns);
+    /** Flight-recorder dump on Trap/DecodeFault exits. */
+    void dumpFlightOnAbnormal(x86::Exit e) const;
     void invokeSbt(Addr seed_pc);
     /** Emit the SbtOptimize event and publish the superblock. */
     void installSbt(Addr seed_pc,
@@ -161,6 +198,14 @@ class Vmm
     /** Background optimization contexts (cfg.asyncTranslators > 0). */
     std::unique_ptr<engine::AsyncSbtEngine> asyncSbt;
     engine::TranslatedExecutor translatedExec;
+
+    // --- continuous profiling (dispatch-thread only) ----------------
+    engine::SamplingProfiler prof;
+    FlightRecorder flight;
+    engine::FlightSink flightFeed;
+    SnapshotSeries snaps;
+    /** Retire clock that triggers the next snapshot row. */
+    u64 nextSnapshotAt = 0;
 
     /**
      * The translation we last exited from (chaining source). A

@@ -34,6 +34,23 @@ enum class Exit : u8
     DecodeFault, //!< bytes did not decode
 };
 
+/** Display name of an exit reason. */
+inline const char *
+exitName(Exit e)
+{
+    switch (e) {
+      case Exit::None:
+        return "none";
+      case Exit::Halted:
+        return "halted";
+      case Exit::Trap:
+        return "trap";
+      case Exit::DecodeFault:
+        return "decode-fault";
+    }
+    return "?";
+}
+
 /** Architected x86 machine state. */
 struct CpuState
 {
