@@ -16,6 +16,13 @@
  *
  *   $ ./build/examples/quickstart --stats-json=out.json \
  *         --trace-out=trace.json
+ *
+ * With --contexts > 1 the quickstart instead boots a multi-tenant
+ * fleet (src/fleet): N contexts admitted along --arrival, time-sliced
+ * by --policy, cold and then warm-started from per-workload
+ * repositories primed in-process:
+ *
+ *   $ ./build/examples/quickstart --contexts=64 --arrival=poisson:8
  */
 
 #include <chrono>
@@ -26,6 +33,7 @@
 #include "common/cli.hh"
 #include "common/statreg.hh"
 #include "engine/engine_config.hh"
+#include "fleet/fleet.hh"
 #include "timing/startup_sim.hh"
 #include "vmm/vmm.hh"
 #include "workload/winstone.hh"
@@ -62,6 +70,113 @@ machineFor(const std::string &name, bool warm_start)
     return m;
 }
 
+/**
+ * Fleet mode (--contexts > 1): boot a multi-tenant storm of the
+ * chosen engine configuration, cold and then warm-started from
+ * per-workload repositories primed in-process, and report the
+ * startup-latency distribution on the fleet's virtual cycle clock.
+ */
+int
+runFleet(const Cli &cli, const vmm::VmmConfig &base)
+{
+    fleet::FleetConfig cfg;
+    cfg.contexts = static_cast<unsigned>(cli.num("contexts"));
+    cfg.workloads = cfg.contexts < 4 ? cfg.contexts : 4;
+    cfg.engineCfg = base;
+    workload::ProgramParams shape;
+    shape.numFuncs = 5;
+    shape.blocksPerFunc = 3;
+    shape.insnsPerBlock = 8;
+    shape.mainIterations = 2;
+    cfg.workloadParams = shape;
+    cfg.targetInsns = 500'000;
+    cfg.milestoneInsns = 500'000;
+
+    auto arr = fleet::ArrivalCurve::parse(cli.str("arrival"));
+    if (!arr) {
+        std::fprintf(stderr, "unknown --arrival '%s'\n",
+                     cli.str("arrival").c_str());
+        return 1;
+    }
+    cfg.arrival = *arr;
+    auto pol = fleet::schedPolicyByName(cli.str("policy"));
+    if (!pol) {
+        std::fprintf(stderr, "unknown --policy '%s'\n",
+                     cli.str("policy").c_str());
+        return 1;
+    }
+    cfg.policy = *pol;
+
+    std::printf("booting a %u-context fleet (%s arrival, %s "
+                "scheduling, %s tenants)...\n",
+                cfg.contexts, cfg.arrival.describe().c_str(),
+                fleet::schedPolicyName(cfg.policy),
+                base.name.c_str());
+
+    fleet::FleetServer cold(cfg);
+    const fleet::FleetResult cr = cold.run();
+    std::printf("cold: %u/%u contexts done, p50/p99 to %lluk insns = "
+                "%.0f / %.0f cycles, %.1f MIPS aggregate\n",
+                cr.completed, cfg.contexts,
+                static_cast<unsigned long long>(
+                    cfg.milestoneInsns / 1000),
+                cr.p50TimeToMilestone, cr.p99TimeToMilestone,
+                cr.guestMips);
+
+    // Warm series: prime one repository per workload class.
+    const engine::EngineConfig tcfg =
+        fleet::tenantEngineConfig(cfg.engineCfg);
+    for (unsigned w = 0; w < cfg.workloads; ++w) {
+        workload::ProgramParams p = cfg.workloadParams;
+        p.seed = fleet::deriveSeed(cfg.fleetSeed, w);
+        const workload::Program prog = workload::generateProgram(p);
+        Memory mem;
+        prog.loadInto(mem);
+        vmm::Vmm vm(mem, tcfg);
+        CpuState cpu = prog.initialState();
+        while (vm.stats().totalRetired() < 2 * cfg.targetInsns) {
+            const Exit e = vm.run(cpu, 2 * cfg.targetInsns -
+                                           vm.stats().totalRetired());
+            if (e == Exit::Halted)
+                cpu = prog.initialState();
+            else if (e != Exit::None)
+                break;
+        }
+        cfg.warmRepos.push_back(
+            std::make_shared<const dbt::Repository>(
+                vm.captureWarmStart()));
+    }
+    fleet::FleetServer warm(cfg);
+    const fleet::FleetResult wr = warm.run();
+    std::printf("warm: %u/%u contexts done, p50/p99 to %lluk insns = "
+                "%.0f / %.0f cycles, %.1f MIPS aggregate "
+                "(p99 %.2fx faster)\n",
+                wr.completed, cfg.contexts,
+                static_cast<unsigned long long>(
+                    cfg.milestoneInsns / 1000),
+                wr.p50TimeToMilestone, wr.p99TimeToMilestone,
+                wr.guestMips,
+                wr.p99TimeToMilestone > 0.0
+                    ? cr.p99TimeToMilestone / wr.p99TimeToMilestone
+                    : 0.0);
+
+    StatRegistry local_cold, local_warm;
+    cold.exportStats(local_cold);
+    warm.exportStats(local_warm);
+    StatRegistry &reg = StatRegistry::global();
+    reg.merge(local_cold, "fleet_demo.cold");
+    reg.merge(local_warm, "fleet_demo.warm");
+    dumpObservability();
+
+    const bool ok = cr.completed == cfg.contexts &&
+                    wr.completed == cfg.contexts &&
+                    cr.failed == 0 && wr.failed == 0;
+    std::printf("\nevery context completed with the reference "
+                "architected state: %s\n",
+                ok ? "YES" : "NO");
+    return ok ? 0 : 1;
+}
+
 } // namespace
 
 int
@@ -87,6 +202,14 @@ main(int argc, char **argv)
     cli.flag("snapshot-every", "0",
              "take an interval snapshot of the vmm.* counters every N "
              "retired instructions (0 = off)");
+    cli.flag("contexts", "1",
+             "host this many guest contexts as a multi-tenant fleet "
+             "(1 = the classic single-VM quickstart)");
+    cli.flag("arrival", "storm",
+             "fleet admission curve: storm | step:<batch>@<cycles> | "
+             "poisson:<rate-per-Mcycle>");
+    cli.flag("policy", "rr",
+             "fleet scheduling policy: rr | loadratio");
     addObservabilityFlags(cli);
     cli.parse(argc, argv);
     applyObservabilityFlags(cli);
@@ -102,6 +225,9 @@ main(int argc, char **argv)
         std::fprintf(stderr, "\n");
         return 1;
     }
+
+    if (cli.num("contexts") > 1)
+        return runFleet(cli, *named);
 
     // A tiny program: sum = sum(i*i for i in 1..100), looped enough
     // times that the VM's hotspot optimizer kicks in.

@@ -3,6 +3,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
+#include <utility>
+#include <vector>
 
 namespace cdvm
 {
@@ -33,7 +36,20 @@ envLogLevel()
 
 LogLevel curLevel = envLogLevel();
 
-std::function<void()> crashHook;
+/**
+ * The crash-hook registry. Registration order is preserved so the
+ * hooks run oldest-first; removal leaves a tombstone-free vector (the
+ * registry is tiny -- one entry per live flight recorder).
+ */
+struct CrashHookEntry
+{
+    CrashHookId id = NO_CRASH_HOOK;
+    std::function<void()> fn;
+};
+
+std::mutex crashHookMu;
+std::vector<CrashHookEntry> crashHooks;
+CrashHookId nextCrashHookId = 1;
 bool inCrashHook = false;
 
 } // namespace
@@ -62,20 +78,63 @@ quiet()
     return curLevel == LogLevel::Silent;
 }
 
-void
-setCrashHook(std::function<void()> hook)
+CrashHookId
+addCrashHook(std::function<void()> hook)
 {
-    crashHook = std::move(hook);
+    if (!hook)
+        return NO_CRASH_HOOK;
+    std::lock_guard<std::mutex> lk(crashHookMu);
+    const CrashHookId id = nextCrashHookId++;
+    crashHooks.push_back({id, std::move(hook)});
+    return id;
+}
+
+void
+removeCrashHook(CrashHookId id)
+{
+    if (id == NO_CRASH_HOOK)
+        return;
+    std::lock_guard<std::mutex> lk(crashHookMu);
+    for (std::size_t i = 0; i < crashHooks.size(); ++i) {
+        if (crashHooks[i].id == id) {
+            crashHooks.erase(crashHooks.begin() +
+                             static_cast<std::ptrdiff_t>(i));
+            return;
+        }
+    }
+}
+
+std::size_t
+crashHookCount()
+{
+    std::lock_guard<std::mutex> lk(crashHookMu);
+    return crashHooks.size();
+}
+
+void
+runCrashHooks()
+{
+    if (inCrashHook)
+        return;
+    inCrashHook = true;
+    // Copy under the lock, run outside it: a hook that registers,
+    // removes, or panics must not deadlock the registry.
+    std::vector<std::function<void()>> fns;
+    {
+        std::lock_guard<std::mutex> lk(crashHookMu);
+        fns.reserve(crashHooks.size());
+        for (const CrashHookEntry &e : crashHooks)
+            fns.push_back(e.fn);
+    }
+    for (const std::function<void()> &fn : fns)
+        fn();
+    inCrashHook = false;
 }
 
 void
 panicImpl(const char *file, int line, const char *fmt, ...)
 {
-    if (crashHook && !inCrashHook) {
-        inCrashHook = true;
-        crashHook();
-        inCrashHook = false;
-    }
+    runCrashHooks();
     std::fprintf(stderr, "panic: %s:%d: ", file, line);
     va_list args;
     va_start(args, fmt);

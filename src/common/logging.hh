@@ -21,6 +21,8 @@
 #include <functional>
 #include <string>
 
+#include "common/types.hh"
+
 namespace cdvm
 {
 
@@ -56,12 +58,38 @@ void setQuiet(bool quiet);
 bool quiet();
 
 /**
- * Install a crash hook run once at the top of panic(), before the
- * abort -- the flight recorder registers its dump here so abnormal
- * exits leave a post-mortem artifact. An empty function uninstalls.
- * Recursive panics skip the hook.
+ * Crash hooks run once at the top of panic(), before the abort -- the
+ * flight recorder registers its dump here so abnormal exits leave a
+ * post-mortem artifact. The registry supports any number of live
+ * owners (a multi-tenant server hosts many Vmm instances, each with
+ * its own flight recorder): every registration gets a token, removal
+ * is by token, and panic() runs every hook still registered in
+ * registration order. Recursive panics skip the hooks.
+ *
+ * Registration and removal are mutex-protected; the hooks themselves
+ * run outside the lock (a hook that panics again is caught by the
+ * recursion guard, not by a deadlock).
  */
-void setCrashHook(std::function<void()> hook);
+using CrashHookId = u64;
+
+/** Invalid token: removeCrashHook(NO_CRASH_HOOK) is a no-op. */
+inline constexpr CrashHookId NO_CRASH_HOOK = 0;
+
+/** Register a hook; the token identifies it for removal. */
+CrashHookId addCrashHook(std::function<void()> hook);
+
+/** Unregister by token (no-op for NO_CRASH_HOOK or unknown ids). */
+void removeCrashHook(CrashHookId id);
+
+/** Hooks currently registered (tests and leak checks). */
+std::size_t crashHookCount();
+
+/**
+ * Run every registered hook now, in registration order (the panic
+ * path calls this; tests call it directly since panic() aborts).
+ * Nested calls -- a hook that itself panics -- are skipped.
+ */
+void runCrashHooks();
 
 } // namespace cdvm
 

@@ -365,6 +365,36 @@ StatRegistry::clear()
 }
 
 void
+StatRegistry::merge(const StatRegistry &src, const std::string &prefix)
+{
+    const std::string pfx = prefix.empty() ? "" : prefix + ".";
+    for (const auto &kv : src.entries) {
+        const std::string name = pfx + kv.first;
+        const Entry &e = kv.second;
+        switch (e.kind) {
+          case StatKind::Scalar:
+            set(name, e.scalarVal, e.desc);
+            break;
+          case StatKind::Gauge:
+            // Freeze: the source's callback may dangle after merge.
+            set(name, e.fn ? e.fn() : 0.0, e.desc);
+            break;
+          case StatKind::Running:
+            running(name, e.desc) = e.run ? *e.run : RunningStat{};
+            break;
+          case StatKind::Histogram: {
+            const double base = e.hist ? e.hist->logBase() : 10.0;
+            const unsigned nb = e.hist ? e.hist->numBuckets() : 10u;
+            LogHistogram &dst = histogram(name, base, nb, e.desc);
+            if (e.hist)
+                dst = *e.hist;
+            break;
+          }
+        }
+    }
+}
+
+void
 SnapshotSeries::take(const StatRegistry &reg, u64 clock)
 {
     Row row;

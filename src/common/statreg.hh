@@ -112,6 +112,20 @@ class StatRegistry
     /** Drop every entry (tests and fresh runs). */
     void clear();
 
+    /**
+     * Copy every entry of src into this registry under
+     * "<prefix>.<name>" (or verbatim when prefix is empty). This is
+     * how a multi-context server nests per-context exports without
+     * threading a prefix through every subsystem's exportStats(): each
+     * context exports into a private registry, and the server merges
+     * it under "ctx.<id>". Scalars and distributions are copied by
+     * value; gauges are frozen to their value at merge time (the
+     * source registry may be destroyed right after). Merging the same
+     * name twice overwrites; a leaf/group or kind conflict panics,
+     * exactly as direct registration would.
+     */
+    void merge(const StatRegistry &src, const std::string &prefix);
+
   private:
     struct Entry
     {

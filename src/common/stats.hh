@@ -83,6 +83,8 @@ class LogHistogram
 
     double bucketWeight(unsigned k) const { return counts.at(k); }
     unsigned numBuckets() const { return static_cast<unsigned>(counts.size()); }
+    /** The bucket base (copying registries needs the geometry). */
+    double logBase() const { return base; }
     double totalWeight() const { return total; }
 
     /** Sum of bucket weights for buckets whose low edge >= threshold. */

@@ -22,11 +22,19 @@ nowNs()
 
 } // namespace
 
-AsyncSbtEngine::AsyncSbtEngine(const EngineConfig &cfg)
-    : pool(cfg.asyncTranslators, cfg.asyncQueueCap)
+AsyncSbtEngine::AsyncSbtEngine(const EngineConfig &cfg,
+                               ThreadPool *shared_pool)
+    : ownedPool(shared_pool
+                    ? nullptr
+                    : std::make_unique<ThreadPool>(cfg.asyncTranslators,
+                                                   cfg.asyncQueueCap)),
+      pool(shared_pool ? shared_pool : ownedPool.get())
 {
-    translators.reserve(pool.workers());
-    for (unsigned i = 0; i < pool.workers(); ++i)
+    // Translators are indexed by the executing worker's context id,
+    // so a shared pool needs one per *pool* worker even though this
+    // engine may only ever occupy a few of them at once.
+    translators.reserve(pool->workers());
+    for (unsigned i = 0; i < pool->workers(); ++i)
         translators.emplace_back(cfg.fusion);
 }
 
@@ -47,9 +55,12 @@ AsyncSbtEngine::request(Addr seed, dbt::SuperblockTrace trace)
         r.trans = translators[ctx].translate(tr);
         r.optEndNs = nowNs();
         pushDone(std::move(r));
+        nCompleted.fetch_add(1, std::memory_order_relaxed);
     };
-    if (!pool.trySubmit(std::move(work)))
+    if (!pool->trySubmit(std::move(work))) {
+        ++nRejected;
         return false;
+    }
     ++nSubmitted;
     inFlight.insert(seed);
     return true;
@@ -149,15 +160,16 @@ AsyncSbtEngine::exportStats(StatRegistry &reg,
             "fraction of uops inside fused pairs");
 
     reg.set("engine.async.contexts",
-            static_cast<double>(pool.workers()),
+            static_cast<double>(pool->workers()),
             "background translator contexts");
+    reg.set("engine.async.shared_pool", ownedPool ? 0.0 : 1.0,
+            "1 when the worker pool is process-shared (fleet mode)");
     reg.set("engine.async.submitted", static_cast<double>(nSubmitted),
             "optimization requests enqueued");
-    reg.set("engine.async.executed",
-            static_cast<double>(pool.executed()),
+    reg.set("engine.async.executed", static_cast<double>(completed()),
             "optimization requests completed by workers");
     reg.set("engine.async.rejected_full",
-            static_cast<double>(pool.rejectedFull()),
+            static_cast<double>(nRejected),
             "requests dropped by queue back-pressure");
 
     // Publish the latency distributions by copy: the registry's JSON

@@ -89,11 +89,26 @@ class AsyncSbtEngine
      * Spin up cfg.asyncTranslators worker contexts behind a queue of
      * cfg.asyncQueueCap requests; each context gets its own
      * SuperblockTranslator configured like the synchronous SBT's.
+     *
+     * With shared_pool, no threads are spawned: requests go to the
+     * caller-owned pool (a multi-tenant server runs every tenant's
+     * optimizations on one fleet-wide pool), and one private
+     * translator per *pool worker* keeps optimization unsynchronized.
+     * Completion queue, in-flight set, and latency accounting stay
+     * per-engine, so results never cross tenants. The shared pool
+     * must outlive this engine.
      */
-    explicit AsyncSbtEngine(const EngineConfig &cfg);
+    explicit AsyncSbtEngine(const EngineConfig &cfg,
+                            ThreadPool *shared_pool = nullptr);
 
-    /** Waits for in-flight work, then stops the contexts. */
-    ~AsyncSbtEngine() { pool.drain(); }
+    /**
+     * Waits for in-flight work, then stops (or, when shared, merely
+     * quiesces) the contexts. The drain covers the whole pool: on a
+     * shared pool this may also wait out other tenants' work, which
+     * is the conservative way to guarantee no worker still references
+     * this engine's translators.
+     */
+    ~AsyncSbtEngine() { pool->drain(); }
 
     /**
      * True when the seed has been requested and its result has not
@@ -115,11 +130,20 @@ class AsyncSbtEngine
     std::optional<AsyncSbtResult> tryPop();
 
     /** Wait until every requested optimization has completed. */
-    void barrier() { pool.drain(); }
+    void barrier() { pool->drain(); }
 
-    unsigned contexts() const { return pool.workers(); }
+    unsigned contexts() const { return pool->workers(); }
     u64 submitted() const { return nSubmitted; }
-    u64 rejected() const { return pool.rejectedFull(); }
+    /** This engine's requests dropped by queue back-pressure. */
+    u64 rejected() const { return nRejected; }
+    /** This engine's optimizations completed by workers. */
+    u64
+    completed() const
+    {
+        return nCompleted.load(std::memory_order_relaxed);
+    }
+    /** True when the pool is caller-owned (fleet mode). */
+    bool sharedPool() const { return !ownedPool; }
 
     // Aggregate translator activity across all contexts.
     u64 superblocksTranslated() const;
@@ -147,13 +171,19 @@ class AsyncSbtEngine
   private:
     void pushDone(AsyncSbtResult r);
 
-    ThreadPool pool;
+    /** Private pool (classic single-tenant mode); null when shared. */
+    std::unique_ptr<ThreadPool> ownedPool;
+    /** The pool in use: &*ownedPool or the caller's shared pool. */
+    ThreadPool *pool;
     /** One private translator per worker context (index = ctx). */
     std::vector<dbt::SuperblockTranslator> translators;
 
     /** Seeds requested and not yet drained (dispatch thread only). */
     std::unordered_set<Addr> inFlight;
     u64 nSubmitted = 0;
+    u64 nRejected = 0;
+    /** Jobs finished by workers (relaxed; exact once quiescent). */
+    std::atomic<u64> nCompleted{0};
 
     std::mutex doneMu;
     std::deque<AsyncSbtResult> done;

@@ -220,8 +220,9 @@ struct EngineStats
     u64 asyncSbtStaleDropped = 0; //!< results dropped as stale
     u64 asyncSbtQueueRejects = 0; //!< requests dropped (queue full)
     // Persistent warm start.
-    u64 warmLoaded = 0;        //!< records read from the repository
-    u64 warmInstalled = 0;     //!< translations installed pre-dispatch
+    u64 warmLoaded = 0;         //!< records read from the repository
+    u64 warmInstalled = 0;      //!< translations installed pre-dispatch
+    u64 warmInsnsInstalled = 0; //!< x86 instructions those cover
     u64 warmInvalidated = 0;   //!< records rejected (stale/malformed)
     u64 warmProfileSeeded = 0; //!< branch-profile entries seeded
 

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Process-shared services for multi-context emulation.
+ *
+ * A Vmm used to be the whole process: one guest context, one set of
+ * worker threads, one warm-start repository read off disk. A
+ * multi-tenant server hosts hundreds of contexts in one process, and
+ * splitting the Vmm's state into *per-context* (registers, guest
+ * memory, code caches, lookup structures, profilers, stats) versus
+ * *process-shared* (background translation workers, the parsed
+ * read-only warm-start repository) is what makes that cheap:
+ *
+ *  - SharedServices::sbtPool -- one bounded ThreadPool whose worker
+ *    contexts serve every tenant's background SBT requests. Each
+ *    Vmm's AsyncSbtEngine keeps its own completion queue and
+ *    in-flight set, so results can never cross tenants; only the
+ *    workers and the request queue (and therefore the back-pressure)
+ *    are shared.
+ *  - SharedServices::warmRepo -- one parsed dbt::Repository shared
+ *    read-only by every context warm-starting from the same image.
+ *    The file is read and checksummed once per process instead of
+ *    once per context; installation (validation against the
+ *    context's own guest memory, code-cache allocation, chain
+ *    re-binding) stays per-context.
+ *
+ * A null/empty SharedServices leaves the Vmm exactly as before: it
+ * owns a private pool and loads its repository from
+ * EngineConfig::warmStartLoadPath.
+ */
+
+#ifndef CDVM_ENGINE_SERVICES_HH
+#define CDVM_ENGINE_SERVICES_HH
+
+#include <memory>
+
+#include "common/threadpool.hh"
+#include "dbt/persist.hh"
+
+namespace cdvm::engine
+{
+
+/** Services a multi-context host shares across its tenants. */
+struct SharedServices
+{
+    /**
+     * Background SBT worker pool shared by all contexts (null: each
+     * Vmm with asyncTranslators > 0 spins up a private pool). The
+     * pool must outlive every Vmm constructed against it.
+     */
+    ThreadPool *sbtPool = nullptr;
+
+    /**
+     * Parsed warm-start repository, shared read-only. When set, it
+     * takes precedence over EngineConfig::warmStartLoadPath (the
+     * config path is what the repository was loaded from).
+     */
+    std::shared_ptr<const dbt::Repository> warmRepo;
+};
+
+} // namespace cdvm::engine
+
+#endif // CDVM_ENGINE_SERVICES_HH

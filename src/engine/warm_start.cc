@@ -26,6 +26,15 @@ warmStartLoad(const std::string &path, const x86::Memory &mem,
                    dbt::loadErrorName(rep.error));
         return rep;
     }
+    return warmStartInstall(repo, mem, ccm, prof, events);
+}
+
+WarmStartReport
+warmStartInstall(const Repository &repo, const x86::Memory &mem,
+                 CodeCacheManager &ccm, BranchProfile &prof,
+                 EventStream *events)
+{
+    WarmStartReport rep;
     rep.ok = true;
     rep.loaded = repo.entries.size();
 
@@ -48,6 +57,7 @@ warmStartLoad(const std::string &path, const x86::Memory &mem,
         CodeCacheManager::InstallResult res = ccm.install(std::move(t));
         record_ids[i] = res.trans->id;
         ++rep.installed;
+        rep.installedInsns += res.trans->numX86Insns;
         if (events) {
             StageEvent ev;
             ev.stage = TracePhase::WarmInstall;
@@ -85,17 +95,26 @@ warmStartLoad(const std::string &path, const x86::Memory &mem,
     return rep;
 }
 
-bool
-warmStartSave(const std::string &path, const dbt::TranslationMap &map,
-              const x86::Memory &mem, const BranchProfile &prof,
-              const dbt::HotnessFn &hotness)
+Repository
+warmStartCapture(const dbt::TranslationMap &map,
+                 const x86::Memory &mem, const BranchProfile &prof,
+                 const dbt::HotnessFn &hotness)
 {
     Repository repo = dbt::capture(map, mem, hotness);
     prof.forEach([&repo](Addr pc, u64 taken, u64 not_taken) {
         repo.branchProfile.push_back(
             dbt::SavedBranchStat{pc, taken, not_taken});
     });
-    return dbt::saveFile(path, repo);
+    return repo;
+}
+
+bool
+warmStartSave(const std::string &path, const dbt::TranslationMap &map,
+              const x86::Memory &mem, const BranchProfile &prof,
+              const dbt::HotnessFn &hotness)
+{
+    return dbt::saveFile(path,
+                         warmStartCapture(map, mem, prof, hotness));
 }
 
 } // namespace cdvm::engine

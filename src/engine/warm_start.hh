@@ -33,11 +33,13 @@ struct WarmStartReport
      *  may still have been invalidated). */
     bool ok = false;
     dbt::LoadError error = dbt::LoadError::None;
-    u64 loaded = 0;        //!< records read from the repository
-    u64 installed = 0;     //!< translations installed pre-dispatch
-    u64 invalidated = 0;   //!< records rejected (stale guest code or
-                           //!< malformed body)
-    u64 profileSeeded = 0; //!< branch-profile entries seeded
+    u64 loaded = 0;         //!< records read from the repository
+    u64 installed = 0;      //!< translations installed pre-dispatch
+    u64 installedInsns = 0; //!< x86 instructions those cover (the
+                            //!< warm-fill work a cycle model prices)
+    u64 invalidated = 0;    //!< records rejected (stale guest code or
+                            //!< malformed body)
+    u64 profileSeeded = 0;  //!< branch-profile entries seeded
 };
 
 /**
@@ -55,10 +57,36 @@ WarmStartReport warmStartLoad(const std::string &path,
                               EventStream *events = nullptr);
 
 /**
- * Capture the live translations and branch profile into a repository
- * file. With a hotness function, entries are saved hottest-first (see
- * dbt::capture) so the next warm start installs the most valuable
- * translations before the arenas can fill. @return success.
+ * Install an already-parsed repository (the shared read-only handle a
+ * multi-tenant server loads once and hands to every context booting
+ * the same image). Validation against *this* context's guest memory,
+ * materialization, code-cache installation, chain re-binding, and
+ * profile seeding all happen here, per context; only the parse and
+ * checksum were amortized. report.ok is always true (the bytes were
+ * verified when the handle was created).
+ */
+WarmStartReport warmStartInstall(const dbt::Repository &repo,
+                                 const x86::Memory &mem,
+                                 CodeCacheManager &ccm,
+                                 BranchProfile &prof,
+                                 EventStream *events = nullptr);
+
+/**
+ * Capture the live translations and branch profile into an in-memory
+ * repository. With a hotness function, entries are ordered
+ * hottest-first (see dbt::capture) so a warm start installs the most
+ * valuable translations before the arenas can fill. This is the
+ * fleet-server priming path: one capture feeds many contexts through
+ * warmStartInstall without ever touching the filesystem.
+ */
+dbt::Repository warmStartCapture(const dbt::TranslationMap &map,
+                                 const x86::Memory &mem,
+                                 const BranchProfile &prof,
+                                 const dbt::HotnessFn &hotness = {});
+
+/**
+ * Capture (as above) and write the repository to a file.
+ * @return success.
  */
 bool warmStartSave(const std::string &path,
                    const dbt::TranslationMap &map,

@@ -1,0 +1,116 @@
+#include "fleet/arrival.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/random.hh"
+
+namespace cdvm::fleet
+{
+
+const char *
+arrivalKindName(ArrivalKind k)
+{
+    switch (k) {
+      case ArrivalKind::Storm:
+        return "storm";
+      case ArrivalKind::Step:
+        return "step";
+      case ArrivalKind::Poisson:
+        return "poisson";
+    }
+    return "?";
+}
+
+std::vector<u64>
+ArrivalCurve::admitClocks(unsigned contexts, u64 fleet_seed) const
+{
+    std::vector<u64> at;
+    at.reserve(contexts);
+    switch (kind) {
+      case ArrivalKind::Storm:
+        at.assign(contexts, 0);
+        break;
+      case ArrivalKind::Step: {
+        const unsigned batch = stepBatch ? stepBatch : 1;
+        for (unsigned i = 0; i < contexts; ++i)
+            at.push_back((i / batch) * stepPeriodCycles);
+        break;
+      }
+      case ArrivalKind::Poisson: {
+        // Inverse-CDF exponential gaps. The stream key mixes only the
+        // fleet seed (not the context id): arrival order is a global
+        // property of the fleet, while per-context workloads draw
+        // from their own derived seeds.
+        Pcg32 rng(fleet_seed, /*seq=*/0x41525249 /* "ARRI" */);
+        const double rate =
+            poissonRatePerMcycle > 0.0 ? poissonRatePerMcycle : 1.0;
+        const double mean_gap = 1e6 / rate;
+        u64 t = 0;
+        for (unsigned i = 0; i < contexts; ++i) {
+            const double u = rng.uniform();
+            const double gap = -std::log(1.0 - u) * mean_gap;
+            t += gap < 1.0 ? 1 : static_cast<u64>(std::llround(gap));
+            at.push_back(t);
+        }
+        break;
+      }
+    }
+    return at;
+}
+
+std::optional<ArrivalCurve>
+ArrivalCurve::parse(const std::string &spec)
+{
+    ArrivalCurve c;
+    if (spec == "storm") {
+        c.kind = ArrivalKind::Storm;
+        return c;
+    }
+    if (spec.rfind("poisson:", 0) == 0) {
+        char *end = nullptr;
+        const double rate = std::strtod(spec.c_str() + 8, &end);
+        if (!end || *end != '\0' || rate <= 0.0)
+            return std::nullopt;
+        c.kind = ArrivalKind::Poisson;
+        c.poissonRatePerMcycle = rate;
+        return c;
+    }
+    if (spec.rfind("step:", 0) == 0) {
+        unsigned batch = 0;
+        unsigned long long period = 0;
+        char trail = '\0';
+        if (std::sscanf(spec.c_str() + 5, "%u@%llu%c", &batch,
+                        &period, &trail) != 2 ||
+            batch == 0 || period == 0)
+            return std::nullopt;
+        c.kind = ArrivalKind::Step;
+        c.stepBatch = batch;
+        c.stepPeriodCycles = period;
+        return c;
+    }
+    return std::nullopt;
+}
+
+std::string
+ArrivalCurve::describe() const
+{
+    char buf[64];
+    switch (kind) {
+      case ArrivalKind::Storm:
+        return "storm";
+      case ArrivalKind::Step:
+        std::snprintf(buf, sizeof(buf), "step:%u@%llu", stepBatch,
+                      static_cast<unsigned long long>(
+                          stepPeriodCycles));
+        return buf;
+      case ArrivalKind::Poisson:
+        std::snprintf(buf, sizeof(buf), "poisson:%g",
+                      poissonRatePerMcycle);
+        return buf;
+    }
+    return "?";
+}
+
+} // namespace cdvm::fleet

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Context-arrival curves for the multi-tenant fleet server.
+ *
+ * A boot storm is not one shape: contexts may all arrive at once
+ * (power-on of a rack), in stepped batches (a rolling deploy), or as
+ * a Poisson stream (organic tenant churn). An ArrivalCurve turns a
+ * (fleet seed, context count) pair into a deterministic, nondecreasing
+ * list of admission times on the fleet's virtual cycle clock, so every
+ * run of the same configuration admits the same contexts at the same
+ * instants.
+ */
+
+#ifndef CDVM_FLEET_ARRIVAL_HH
+#define CDVM_FLEET_ARRIVAL_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace cdvm::fleet
+{
+
+/** Shapes of the admission schedule. */
+enum class ArrivalKind : u8
+{
+    Storm,   //!< every context due at cycle 0 (classic boot storm)
+    Step,    //!< fixed-size batches at a fixed cycle period
+    Poisson, //!< exponential inter-arrival gaps (organic churn)
+};
+
+const char *arrivalKindName(ArrivalKind k);
+
+/** One admission schedule, deterministic given the fleet seed. */
+struct ArrivalCurve
+{
+    ArrivalKind kind = ArrivalKind::Storm;
+
+    /** Poisson: mean admissions per million fleet cycles. */
+    double poissonRatePerMcycle = 4.0;
+
+    /** Step: contexts admitted per batch. */
+    unsigned stepBatch = 32;
+    /** Step: fleet cycles between batches. */
+    u64 stepPeriodCycles = 2'000'000;
+
+    /**
+     * Admission times (fleet cycles, nondecreasing) for `contexts`
+     * contexts. Poisson gaps are drawn from a Pcg32 stream derived
+     * from fleet_seed alone, so the schedule is a pure function of
+     * (curve, contexts, fleet_seed).
+     */
+    std::vector<u64> admitClocks(unsigned contexts,
+                                 u64 fleet_seed) const;
+
+    /**
+     * Parse a curve spec: "storm", "step:<batch>@<cycles>" or
+     * "poisson:<rate-per-Mcycle>". Returns nullopt on malformed input.
+     */
+    static std::optional<ArrivalCurve> parse(const std::string &spec);
+
+    /** Round-trippable description ("step:32@2000000"). */
+    std::string describe() const;
+};
+
+} // namespace cdvm::fleet
+
+#endif // CDVM_FLEET_ARRIVAL_HH

@@ -1,0 +1,63 @@
+#include "fleet/scheduler.hh"
+
+#include "common/logging.hh"
+
+namespace cdvm::fleet
+{
+
+const char *
+schedPolicyName(SchedPolicy p)
+{
+    switch (p) {
+      case SchedPolicy::RoundRobin:
+        return "rr";
+      case SchedPolicy::LoadRatio:
+        return "loadratio";
+    }
+    return "?";
+}
+
+std::optional<SchedPolicy>
+schedPolicyByName(const std::string &name)
+{
+    if (name == "rr" || name == "roundrobin")
+        return SchedPolicy::RoundRobin;
+    if (name == "loadratio" || name == "load")
+        return SchedPolicy::LoadRatio;
+    return std::nullopt;
+}
+
+FleetScheduler::Decision
+FleetScheduler::next(const std::vector<u64> &remaining)
+{
+    if (remaining.empty())
+        cdvm_panic("scheduler asked with no runnable contexts");
+    Decision d;
+    d.slot = static_cast<std::size_t>(cursor++ % remaining.size());
+    d.sliceInsns = quantum;
+
+    if (pol == SchedPolicy::LoadRatio) {
+        u64 total = 0;
+        for (u64 r : remaining)
+            total += r;
+        if (total) {
+            // slice = quantum * (this context's share of remaining
+            // work) * n, i.e. quantum scaled by remaining/mean.
+            const double mean =
+                static_cast<double>(total) /
+                static_cast<double>(remaining.size());
+            const double ratio =
+                static_cast<double>(remaining[d.slot]) / mean;
+            const double lo = 0.25, hi = 4.0;
+            const double f = ratio < lo ? lo : (ratio > hi ? hi : ratio);
+            d.sliceInsns = static_cast<u64>(
+                static_cast<double>(quantum) * f);
+            if (d.sliceInsns == 0)
+                d.sliceInsns = 1;
+        }
+    }
+    ++nSlices;
+    return d;
+}
+
+} // namespace cdvm::fleet

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Time-slice scheduling for the multi-tenant fleet server.
+ *
+ * The fleet multiplexes many guest contexts onto one emulation core.
+ * The unit of preemption is the retired-instruction quantum: the
+ * server runs the chosen context for `sliceInsns` retired x86
+ * instructions (Vmm::run's budget), folds the weighted work into the
+ * fleet clock, and asks the scheduler again. Because preemption only
+ * happens at dispatch boundaries and every context's architected
+ * state is private, any slicing yields the same per-context final
+ * state -- policies trade only latency and fairness, never
+ * correctness.
+ */
+
+#ifndef CDVM_FLEET_SCHEDULER_HH
+#define CDVM_FLEET_SCHEDULER_HH
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace cdvm::fleet
+{
+
+/** Slice-assignment policies. */
+enum class SchedPolicy : u8
+{
+    /** Fixed quantum, rotating cursor over the runnable set. */
+    RoundRobin,
+    /**
+     * Rotating cursor, but the slice scales with the context's share
+     * of the fleet's remaining work (clamped to [1/4, 4]x quantum):
+     * contexts with more work left get longer slices, which cuts
+     * dispatch overhead for stragglers without starving near-done
+     * contexts.
+     */
+    LoadRatio,
+};
+
+const char *schedPolicyName(SchedPolicy p);
+std::optional<SchedPolicy> schedPolicyByName(const std::string &name);
+
+/** Picks the next runnable context and its instruction budget. */
+class FleetScheduler
+{
+  public:
+    FleetScheduler(SchedPolicy policy, u64 quantum_insns)
+        : pol(policy), quantum(quantum_insns ? quantum_insns : 1)
+    {
+    }
+
+    struct Decision
+    {
+        std::size_t slot = 0; //!< index into the runnable set
+        u64 sliceInsns = 0;   //!< retired-insn budget for this slice
+    };
+
+    /**
+     * Choose the next slice. `remaining` holds, per runnable context
+     * (in the server's runnable order), the retired instructions it
+     * still owes; must be non-empty. The cursor survives membership
+     * changes: it indexes the current set modulo its size, so the
+     * rotation stays deterministic as contexts come and go.
+     */
+    Decision next(const std::vector<u64> &remaining);
+
+    SchedPolicy policy() const { return pol; }
+    u64 quantumInsns() const { return quantum; }
+    /** Slices handed out so far. */
+    u64 slices() const { return nSlices; }
+
+  private:
+    SchedPolicy pol;
+    u64 quantum;
+    u64 cursor = 0;
+    u64 nSlices = 0;
+};
+
+} // namespace cdvm::fleet
+
+#endif // CDVM_FLEET_SCHEDULER_HH

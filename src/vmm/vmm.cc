@@ -59,9 +59,11 @@ makeDetector(const VmmConfig &cfg)
 
 } // namespace
 
-Vmm::Vmm(x86::Memory &memory, const VmmConfig &config)
+Vmm::Vmm(x86::Memory &memory, const VmmConfig &config,
+         const engine::SharedServices &services)
     : mem(memory),
       cfg(config),
+      svc(services),
       traceSink(Tracer::global(), 0),
       branchProf(cfg.branchProfCap, cfg.branchProfReserve),
       sbtFailed(cfg.sbtFailedCap),
@@ -70,8 +72,11 @@ Vmm::Vmm(x86::Memory &memory, const VmmConfig &config)
       detector(makeDetector(cfg)),
       sbtBackend(memory, cfg,
                  [this](Addr pc) { return branchProf.bias(pc); }),
+      // Async mode is the config's call; the shared pool only decides
+      // *whose* workers serve it (fleet-wide versus private).
       asyncSbt(cfg.asyncTranslators > 0
-                   ? std::make_unique<engine::AsyncSbtEngine>(cfg)
+                   ? std::make_unique<engine::AsyncSbtEngine>(
+                         cfg, svc.sbtPool)
                    : nullptr),
       translatedExec(memory, st, branchProf),
       prof(cfg.profileSamplePeriod),
@@ -87,8 +92,9 @@ Vmm::Vmm(x86::Memory &memory, const VmmConfig &config)
     if (flight.enabled()) {
         events.attach(&flightFeed);
         // Abnormal-exit post-mortem: panics dump the ring before the
-        // abort. Installed per-Vmm, last constructed wins.
-        setCrashHook([this] {
+        // abort. Registered per-Vmm; any number of live contexts can
+        // coexist, and each unregisters exactly its own hook.
+        crashHook = addCrashHook([this] {
             if (!cfg.flightDumpPath.empty()) {
                 if (flight.writeText(cfg.flightDumpPath)) {
                     std::fprintf(stderr,
@@ -107,11 +113,20 @@ Vmm::Vmm(x86::Memory &memory, const VmmConfig &config)
     // Persistent warm start: install a previous run's validated
     // translations and profiles before the first dispatched
     // instruction. Failure of any kind just leaves the engine cold.
-    if (!cfg.warmStartLoadPath.empty()) {
-        engine::WarmStartReport rep = engine::warmStartLoad(
-            cfg.warmStartLoadPath, mem, ccm, branchProf, &events);
+    // A shared pre-parsed repository handle (fleet mode) wins over
+    // the per-context file path: the parse happened once, per
+    // process; the install still validates against *this* context's
+    // guest memory.
+    if (svc.warmRepo || !cfg.warmStartLoadPath.empty()) {
+        engine::WarmStartReport rep =
+            svc.warmRepo
+                ? engine::warmStartInstall(*svc.warmRepo, mem, ccm,
+                                           branchProf, &events)
+                : engine::warmStartLoad(cfg.warmStartLoadPath, mem,
+                                        ccm, branchProf, &events);
         st.warmLoaded = rep.loaded;
         st.warmInstalled = rep.installed;
+        st.warmInsnsInstalled = rep.installedInsns;
         st.warmInvalidated = rep.invalidated;
         st.warmProfileSeeded = rep.profileSeeded;
     }
@@ -119,17 +134,12 @@ Vmm::Vmm(x86::Memory &memory, const VmmConfig &config)
 
 Vmm::~Vmm()
 {
-    if (flight.enabled())
-        setCrashHook({});
+    removeCrashHook(crashHook);
 }
 
-bool
-Vmm::saveWarmStart(const std::string &path) const
+dbt::Repository
+Vmm::captureWarmStart() const
 {
-    const std::string &dst =
-        path.empty() ? cfg.warmStartSavePath : path;
-    if (dst.empty())
-        return false;
     // Hotness-ordered capture: the profiler's samples rank first (the
     // measured heat of this run), per-translation entry counts break
     // ties and carry the ranking when sampling is off. The repository
@@ -140,8 +150,18 @@ Vmm::saveWarmStart(const std::string &path) const
         const u64 execs = t.execCount < cap ? t.execCount : cap;
         return (prof.transSamples(t.id.raw()) << 20) | execs;
     };
-    return engine::warmStartSave(dst, ccm.translations(), mem,
-                                 branchProf, hotness);
+    return engine::warmStartCapture(ccm.translations(), mem,
+                                    branchProf, hotness);
+}
+
+bool
+Vmm::saveWarmStart(const std::string &path) const
+{
+    const std::string &dst =
+        path.empty() ? cfg.warmStartSavePath : path;
+    if (dst.empty())
+        return false;
+    return dbt::saveFile(dst, captureWarmStart());
 }
 
 const hwassist::BranchBehaviorBuffer &
@@ -464,11 +484,13 @@ Vmm::exportCoreStats(StatRegistry &reg) const
         set("vmm.async.queue_rejects", st.asyncSbtQueueRejects,
             "requests dropped by queue back-pressure");
     }
-    if (!cfg.warmStartLoadPath.empty()) {
+    if (svc.warmRepo || !cfg.warmStartLoadPath.empty()) {
         set("vmm.warm.loaded", st.warmLoaded,
             "repository records read at warm start");
         set("vmm.warm.installed", st.warmInstalled,
             "translations installed before the first dispatch");
+        set("vmm.warm.insns_installed", st.warmInsnsInstalled,
+            "x86 instructions covered by the warm fill");
         set("vmm.warm.invalidated", st.warmInvalidated,
             "repository records rejected as stale or malformed");
         set("vmm.warm.profile_seeded", st.warmProfileSeeded,

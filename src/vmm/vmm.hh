@@ -37,6 +37,7 @@
 #include <optional>
 
 #include "common/flight_recorder.hh"
+#include "common/logging.hh"
 #include "common/statreg.hh"
 #include "common/trace.hh"
 #include "engine/async_sbt.hh"
@@ -46,6 +47,7 @@
 #include "engine/events.hh"
 #include "engine/profile.hh"
 #include "engine/profiler.hh"
+#include "engine/services.hh"
 #include "engine/strategy.hh"
 #include "engine/translated_exec.hh"
 #include "hwassist/bbb.hh"
@@ -64,7 +66,23 @@ using VmmStats = engine::EngineStats;
 class Vmm
 {
   public:
-    Vmm(x86::Memory &memory, const VmmConfig &config = {});
+    /**
+     * Construct one guest context. Everything the Vmm owns is
+     * per-context (registers live in the caller's CpuState; guest
+     * memory is the caller's Memory; code caches, lookup structures,
+     * profilers, and stats are private members) -- the only
+     * process-wide couplings are the services passed here:
+     *
+     *  - services.sbtPool: background SBT requests go to this shared
+     *    worker pool instead of a private one (multi-tenant hosting);
+     *  - services.warmRepo: warm-start from this pre-parsed shared
+     *    repository instead of re-reading warmStartLoadPath.
+     *
+     * Default-constructed services preserve the classic one-process,
+     * one-context behavior exactly.
+     */
+    Vmm(x86::Memory &memory, const VmmConfig &config = {},
+        const engine::SharedServices &services = {});
     ~Vmm();
 
     /**
@@ -83,6 +101,14 @@ class Vmm
     {
         return sbtBackend.translator();
     }
+
+    /**
+     * Capture the live translations, hot counts and branch profile as
+     * an in-memory warm-start repository, hottest-first. A fleet
+     * server primes one context, captures it, and hands the result to
+     * every later context through SharedServices::warmRepo.
+     */
+    dbt::Repository captureWarmStart() const;
 
     /**
      * Save the live translations and branch profile as a warm-start
@@ -181,6 +207,8 @@ class Vmm
 
     x86::Memory &mem;
     VmmConfig cfg;
+    /** Process-shared services (keeps the warm repo handle alive). */
+    engine::SharedServices svc;
     VmmStats st;
 
     engine::EventStream events;
@@ -203,6 +231,8 @@ class Vmm
     engine::SamplingProfiler prof;
     FlightRecorder flight;
     engine::FlightSink flightFeed;
+    /** This context's registration in the crash-hook registry. */
+    CrashHookId crashHook = NO_CRASH_HOOK;
     SnapshotSeries snaps;
     /** Retire clock that triggers the next snapshot row. */
     u64 nextSnapshotAt = 0;
