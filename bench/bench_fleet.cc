@@ -13,11 +13,18 @@
  * deterministic virtual cycle clock) plus the aggregate host-side
  * guest MIPS.
  *
+ * The warm fleet boots from ONE shared zero-copy translation image:
+ * the per-class priming captures are merged through the content-
+ * addressed ImageBuilder (cross-class records deduped by guest-page
+ * content) and every context installs borrowed views out of the same
+ * mapping -- one parse, one physical copy, relocation-only installs.
+ *
  * The binary self-gates: it exits non-zero unless every context
- * reaches the milestone and the warm fleet's p99 time-to-milestone is
- * strictly below the cold fleet's. The virtual clock makes the gate
- * exactly reproducible: host load can change the MIPS number, never
- * the latencies.
+ * reaches the milestone, the warm fleet's p99 time-to-milestone is
+ * strictly below the cold fleet's, and the shared-image installs
+ * performed zero per-record body copies. The virtual clock makes the
+ * latency gate exactly reproducible: host load can change the MIPS
+ * number, never the latencies.
  *
  *   $ ./build/bench/bench_fleet --contexts=256 --arrival=storm
  *   $ ./build/bench/bench_fleet --arrival=poisson:8 --policy=loadratio
@@ -29,6 +36,7 @@
 
 #include "common/cli.hh"
 #include "common/statreg.hh"
+#include "dbt/image.hh"
 #include "fleet/fleet.hh"
 
 using namespace cdvm;
@@ -94,6 +102,49 @@ primeWarmRepos(const fleet::FleetConfig &cfg, u64 prime_insns)
             vm.captureWarmStart()));
     }
     return repos;
+}
+
+/** Build stats of the one shared image the warm fleet boots from. */
+struct SharedImage
+{
+    std::shared_ptr<const dbt::TransImage> image;
+    u64 blobBytes = 0;
+    u64 records = 0;
+    u64 dedupeHits = 0;
+    u64 evicted = 0;
+};
+
+/**
+ * Merge every per-class priming capture into ONE content-addressed
+ * image and verify-adopt it, exactly what a production fleet host
+ * would persist and mmap: identical records across classes collapse
+ * to one physical copy; a non-zero budget evicts the coldest records.
+ */
+SharedImage
+buildSharedImage(const fleet::FleetConfig &cfg, u64 prime_insns,
+                 u64 budget_bytes)
+{
+    const auto repos = primeWarmRepos(cfg, prime_insns);
+    dbt::ImageBuilder builder(
+        dbt::ImageBuilder::Options{budget_bytes, 1});
+    for (const auto &r : repos)
+        builder.add(*r);
+    const std::vector<u8> blob = builder.build();
+
+    SharedImage si;
+    si.blobBytes = blob.size();
+    si.dedupeHits = builder.dedupeHits();
+    si.evicted = builder.evicted();
+    auto img = std::make_shared<dbt::TransImage>();
+    if (dbt::TransImage::adopt(blob, *img) != dbt::LoadError::None) {
+        std::fprintf(stderr,
+                     "shared image failed verification; warm fleet "
+                     "will boot cold\n");
+        return si;
+    }
+    si.records = img->recordCount();
+    si.image = std::move(img);
+    return si;
 }
 
 void
@@ -168,6 +219,9 @@ main(int argc, char **argv)
              "retired insns after which a context completes");
     cli.flag("pool", "0",
              "shared background-SBT workers (0: synchronous)");
+    cli.flag("image-budget", "0",
+             "shared-image size budget in bytes (0: unbounded; the "
+             "coldest records are evicted to fit)");
     cli.flag("json", "BENCH_fleet.json", "output report path");
     addObservabilityFlags(cli);
     cli.parse(argc, argv);
@@ -216,10 +270,20 @@ main(int argc, char **argv)
                                                 1000),
                 cr.guestMips, cr.hostSeconds);
 
-    // Warm series: per-workload repositories from a priming run, as
-    // a production host would persist from the previous boot. Prime
+    // Warm series: every context boots from ONE shared zero-copy
+    // image merged out of the per-class priming captures, as a
+    // production host would persist from the previous boot. Prime
     // past the target so the hot set is fully optimized.
-    cfg.warmRepos = primeWarmRepos(cfg, 2 * cfg.targetInsns);
+    const SharedImage si = buildSharedImage(
+        cfg, 2 * cfg.targetInsns,
+        static_cast<u64>(cli.num("image-budget")));
+    cfg.warmImage = si.image;
+    std::printf("shared image: %llu records in %llu bytes "
+                "(%llu cross-class dedupe hits, %llu evicted)\n",
+                static_cast<unsigned long long>(si.records),
+                static_cast<unsigned long long>(si.blobBytes),
+                static_cast<unsigned long long>(si.dedupeHits),
+                static_cast<unsigned long long>(si.evicted));
     fleet::FleetServer warm(cfg);
     const fleet::FleetResult wr = warm.run();
     std::printf("warm: %u/%u done, p50 %.0f / p99 %.0f cycles to "
@@ -230,8 +294,34 @@ main(int argc, char **argv)
                                                 1000),
                 wr.guestMips, wr.hostSeconds);
 
+    // Shared-image install aggregates across the warm fleet.
+    u64 warm_installed = 0, warm_copies = 0, warm_relocs = 0,
+        warm_invalidated = 0;
+    for (const fleet::ContextResult &c : wr.contexts) {
+        warm_installed += c.warmInstalled;
+        warm_copies += c.warmBodyCopies;
+        warm_relocs += c.warmRelocations;
+        warm_invalidated += c.warmInvalidated;
+    }
+
     bool ok = seriesSane("cold", cr, cfg.contexts) &&
               seriesSane("warm", wr, cfg.contexts);
+    if (!si.image) {
+        std::printf("GATE FAILED: shared image did not build\n");
+        ok = false;
+    }
+    if (warm_installed == 0 || warm_copies != 0) {
+        std::printf("GATE FAILED: shared-image boots must install "
+                    "(%llu did) with zero body copies (%llu seen)\n",
+                    static_cast<unsigned long long>(warm_installed),
+                    static_cast<unsigned long long>(warm_copies));
+        ok = false;
+    } else {
+        std::printf("shared-image installs: %llu translations across "
+                    "the fleet, 0 body copies, %llu relocations\n",
+                    static_cast<unsigned long long>(warm_installed),
+                    static_cast<unsigned long long>(warm_relocs));
+    }
     if (!(wr.p99TimeToMilestone > 0.0 &&
           wr.p99TimeToMilestone < cr.p99TimeToMilestone)) {
         std::printf("GATE FAILED: warm p99 time-to-milestone (%.0f) "
@@ -276,7 +366,26 @@ main(int argc, char **argv)
     jsonSeries(f, "warm", wr);
     std::fprintf(f,
                  "\n  },\n"
-                 "  \"gate\": {\n"
+                 "  \"shared_image\": {\n"
+                 "    \"blob_bytes\": %llu,\n"
+                 "    \"records\": %llu,\n"
+                 "    \"dedupe_hits\": %llu,\n"
+                 "    \"evicted\": %llu,\n"
+                 "    \"fleet_warm_installed\": %llu,\n"
+                 "    \"fleet_warm_invalidated\": %llu,\n"
+                 "    \"fleet_warm_body_copies\": %llu,\n"
+                 "    \"fleet_warm_relocations\": %llu\n"
+                 "  },\n"
+                 "  \"gate\": {\n",
+                 static_cast<unsigned long long>(si.blobBytes),
+                 static_cast<unsigned long long>(si.records),
+                 static_cast<unsigned long long>(si.dedupeHits),
+                 static_cast<unsigned long long>(si.evicted),
+                 static_cast<unsigned long long>(warm_installed),
+                 static_cast<unsigned long long>(warm_invalidated),
+                 static_cast<unsigned long long>(warm_copies),
+                 static_cast<unsigned long long>(warm_relocs));
+    std::fprintf(f,
                  "    \"cold_p99_cycles\": %.0f,\n"
                  "    \"warm_p99_cycles\": %.0f,\n"
                  "    \"speedup\": %.4f,\n"

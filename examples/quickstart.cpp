@@ -193,6 +193,9 @@ main(int argc, char **argv)
              "previous run (stale entries fall back to cold)");
     cli.flag("save-cache", "",
              "save the translation repository after the run");
+    cli.flag("cache-budget", "0",
+             "size budget in bytes for the saved translation image "
+             "(0: unbounded; the coldest records are evicted to fit)");
     cli.flag("profile-out", "",
              "write the guest-hotness heatmap (sampling profiler) as "
              "JSON");
@@ -279,6 +282,8 @@ main(int argc, char **argv)
     cfg.bbbParams.hotThreshold = 50;
     cfg.warmStartLoadPath = cli.str("load-cache");
     cfg.warmStartSavePath = cli.str("save-cache");
+    cfg.warmImageBudgetBytes =
+        static_cast<u64>(cli.num("cache-budget"));
     cfg.flightDumpPath = cli.str("flight-dump");
     cfg.snapshotEveryInsns =
         static_cast<u64>(cli.num("snapshot-every"));
@@ -320,6 +325,16 @@ main(int argc, char **argv)
                         st.warmInvalidated),
                     static_cast<unsigned long long>(
                         st.warmProfileSeeded));
+        std::printf("  warm load path:         %llu body copies, "
+                    "%llu relocations, %llu bytes mapped %s\n",
+                    static_cast<unsigned long long>(st.warmBodyCopies),
+                    static_cast<unsigned long long>(
+                        st.warmRelocations),
+                    static_cast<unsigned long long>(
+                        st.warmMappedBytes),
+                    st.warmMappedBytes
+                        ? "(zero-copy image)"
+                        : "(legacy repository)");
     }
     if (cfg.asyncTranslators > 0) {
         std::printf("  async SBT requests:     %llu (%llu installed, "

@@ -1,0 +1,415 @@
+/**
+ * @file
+ * Zero-copy shared translation image: the warm-start repository laid
+ * out as one contiguous, page-aligned, content-addressed blob that is
+ * mmap'd (or adopted with a single memcpy) and patched in a single
+ * relocation pass.
+ *
+ * The v1 repository (dbt/persist) decodes and copies every record
+ * body at load: varint uop decode, x86pc side-table re-attachment,
+ * re-encode into the code cache. This format stores the execution
+ * form directly -- raw trivially-copyable uops::Uop arrays with the
+ * precise-state tags already attached -- so a warm install binds a
+ * Translation to a *view* into the mapped image and never touches the
+ * body bytes. N fleet contexts (and sibling processes mapping the
+ * same file) share one physical copy.
+ *
+ * Layout (little-endian, every section 8-aligned):
+ *
+ *   ImageHeader  magic "CDVMIMG2" | version | section table
+ *                | whole-image fnv1a checksum (field zeroed while
+ *                  hashing, verified before ANY record byte is
+ *                  interpreted)
+ *   PageIndex    { guestPage, fnv1a(page content) }*     sorted
+ *   DedupeIndex  { contentKey, record }*                 sorted
+ *   RecordIndex  u64 offset into Records per record, hotness-ranked
+ *   Records      ImageRecordHeader | Addr x86pcs[] | uops::Uop body[]
+ *   Relocs       { targetPc, fromRecord, toRecord, exitSlot }*
+ *   BranchProfile{ pc, taken, notTaken }*                sorted
+ *
+ * Content addressing: each record carries a pageKey -- fnv1a over the
+ * sorted (guest page, page-content hash) pairs its code covers -- so
+ * a merged multi-context image stays correct even when two workload
+ * classes put *different* code at the same guest addresses: the
+ * installer recomputes the key against its own guest memory and
+ * silently cold-falls-back any record that does not match.
+ *
+ * Sharing protocol: single writer, many readers. Readers acquire a
+ * shared_ptr<const TransImage> (ImageStore::acquire) and install from
+ * it; the writer builds a *new* generation (append/compact) and
+ * publishes it with one shared_ptr swap. An old generation stays
+ * alive -- and every view into it stays valid -- until its last
+ * reader releases the handle.
+ *
+ * Durability: appendDelta() adds a delta segment (an independently
+ * checksummed v1 payload) after the base image without rewriting it;
+ * load() verifies and merges the segments through the builder
+ * (compaction), and save() writes the compacted result.
+ */
+
+#ifndef CDVM_DBT_IMAGE_HH
+#define CDVM_DBT_IMAGE_HH
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <type_traits>
+#include <unordered_map>
+#include <vector>
+
+#include "dbt/persist.hh"
+#include "uops/uop.hh"
+
+namespace cdvm::dbt
+{
+
+/** Image file magic ("CDVMIMG2" as a little-endian u64). */
+constexpr u64 IMAGE_MAGIC = 0x32474D494D564443ull;
+/** Image format version (v1 is the CDVMREPO record format). */
+constexpr u32 IMAGE_VERSION = 2;
+/** Delta-segment magic ("CDVMDSEG" as a little-endian u64). */
+constexpr u64 DELTA_MAGIC = 0x4745534D44564443ull;
+
+/** Section order in the image's section table. */
+enum class ImageSection : u32
+{
+    PageIndex = 0,
+    DedupeIndex,
+    RecordIndex,
+    Records,
+    Relocs,
+    BranchProfile,
+    NUM_SECTIONS,
+};
+
+constexpr u32 IMAGE_NUM_SECTIONS =
+    static_cast<u32>(ImageSection::NUM_SECTIONS);
+
+/** One section's extent: byte offset from image start + entry count. */
+struct ImageSectionDesc
+{
+    u64 offset = 0; //!< from the start of the image, 8-aligned
+    u64 bytes = 0;
+    u64 count = 0;  //!< entries (records for Records)
+};
+static_assert(sizeof(ImageSectionDesc) == 24);
+
+/** The image header; the first bytes of the blob. */
+struct ImageHeader
+{
+    u64 magic = IMAGE_MAGIC;
+    u32 version = IMAGE_VERSION;
+    u32 sectionCount = IMAGE_NUM_SECTIONS;
+    u64 totalBytes = 0; //!< base image size (deltas follow, if any)
+    /** fnv1a over [0, totalBytes) with this field zeroed. Verified
+     *  before any other field of the image is trusted. */
+    u64 checksum = 0;
+    u64 generation = 0; //!< builder generation (compaction counter)
+    u64 dedupeHits = 0; //!< records merged by content at build time
+    u64 evicted = 0;    //!< cold-tail records dropped by the budget
+    ImageSectionDesc sections[IMAGE_NUM_SECTIONS];
+};
+static_assert(sizeof(ImageHeader) ==
+              56 + 24 * IMAGE_NUM_SECTIONS);
+
+/** PageIndex entry: a guest code page and its content hash. */
+struct ImagePageHash
+{
+    Addr page = 0;
+    u64 hash = 0;
+};
+static_assert(sizeof(ImagePageHash) == 16);
+
+/** DedupeIndex entry: content key -> canonical record. */
+struct ImageDedupeEntry
+{
+    u64 key = 0; //!< fnv1a over the record's semantic bytes + pageKey
+    u32 record = 0;
+    u32 pad0 = 0;
+};
+static_assert(sizeof(ImageDedupeEntry) == 16);
+
+/** One relocation: re-bind fromRecord's exit chain to toRecord. */
+struct ImageReloc
+{
+    Addr targetPc = 0;
+    u32 fromRecord = 0;
+    u32 toRecord = 0;
+    u32 exitSlot = 0; //!< chain slot (0 taken, 1 fall-through)
+    u32 pad0 = 0;
+};
+static_assert(sizeof(ImageReloc) == 24);
+
+/** BranchProfile entry (engine::BranchProfile seed). */
+struct ImageBranchStat
+{
+    Addr pc = 0;
+    u64 taken = 0;
+    u64 notTaken = 0;
+};
+static_assert(sizeof(ImageBranchStat) == 24);
+
+/** Record flags (ImageRecordHeader::flags). */
+enum : u8
+{
+    IMG_F_COMPLEX = 1,
+    IMG_F_ENDS_CTI = 2,
+    IMG_F_ENDS_COND = 4,
+};
+
+/**
+ * One record: the header, then nPcs Addr x86pcs, then nUops raw
+ * uops::Uop bodies (8-aligned; the Uop's x86pc provenance tag is
+ * stored in place, so nothing needs re-attachment at install).
+ */
+struct ImageRecordHeader
+{
+    Addr entryPc = 0;
+    Addr fallthroughPc = 0;
+    Addr condBranchTarget = 0;
+    Addr condBranchPc = 0;
+    u64 execCount = 0;
+    u64 takenCount = 0;
+    u64 notTakenCount = 0;
+    /** fnv1a over the sorted (page, content hash) pairs this record's
+     *  code covers -- the content address the installer revalidates
+     *  against its own guest memory. */
+    u64 pageKey = 0;
+    /** Chains by record index (NO_RECORD = unchained); the Relocs
+     *  section carries the same links flat for the one-pass fixup. */
+    Addr chainTargetPc[2] = {0, 0};
+    u32 chainRecord[2] = {NO_RECORD, NO_RECORD};
+    u32 numX86Insns = 0;
+    u32 x86Bytes = 0;
+    u32 codeBytes = 0; //!< encoded size (code-cache arena accounting)
+    u32 nPcs = 0;
+    u32 nUops = 0;
+    u8 kind = 0;  //!< 0 BasicBlock, 1 Superblock
+    u8 flags = 0; //!< IMG_F_*
+    u16 pad0 = 0;
+};
+static_assert(sizeof(ImageRecordHeader) == 112);
+static_assert(std::is_trivially_copyable_v<uops::Uop>);
+static_assert(alignof(uops::Uop) <= 8);
+static_assert(sizeof(uops::Uop) % 8 == 0);
+
+/** fnv1a key over sorted (page, hash) pairs (the record pageKey). */
+u64 pageSetKey(std::span<const std::pair<Addr, u64>> sorted_pages);
+
+/**
+ * A verified, read-only translation image. Backed either by a file
+ * mapping (mmap, shared with sibling processes) or by one adopted
+ * aligned buffer (one memcpy). All accessors return views into that
+ * backing store; the TransImage must outlive every view, which the
+ * engine guarantees by holding a shared_ptr on the services handle.
+ */
+class TransImage
+{
+  public:
+    TransImage() = default;
+    ~TransImage();
+    TransImage(TransImage &&other) noexcept { *this = std::move(other); }
+    TransImage &operator=(TransImage &&other) noexcept;
+    TransImage(const TransImage &) = delete;
+    TransImage &operator=(const TransImage &) = delete;
+
+    /**
+     * Map (or read) an image file. Transparent migration: a v1
+     * "CDVMREPO" file is parsed through dbt/persist and converted in
+     * memory (migratedFromV1() reports it); a v2 image with appended
+     * delta segments is verified segment-by-segment and compacted.
+     * A clean single-segment v2 image stays a zero-copy file mapping.
+     * out is valid only on LoadError::None.
+     */
+    static LoadError load(const std::string &path, TransImage &out);
+
+    /** Adopt a serialized image byte-for-byte (one memcpy into an
+     *  8-aligned buffer); verifies exactly like load(). */
+    static LoadError adopt(std::span<const u8> bytes, TransImage &out);
+
+    /** Write a built image blob to path (truncating: compaction). */
+    static bool save(const std::string &path, std::span<const u8> image);
+
+    /**
+     * Append a delta segment -- an independently checksummed capture
+     * -- after the existing base image without rewriting it. load()
+     * merges base + deltas (compaction on read). @return success.
+     */
+    static bool appendDelta(const std::string &path,
+                            const Repository &delta);
+
+    const ImageHeader &header() const { return *hdr; }
+    u64 sizeBytes() const { return len; }
+    bool isMapped() const { return mapBase != nullptr; }
+    /** Delta segments merged at load (0 for a compact image). */
+    unsigned deltaSegments() const { return deltas; }
+    bool migratedFromV1() const { return migrated; }
+
+    std::size_t recordCount() const { return recIndex.size(); }
+
+    /** Zero-copy views into one record. */
+    struct RecordView
+    {
+        const ImageRecordHeader *hdr = nullptr;
+        std::span<const Addr> x86pcs;
+        std::span<const uops::Uop> uops;
+    };
+    RecordView record(std::size_t i) const;
+
+    std::span<const ImagePageHash> pageHashes() const { return pages; }
+    std::span<const ImageDedupeEntry> dedupeIndex() const
+    {
+        return dedupe;
+    }
+    std::span<const ImageReloc> relocs() const { return relocations; }
+    std::span<const ImageBranchStat> branchProfile() const
+    {
+        return branches;
+    }
+
+    /** Expand back to a v1-style in-memory repository (round-trip
+     *  tests, delta compaction, v1 interop). */
+    Repository toRepository() const;
+
+  private:
+    /** Verify magic/version/size/checksum, then structure; bind the
+     *  section views. base/len must already be set. */
+    LoadError verify();
+    void reset();
+
+    const u8 *base = nullptr; //!< verified image bytes (8-aligned)
+    u64 len = 0;              //!< header.totalBytes once verified
+
+    void *mapBase = nullptr; //!< mmap backing (whole file)
+    std::size_t mapLen = 0;
+    std::unique_ptr<u64[]> owned; //!< adopted backing (aligned copy)
+
+    unsigned deltas = 0;
+    bool migrated = false;
+
+    const ImageHeader *hdr = nullptr;
+    std::span<const ImagePageHash> pages;
+    std::span<const ImageDedupeEntry> dedupe;
+    std::span<const u64> recIndex;
+    const u8 *recordsBase = nullptr;
+    std::span<const ImageReloc> relocations;
+    std::span<const ImageBranchStat> branches;
+};
+
+/**
+ * Builds image blobs from repositories and/or existing images:
+ * content-addressed dedupe (two contexts with identical guest pages
+ * share one record), hotness-ranked order (insertion order -- capture
+ * is already hottest-first), and cold-tail eviction against a size
+ * budget at build().
+ */
+class ImageBuilder
+{
+  public:
+    struct Options
+    {
+        /** Total image size budget in bytes (0 = unlimited). When the
+         *  blob would exceed it, the coldest tail of the record
+         *  ranking is dropped and counted in evicted(). */
+        u64 sizeBudgetBytes = 0;
+        /** Generation stamp for the built header. */
+        u64 generation = 1;
+    };
+
+    ImageBuilder() = default;
+    explicit ImageBuilder(Options o) : opt(o) {}
+
+    /** Merge a repository's records (dedupe by content + pageKey). */
+    void add(const Repository &repo);
+    /** Merge an existing image (compaction / delta merge). */
+    void add(const TransImage &img);
+
+    /** Serialize to the checksummed image blob. */
+    std::vector<u8> build();
+
+    u64 dedupeHits() const { return nDedupe; }
+    /** Valid after build(). */
+    u64 evicted() const { return nEvicted; }
+    std::size_t records() const { return recs.size(); }
+
+  private:
+    struct Staged
+    {
+        SavedTranslation entry; //!< chains remapped to builder indices
+        u64 pageKey = 0;
+        u64 contentKey = 0;
+    };
+
+    /** Dedupe-or-stage one entry (chains reset; caller re-binds).
+     *  @return the builder index the entry landed on. */
+    u32 stage(SavedTranslation &&e, u64 page_key);
+    /** Fill a staged record's chain slot if it is still empty. */
+    void bindChain(u32 from, unsigned slot, Addr target_pc, u32 to);
+
+    Options opt;
+    std::vector<Staged> recs;
+    std::unordered_map<u64, u32> byContent; //!< contentKey -> index
+    std::map<Addr, u64> pageHash;           //!< sorted page index
+    std::map<Addr, std::pair<u64, u64>> branch; //!< pc -> counts
+    u64 nDedupe = 0;
+    u64 nEvicted = 0;
+};
+
+/**
+ * Generation store for single-writer / concurrent-reader sharing.
+ * Readers acquire the current image handle; the writer merges deltas
+ * or compacts into a *new* image and publishes it with one swap. Old
+ * generations stay valid until their last reader releases the handle
+ * (shared_ptr lifetime), so installs racing a publish are safe.
+ */
+class ImageStore
+{
+  public:
+    ImageStore() = default;
+    explicit ImageStore(std::shared_ptr<const TransImage> initial)
+        : cur(std::move(initial))
+    {
+    }
+
+    /** Reader side: the current generation (may be null). */
+    std::shared_ptr<const TransImage>
+    acquire() const
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        return cur;
+    }
+
+    /** Writer side: swap in a new generation. */
+    void
+    publish(std::shared_ptr<const TransImage> next)
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        cur = std::move(next);
+        ++gen;
+    }
+
+    /**
+     * Writer side: merge the current generation with a freshly
+     * captured delta (dedupe + optional size budget) and publish the
+     * result. Readers mid-install keep their old generation.
+     */
+    LoadError append(const Repository &delta, u64 size_budget = 0);
+
+    u64
+    generation() const
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        return gen;
+    }
+
+  private:
+    mutable std::mutex mu;
+    std::shared_ptr<const TransImage> cur;
+    u64 gen = 0;
+};
+
+} // namespace cdvm::dbt
+
+#endif // CDVM_DBT_IMAGE_HH

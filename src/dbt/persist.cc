@@ -95,13 +95,6 @@ struct Reader
 };
 
 u64
-pageHash(const x86::Memory &mem, Addr page)
-{
-    std::vector<u8> bytes = mem.readBlock(page, PAGE_BYTES);
-    return fnv1a(bytes);
-}
-
-u64
 idKey(TransId id)
 {
     return static_cast<u64>(id.idx) << 32 | id.gen;
@@ -200,8 +193,15 @@ fnv1a(std::span<const u8> bytes)
     return h;
 }
 
+u64
+guestPageHash(const x86::Memory &mem, Addr page)
+{
+    std::vector<u8> bytes = mem.readBlock(page, PAGE_BYTES);
+    return fnv1a(bytes);
+}
+
 std::vector<Addr>
-SavedTranslation::coveredPages() const
+coveredPages(Addr entry_pc, std::span<const Addr> x86pcs)
 {
     std::vector<Addr> pages;
     auto add = [&pages](Addr page) {
@@ -217,8 +217,14 @@ SavedTranslation::coveredPages() const
         add(pc & PAGE_MASK);
         add((pc + x86::MAX_INSN_LEN - 1) & PAGE_MASK);
     }
-    add(entryPc & PAGE_MASK);
+    add(entry_pc & PAGE_MASK);
     return pages;
+}
+
+std::vector<Addr>
+SavedTranslation::coveredPages() const
+{
+    return dbt::coveredPages(entryPc, x86pcs);
 }
 
 std::unique_ptr<Translation>
@@ -294,11 +300,15 @@ capture(const TranslationMap &map, const x86::Memory &mem,
         e.execCount = t.execCount;
         e.takenCount = t.takenCount;
         e.notTakenCount = t.notTakenCount;
-        e.x86pcs = t.x86pcs;
-        e.uopPcs.reserve(t.uops.size());
-        for (const uops::Uop &u : t.uops)
+        // Read through the views: a translation installed zero-copy
+        // from a mapped warm image has no owned body, only the view.
+        const std::span<const Addr> pcs = t.pcSpan();
+        const std::span<const uops::Uop> body = t.code();
+        e.x86pcs.assign(pcs.begin(), pcs.end());
+        e.uopPcs.reserve(body.size());
+        for (const uops::Uop &u : body)
             e.uopPcs.push_back(u.x86pc);
-        e.body = uops::encode(t.uops);
+        e.body = uops::encode(body);
         repo.entries.push_back(std::move(e));
     }
 
@@ -322,7 +332,7 @@ capture(const TranslationMap &map, const x86::Memory &mem,
     for (const SavedTranslation &e : repo.entries) {
         for (Addr page : e.coveredPages()) {
             if (!hashes.count(page))
-                hashes.emplace(page, pageHash(mem, page));
+                hashes.emplace(page, guestPageHash(mem, page));
         }
     }
     repo.pageHashes.assign(hashes.begin(), hashes.end());
@@ -421,7 +431,7 @@ staleEntries(const Repository &repo, const x86::Memory &mem)
             return cached->second;
         auto it = saved.find(page);
         const bool fresh =
-            it != saved.end() && pageHash(mem, page) == it->second;
+            it != saved.end() && guestPageHash(mem, page) == it->second;
         page_ok.emplace(page, fresh);
         return fresh;
     };

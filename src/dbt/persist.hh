@@ -125,6 +125,14 @@ struct SavedTranslation
     std::vector<Addr> coveredPages() const;
 };
 
+/**
+ * The 4K guest pages a translated region touches (conservative: each
+ * covered instruction may straddle into the next page). Shared by the
+ * v1 repository and the v2 image's content-address revalidation.
+ */
+std::vector<Addr> coveredPages(Addr entry_pc,
+                               std::span<const Addr> x86pcs);
+
 /** An in-memory repository: what the file format carries. */
 struct Repository
 {
@@ -136,6 +144,9 @@ struct Repository
 
 /** FNV-1a over a byte span (the format's page and file hash). */
 u64 fnv1a(std::span<const u8> bytes);
+
+/** fnv1a content hash of one 4K guest code page (staleness unit). */
+u64 guestPageHash(const x86::Memory &mem, Addr page);
 
 /**
  * Rank of a translation for hotness-ordered capture; bigger = hotter.

@@ -17,6 +17,7 @@
 #ifndef CDVM_DBT_TRANSLATION_HH
 #define CDVM_DBT_TRANSLATION_HH
 
+#include <span>
 #include <vector>
 
 #include "common/types.hh"
@@ -90,14 +91,51 @@ struct Translation
     /** This translation's own handle (set by TranslationMap::insert). */
     TransId id;
 
-    /** Execution form of the body (decoded once at translation time). */
+    /** Execution form of the body (decoded once at translation time).
+     *  Empty when the body is a zero-copy view into a mapped warm
+     *  image (mappedUops) -- always read it through code(). */
     uops::UopVec uops;
 
     /**
      * Side table for precise state: x86 PC of every covered
      * instruction in translation order (Fig. 1 "precise state mapping").
+     * Empty for mapped bodies -- always read it through pcSpan().
      */
     std::vector<Addr> x86pcs;
+
+    /**
+     * Zero-copy warm start: a translation installed from a mapped
+     * dbt::TransImage borrows its body and pc table straight from the
+     * image instead of owning copies. The image outlives every
+     * translation (the engine holds it on the services handle), so
+     * the views cannot dangle.
+     */
+    const uops::Uop *mappedUops = nullptr;
+    u32 mappedUopCount = 0;
+    const Addr *mappedPcs = nullptr;
+    u32 mappedPcCount = 0;
+
+    /** True when the body lives in a mapped warm image. */
+    bool mappedBody() const { return mappedUops != nullptr; }
+
+    /** The executable body, wherever it lives. */
+    std::span<const uops::Uop>
+    code() const
+    {
+        return mappedUops
+                   ? std::span<const uops::Uop>(mappedUops,
+                                                mappedUopCount)
+                   : std::span<const uops::Uop>(uops);
+    }
+
+    /** The precise-state pc table, wherever it lives. */
+    std::span<const Addr>
+    pcSpan() const
+    {
+        return mappedPcs
+                   ? std::span<const Addr>(mappedPcs, mappedPcCount)
+                   : std::span<const Addr>(x86pcs);
+    }
 
     // --- profiling (maintained by the VMM during emulation) ----------
     u64 execCount = 0;   //!< entries into this translation

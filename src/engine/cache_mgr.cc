@@ -54,9 +54,14 @@ CodeCacheManager::install(std::unique_ptr<Translation> t)
                        t->codeBytes, cc.name().c_str());
     }
     t->codeAddr = at;
-    // The encoded body really lives in concealed guest memory.
-    std::vector<u8> bytes = uops::encode(t->uops);
-    mem.writeBlock(at, bytes);
+    // The encoded body really lives in concealed guest memory -- but a
+    // zero-copy warm install executes straight from the mapped image,
+    // so only the arena reservation (flush dynamics, timing realism)
+    // is kept and the encode+copy is skipped entirely.
+    if (!t->mappedBody()) {
+        std::vector<u8> bytes = uops::encode(t->uops);
+        mem.writeBlock(at, bytes);
+    }
     res.trans = map.insert(std::move(t));
     return res;
 }

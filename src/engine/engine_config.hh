@@ -130,6 +130,12 @@ struct EngineConfig
     std::string warmStartLoadPath;
     /** Save the translation repository after run() (empty: never). */
     std::string warmStartSavePath;
+    /**
+     * Size budget for a saved warm-start image in bytes (0 =
+     * unlimited). When the captured image would exceed it, the
+     * coldest tail of the hotness ranking is evicted at save time.
+     */
+    u64 warmImageBudgetBytes = 0;
 
     // --- continuous profiling / observability -----------------------
     /**
@@ -225,6 +231,10 @@ struct EngineStats
     u64 warmInsnsInstalled = 0; //!< x86 instructions those cover
     u64 warmInvalidated = 0;   //!< records rejected (stale/malformed)
     u64 warmProfileSeeded = 0; //!< branch-profile entries seeded
+    u64 warmBodyCopies = 0;    //!< per-record decode+copy installs (0
+                               //!< on the zero-copy image path)
+    u64 warmRelocations = 0;   //!< chain links re-bound at warm start
+    u64 warmMappedBytes = 0;   //!< shared-image bytes installed from
 
     u64
     totalRetired() const

@@ -77,6 +77,25 @@ inline constexpr double BBT_VS_SBT_CPI = 1.10;
 /** Interpretation is 10x-100x slower than native (Section 1.1). */
 inline constexpr double INTERP_SLOWDOWN = 35.0;
 
+// --- Warm-start install cost (this repo's measured constants) -------
+
+/**
+ * v1 repository install: per-record varint decode, x86pc side-table
+ * re-attachment, re-encode + copy into the code cache — ~3 cycles per
+ * installed x86 instruction on the modeled machine.
+ */
+inline constexpr double WARM_LOAD_DECODE_CPI = 3.0;
+
+/**
+ * Zero-copy image install: translations bind views into the mapped
+ * image, so the per-instruction work left is the content-address
+ * check, arena reservation and the relocation pass — ~1 cycle per
+ * installed x86 instruction. Justified by the measured host-side
+ * install ratio in bench_warmstart (image.load_ratio_vs_decode,
+ * gated >= 2x in CI).
+ */
+inline constexpr double WARM_LOAD_MAPPED_CPI = 1.0;
+
 } // namespace cdvm::engine::params
 
 #endif // CDVM_ENGINE_PARAMS_HH

@@ -34,6 +34,7 @@
 #include <memory>
 
 #include "common/threadpool.hh"
+#include "dbt/image.hh"
 #include "dbt/persist.hh"
 
 namespace cdvm::engine
@@ -55,6 +56,15 @@ struct SharedServices
      * config path is what the repository was loaded from).
      */
     std::shared_ptr<const dbt::Repository> warmRepo;
+
+    /**
+     * Verified zero-copy translation image, shared read-only by every
+     * context (and, via the file mapping, by sibling processes). Takes
+     * precedence over warmRepo and the config path. Contexts install
+     * *views* into this image, so it must outlive every Vmm holding
+     * it — which the shared_ptr guarantees per context.
+     */
+    std::shared_ptr<const dbt::TransImage> warmImage;
 };
 
 } // namespace cdvm::engine

@@ -17,7 +17,7 @@ TranslatedExecutor::run(x86::CpuState &cpu, Translation *t,
 
     ustate.loadArch(cpu);
     uops::UopExecutor exe(ustate, mem);
-    uops::BlockResult br = exe.run(t->uops, t->fallthroughPc);
+    uops::BlockResult br = exe.run(t->code(), t->fallthroughPc);
     ustate.storeArch(cpu);
 
     const bool is_sbt = t->kind == TransKind::Superblock;
@@ -51,9 +51,11 @@ TranslatedExecutor::run(x86::CpuState &cpu, Translation *t,
         int last = br.uopsRun > 0
                        ? static_cast<int>(br.uopsRun) - 1
                        : 0;
-        Addr last_pc = t->uops[static_cast<std::size_t>(last)].x86pc;
-        for (std::size_t i = 0; i < t->x86pcs.size(); ++i) {
-            if (t->x86pcs[i] == last_pc) {
+        const std::span<const uops::Uop> body = t->code();
+        const std::span<const Addr> pcs = t->pcSpan();
+        Addr last_pc = body[static_cast<std::size_t>(last)].x86pc;
+        for (std::size_t i = 0; i < pcs.size(); ++i) {
+            if (pcs[i] == last_pc) {
                 insns = i + 1;
                 break;
             }

@@ -1,5 +1,8 @@
 #include "engine/warm_start.hh"
 
+#include <algorithm>
+#include <unordered_map>
+
 #include "common/logging.hh"
 
 namespace cdvm::engine
@@ -19,14 +22,18 @@ warmStartLoad(const std::string &path, const x86::Memory &mem,
               EventStream *events)
 {
     WarmStartReport rep;
-    Repository repo;
-    rep.error = dbt::loadFile(path, repo);
+    // TransImage::load maps a v2 image zero-copy and transparently
+    // migrates a v1 "CDVMREPO" file through the builder.
+    auto img = std::make_shared<dbt::TransImage>();
+    rep.error = dbt::TransImage::load(path, *img);
     if (rep.error != LoadError::None) {
         cdvm_debug("warm start: '%s' not loaded (%s)", path.c_str(),
                    dbt::loadErrorName(rep.error));
         return rep;
     }
-    return warmStartInstall(repo, mem, ccm, prof, events);
+    rep = warmStartInstall(*img, mem, ccm, prof, events);
+    rep.image = std::move(img);
+    return rep;
 }
 
 WarmStartReport
@@ -72,6 +79,9 @@ warmStartInstall(const Repository &repo, const x86::Memory &mem,
         }
     }
 
+    // Every accepted record paid a decode + re-encode copy.
+    rep.bodyCopies = rep.installed;
+
     // Re-bind chains: both ends must have survived (a flush during the
     // warm fill, or an invalidated endpoint, makes resolve fail and
     // the link is simply dropped — the VMM re-chains lazily).
@@ -83,12 +93,109 @@ warmStartInstall(const Repository &repo, const x86::Memory &mem,
             if (c.record == NO_RECORD)
                 continue;
             const TransId to = record_ids[c.record];
-            if (ccm.resolve(to))
-                from->addChain(c.targetPc, to);
+            if (ccm.resolve(to) && from->addChain(c.targetPc, to))
+                ++rep.relocations;
         }
     }
 
     for (const dbt::SavedBranchStat &b : repo.branchProfile) {
+        prof.seed(b.pc, b.taken, b.notTaken);
+        ++rep.profileSeeded;
+    }
+    return rep;
+}
+
+WarmStartReport
+warmStartInstall(const dbt::TransImage &img, const x86::Memory &mem,
+                 CodeCacheManager &ccm, BranchProfile &prof,
+                 EventStream *events)
+{
+    WarmStartReport rep;
+    rep.ok = true;
+    rep.loaded = img.recordCount();
+    rep.mappedBytes = img.sizeBytes();
+
+    // Content-address revalidation: recompute each record's pageKey
+    // against THIS context's guest memory. Page hashes are memoized
+    // across records so every touched page is hashed exactly once.
+    std::unordered_map<Addr, u64> page_hash;
+    auto hashOf = [&](Addr page) {
+        auto it = page_hash.find(page);
+        if (it != page_hash.end())
+            return it->second;
+        const u64 h = dbt::guestPageHash(mem, page);
+        page_hash.emplace(page, h);
+        return h;
+    };
+
+    std::vector<TransId> record_ids(img.recordCount());
+    for (std::size_t i = 0; i < img.recordCount(); ++i) {
+        const dbt::TransImage::RecordView v = img.record(i);
+        const dbt::ImageRecordHeader &rh = *v.hdr;
+
+        std::vector<std::pair<Addr, u64>> pages;
+        for (Addr page : dbt::coveredPages(rh.entryPc, v.x86pcs))
+            pages.emplace_back(page, hashOf(page));
+        std::sort(pages.begin(), pages.end());
+        if (dbt::pageSetKey(pages) != rh.pageKey) {
+            ++rep.invalidated;
+            continue;
+        }
+
+        // Zero-copy: the Translation borrows the body and pc table
+        // straight from the mapped image. No decode, no copy.
+        auto t = std::make_unique<Translation>();
+        t->kind = rh.kind ? dbt::TransKind::Superblock
+                          : dbt::TransKind::BasicBlock;
+        t->entryPc = rh.entryPc;
+        t->numX86Insns = rh.numX86Insns;
+        t->x86Bytes = rh.x86Bytes;
+        t->fallthroughPc = rh.fallthroughPc;
+        t->containsComplex = rh.flags & dbt::IMG_F_COMPLEX;
+        t->endsInCti = rh.flags & dbt::IMG_F_ENDS_CTI;
+        t->endsInCondBranch = rh.flags & dbt::IMG_F_ENDS_COND;
+        t->condBranchTarget = rh.condBranchTarget;
+        t->condBranchPc = rh.condBranchPc;
+        t->execCount = rh.execCount;
+        t->takenCount = rh.takenCount;
+        t->notTakenCount = rh.notTakenCount;
+        t->codeBytes = rh.codeBytes;
+        t->mappedUops = v.uops.data();
+        t->mappedUopCount = rh.nUops;
+        t->mappedPcs = v.x86pcs.data();
+        t->mappedPcCount = rh.nPcs;
+
+        CodeCacheManager::InstallResult res = ccm.install(std::move(t));
+        record_ids[i] = res.trans->id;
+        ++rep.installed;
+        rep.installedInsns += res.trans->numX86Insns;
+        if (events) {
+            StageEvent ev;
+            ev.stage = TracePhase::WarmInstall;
+            ev.insns = res.trans->numX86Insns;
+            ev.x86Addr = res.trans->entryPc;
+            ev.x86Bytes = res.trans->x86Bytes;
+            ev.codeAddr = res.trans->codeAddr;
+            ev.codeBytes = res.trans->codeBytes;
+            ev.arg = res.trans->entryPc;
+            ev.transId = res.trans->id.raw();
+            events->emit(ev);
+        }
+    }
+
+    // Single relocation pass over the flat table: TransId handles make
+    // each fixup one resolve + one slot write; links whose endpoint
+    // was invalidated (or flushed mid-fill) drop out naturally.
+    for (const dbt::ImageReloc &r : img.relocs()) {
+        Translation *from = ccm.resolve(record_ids[r.fromRecord]);
+        if (!from)
+            continue;
+        const TransId to = record_ids[r.toRecord];
+        if (ccm.resolve(to) && from->addChain(r.targetPc, to))
+            ++rep.relocations;
+    }
+
+    for (const dbt::ImageBranchStat &b : img.branchProfile()) {
         prof.seed(b.pc, b.taken, b.notTaken);
         ++rep.profileSeeded;
     }

@@ -16,8 +16,10 @@
 #ifndef CDVM_ENGINE_WARM_START_HH
 #define CDVM_ENGINE_WARM_START_HH
 
+#include <memory>
 #include <string>
 
+#include "dbt/image.hh"
 #include "dbt/persist.hh"
 #include "engine/cache_mgr.hh"
 #include "engine/events.hh"
@@ -40,6 +42,20 @@ struct WarmStartReport
     u64 invalidated = 0;    //!< records rejected (stale guest code or
                             //!< malformed body)
     u64 profileSeeded = 0;  //!< branch-profile entries seeded
+    /** Per-record body copies performed (decode + re-encode). The v1
+     *  repository path pays one per install; the zero-copy image path
+     *  is 0 by construction. */
+    u64 bodyCopies = 0;
+    /** Chain links re-bound (the image path does these in a single
+     *  flat relocation pass). */
+    u64 relocations = 0;
+    /** Bytes of the shared image this context installed from (0 for
+     *  the v1 path). */
+    u64 mappedBytes = 0;
+    /** The image warmStartLoad parsed, when it loaded one: the caller
+     *  must keep it alive as long as the engine runs, because mapped
+     *  translations are views into it. */
+    std::shared_ptr<const dbt::TransImage> image;
 };
 
 /**
@@ -66,6 +82,22 @@ WarmStartReport warmStartLoad(const std::string &path,
  * verified when the handle was created).
  */
 WarmStartReport warmStartInstall(const dbt::Repository &repo,
+                                 const x86::Memory &mem,
+                                 CodeCacheManager &ccm,
+                                 BranchProfile &prof,
+                                 EventStream *events = nullptr);
+
+/**
+ * Zero-copy install from a verified translation image: every accepted
+ * record's Translation borrows its body and pc table straight from
+ * the image (no decode, no copy — bodyCopies stays 0) and the saved
+ * chains are re-bound in one pass over the flat relocation table.
+ * Validation is per record against *this* context's guest memory: the
+ * record's content address (pageKey) is recomputed from the current
+ * page hashes and any mismatch silently falls back cold. The image
+ * must outlive the engine (hold it on the services handle).
+ */
+WarmStartReport warmStartInstall(const dbt::TransImage &img,
                                  const x86::Memory &mem,
                                  CodeCacheManager &ccm,
                                  BranchProfile &prof,

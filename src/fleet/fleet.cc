@@ -213,7 +213,11 @@ FleetServer::admit(std::size_t idx, u64 due)
 
     engine::SharedServices svc;
     svc.sbtPool = pool.get();
-    if (!cfg.warmRepos.empty())
+    // One shared zero-copy image for the whole fleet wins over the
+    // per-class parsed repositories.
+    if (cfg.warmImage)
+        svc.warmImage = cfg.warmImage;
+    else if (!cfg.warmRepos.empty())
         svc.warmRepo =
             cfg.warmRepos[t.workload % cfg.warmRepos.size()];
 
@@ -221,9 +225,12 @@ FleetServer::admit(std::size_t idx, u64 due)
     t.vm->attachSink(&t.clock);
     // The warm fill ran inside the ctor, before the sink attach:
     // charge it out of band so warm boots pay their install bill on
-    // the same clock cold boots pay translation on.
+    // the same clock cold boots pay translation on. Mapped-image
+    // installs skip the decode+copy, so they bill the cheaper rate.
+    const double warm_cpi =
+        svc.warmImage ? weights.warmInstallMapped : weights.warmInstall;
     t.clock.charge(
-        weights.warmInstall *
+        warm_cpi *
         static_cast<double>(t.vm->stats().warmInsnsInstalled));
 
     t.state = Tenant::State::Runnable;
@@ -252,6 +259,8 @@ FleetServer::retire(Tenant &t, u64 now)
     r.sbtTranslations = st.sbtTranslations;
     r.warmInstalled = st.warmInstalled;
     r.warmInvalidated = st.warmInvalidated;
+    r.warmRelocations = st.warmRelocations;
+    r.warmBodyCopies = st.warmBodyCopies;
     r.asyncQueueRejects = st.asyncSbtQueueRejects;
     r.cacheFlushes = st.bbtCacheFlushes + st.sbtCacheFlushes;
     r.ok = !t.badState && r.reruns > 0;
@@ -446,10 +455,12 @@ FleetServer::exportStats(StatRegistry &reg) const
             "p99 admission-to-milestone latency (fleet cycles)");
 
     u64 warm_installed = 0, warm_invalidated = 0, rejects = 0,
-        flushes = 0;
+        flushes = 0, warm_relocs = 0, warm_copies = 0;
     for (const ContextResult &c : r.contexts) {
         warm_installed += c.warmInstalled;
         warm_invalidated += c.warmInvalidated;
+        warm_relocs += c.warmRelocations;
+        warm_copies += c.warmBodyCopies;
         rejects += c.asyncQueueRejects;
         flushes += c.cacheFlushes;
     }
@@ -459,6 +470,27 @@ FleetServer::exportStats(StatRegistry &reg) const
     reg.set("fleet.warm.invalidated_total",
             static_cast<double>(warm_invalidated),
             "warm-start records rejected across the fleet");
+    reg.set("fleet.warm.relocations_total",
+            static_cast<double>(warm_relocs),
+            "warm-start chain fixups across the fleet");
+    reg.set("fleet.warm.body_copies_total",
+            static_cast<double>(warm_copies),
+            "warm-start decode+copy installs (0 = zero-copy image)");
+    if (cfg.warmImage) {
+        reg.set("fleet.warm.image.bytes",
+                static_cast<double>(cfg.warmImage->sizeBytes()),
+                "bytes of the one image every context shares");
+        reg.set("fleet.warm.image.records",
+                static_cast<double>(cfg.warmImage->recordCount()),
+                "records in the shared image");
+        reg.set("fleet.warm.image.dedupe_hits",
+                static_cast<double>(
+                    cfg.warmImage->header().dedupeHits),
+                "records merged by content at image build");
+        reg.set("fleet.warm.image.evicted",
+                static_cast<double>(cfg.warmImage->header().evicted),
+                "cold-tail records evicted by the image budget");
+    }
     reg.set("fleet.async.queue_rejects_total",
             static_cast<double>(rejects),
             "shared-pool back-pressure rejections across the fleet");

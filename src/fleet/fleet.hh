@@ -79,9 +79,14 @@ struct WorkWeights
     double sbtExec = 1.0;
     double bbtTranslate = engine::params::BBT_CYCLES_PER_INSN;
     double sbtOptimize = engine::params::SBT_CYCLES_PER_INSN;
-    /** Warm-fill install cost (matches the timing model's
+    /** Warm-fill install cost per instruction for the v1 repository
+     *  path (decode + copy; engine/params WARM_LOAD_DECODE_CPI). */
+    double warmInstall = engine::params::WARM_LOAD_DECODE_CPI;
+    /** Warm-fill install cost per instruction when installing
+     *  zero-copy views from a shared mapped image (relocation only;
+     *  engine/params WARM_LOAD_MAPPED_CPI, the timing model's
      *  warmLoadCyclesPerInsn). */
-    double warmInstall = 3.0;
+    double warmInstallMapped = engine::params::WARM_LOAD_MAPPED_CPI;
 
     static WorkWeights forConfig(const engine::EngineConfig &cfg);
 };
@@ -162,6 +167,15 @@ struct FleetConfig
      *  (empty: every context cold-boots). */
     std::vector<std::shared_ptr<const dbt::Repository>> warmRepos;
 
+    /**
+     * ONE shared zero-copy translation image for the whole fleet:
+     * every admitted context installs views from this mapping (dedupe
+     * by guest-page content keeps cross-class records apart). Takes
+     * precedence over warmRepos. The boot-storm win: N contexts, one
+     * parse, one physical copy, relocation-only installs.
+     */
+    std::shared_ptr<const dbt::TransImage> warmImage;
+
     /** Fold each retired context's full stat export into a
      *  ctx.<id>.* subtree (exportStats). Off by default: 256 contexts
      *  of per-context histograms are bulky. */
@@ -189,6 +203,8 @@ struct ContextResult
     u64 sbtTranslations = 0;
     u64 warmInstalled = 0;
     u64 warmInvalidated = 0;
+    u64 warmRelocations = 0; //!< chain fixups in the relocation pass
+    u64 warmBodyCopies = 0;  //!< 0 when installed from a mapped image
     u64 asyncQueueRejects = 0;
     u64 cacheFlushes = 0;
 

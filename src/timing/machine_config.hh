@@ -153,14 +153,18 @@ struct MachineConfig
     bool warmStart = false;
 
     /**
-     * Per-instruction cost of a warm install: page-hash validation,
-     * decode of the saved micro-op body, and the code-cache copy. Far
-     * below Delta_BBT (83 cycles software, ~20 assisted) because no
-     * x86 decode, cracking, or register mapping happens -- the
-     * repository stores finished translations, so installing one is a
-     * fixed-format decode plus a short copy.
+     * Per-instruction cost of a warm install. The v1 repository paid
+     * ~3 cycles/insn (page-hash validation, fixed-format decode of
+     * the saved body, code-cache copy). The v2 zero-copy image drops
+     * the decode and the copy entirely -- translations bind views
+     * into the mapped image and only the content-address check plus
+     * one relocation pass remain -- so the default is ~1 cycle/insn.
+     * Measured justification: bench_warmstart's host-side install
+     * ratio (image.load_ratio_vs_decode) shows the mapped path >= 2x
+     * cheaper per installed instruction, gated in CI.
      */
-    double warmLoadCyclesPerInsn = 3.0;
+    double warmLoadCyclesPerInsn =
+        engine::params::WARM_LOAD_MAPPED_CPI;
 
     /**
      * Fraction of warm-load memory stall hidden by streaming: the

@@ -383,7 +383,7 @@ Uop::encodedSize() const
 }
 
 std::vector<u8>
-encode(const UopVec &v)
+encode(std::span<const Uop> v)
 {
     std::vector<u8> out;
     out.reserve(v.size() * 4);

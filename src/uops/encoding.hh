@@ -43,7 +43,7 @@ unsigned encodeOne(const Uop &u, u8 *out);
 unsigned decodeOne(std::span<const u8> window, Uop &out);
 
 /** Encode a whole sequence. */
-std::vector<u8> encode(const UopVec &v);
+std::vector<u8> encode(std::span<const Uop> v);
 
 /**
  * Decode a whole buffer (must contain exactly a sequence of micro-ops).

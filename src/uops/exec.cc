@@ -383,7 +383,7 @@ UopExecutor::exec(const Uop &u)
 }
 
 BlockResult
-UopExecutor::run(const UopVec &uops, Addr fallthrough)
+UopExecutor::run(std::span<const Uop> uops, Addr fallthrough)
 {
     BlockResult res;
     for (std::size_t i = 0; i < uops.size(); ++i) {

@@ -93,7 +93,7 @@ class UopExecutor
      * @param uops          The translation body.
      * @param fallthrough   x86 PC that follows the translated region.
      */
-    BlockResult run(const UopVec &uops, Addr fallthrough);
+    BlockResult run(std::span<const Uop> uops, Addr fallthrough);
 
     /** Outcome of a single micro-op (used by run and by the HAloop). */
     struct Outcome

@@ -129,7 +129,7 @@ Uop::readsFlags() const
 // the two cannot diverge.
 
 unsigned
-encodedBytes(const UopVec &v)
+encodedBytes(std::span<const Uop> v)
 {
     unsigned n = 0;
     for (const Uop &u : v)

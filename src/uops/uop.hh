@@ -20,6 +20,7 @@
 #ifndef CDVM_UOPS_UOP_HH
 #define CDVM_UOPS_UOP_HH
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -153,7 +154,7 @@ using UopVec = std::vector<Uop>;
 std::string uopName(UOp op);
 
 /** Total encoded bytes of a micro-op sequence. */
-unsigned encodedBytes(const UopVec &v);
+unsigned encodedBytes(std::span<const Uop> v);
 
 } // namespace cdvm::uops
 

@@ -113,22 +113,34 @@ Vmm::Vmm(x86::Memory &memory, const VmmConfig &config,
     // Persistent warm start: install a previous run's validated
     // translations and profiles before the first dispatched
     // instruction. Failure of any kind just leaves the engine cold.
-    // A shared pre-parsed repository handle (fleet mode) wins over
-    // the per-context file path: the parse happened once, per
-    // process; the install still validates against *this* context's
-    // guest memory.
-    if (svc.warmRepo || !cfg.warmStartLoadPath.empty()) {
-        engine::WarmStartReport rep =
-            svc.warmRepo
-                ? engine::warmStartInstall(*svc.warmRepo, mem, ccm,
-                                           branchProf, &events)
-                : engine::warmStartLoad(cfg.warmStartLoadPath, mem,
+    // Precedence: a shared zero-copy image handle (fleet mode, one
+    // mapping for every context) beats a shared pre-parsed repository
+    // beats the per-context file path; the parse/verify happened once
+    // per process, and the install still validates against *this*
+    // context's guest memory. A path load keeps the parsed image on
+    // the services handle: mapped translations are views into it.
+    if (svc.warmImage || svc.warmRepo ||
+        !cfg.warmStartLoadPath.empty()) {
+        engine::WarmStartReport rep;
+        if (svc.warmImage) {
+            rep = engine::warmStartInstall(*svc.warmImage, mem, ccm,
+                                           branchProf, &events);
+        } else if (svc.warmRepo) {
+            rep = engine::warmStartInstall(*svc.warmRepo, mem, ccm,
+                                           branchProf, &events);
+        } else {
+            rep = engine::warmStartLoad(cfg.warmStartLoadPath, mem,
                                         ccm, branchProf, &events);
+            svc.warmImage = rep.image;
+        }
         st.warmLoaded = rep.loaded;
         st.warmInstalled = rep.installed;
         st.warmInsnsInstalled = rep.installedInsns;
         st.warmInvalidated = rep.invalidated;
         st.warmProfileSeeded = rep.profileSeeded;
+        st.warmBodyCopies = rep.bodyCopies;
+        st.warmRelocations = rep.relocations;
+        st.warmMappedBytes = rep.mappedBytes;
     }
 }
 
@@ -161,7 +173,13 @@ Vmm::saveWarmStart(const std::string &path) const
         path.empty() ? cfg.warmStartSavePath : path;
     if (dst.empty())
         return false;
-    return dbt::saveFile(dst, captureWarmStart());
+    // Written as a v2 zero-copy image (the next run maps it and
+    // installs views). The budget evicts the cold tail of the hotness
+    // ranking at build time.
+    dbt::ImageBuilder b(dbt::ImageBuilder::Options{
+        cfg.warmImageBudgetBytes, 1});
+    b.add(captureWarmStart());
+    return dbt::TransImage::save(dst, b.build());
 }
 
 const hwassist::BranchBehaviorBuffer &
@@ -484,7 +502,8 @@ Vmm::exportCoreStats(StatRegistry &reg) const
         set("vmm.async.queue_rejects", st.asyncSbtQueueRejects,
             "requests dropped by queue back-pressure");
     }
-    if (svc.warmRepo || !cfg.warmStartLoadPath.empty()) {
+    if (svc.warmImage || svc.warmRepo ||
+        !cfg.warmStartLoadPath.empty()) {
         set("vmm.warm.loaded", st.warmLoaded,
             "repository records read at warm start");
         set("vmm.warm.installed", st.warmInstalled,
@@ -495,6 +514,22 @@ Vmm::exportCoreStats(StatRegistry &reg) const
             "repository records rejected as stale or malformed");
         set("vmm.warm.profile_seeded", st.warmProfileSeeded,
             "branch-profile entries seeded from the repository");
+        set("vmm.warm.body_copies", st.warmBodyCopies,
+            "per-record decode+copy installs (0 = zero-copy image)");
+        set("vmm.warm.relocations", st.warmRelocations,
+            "chain links re-bound by the warm relocation pass");
+        set("vmm.warm.mapped_bytes", st.warmMappedBytes,
+            "shared-image bytes this context installed from");
+    }
+    if (svc.warmImage) {
+        set("vmm.warm.image.generation",
+            svc.warmImage->header().generation,
+            "builder generation of the shared warm image");
+        set("vmm.warm.image.dedupe_hits",
+            svc.warmImage->header().dedupeHits,
+            "records merged by content when the image was built");
+        set("vmm.warm.image.evicted", svc.warmImage->header().evicted,
+            "cold-tail records evicted by the image size budget");
     }
     set("vmm.xlt.insns_translated", st.xltInsnsTranslated,
         "x86 instructions translated through the HAloop");
