@@ -28,6 +28,8 @@ main(int argc, char **argv)
     auto interp = bench::runMachine(timing::MachineConfig::vmInterp(),
                                     apps);
     auto soft = bench::runMachine(timing::MachineConfig::vmSoft(), apps);
+    auto soft_tmpl = bench::runMachine(
+        timing::MachineConfig::vmSoftTmpl(), apps);
     auto soft_async = bench::runMachine(
         timing::MachineConfig::vmSoftAsync(), apps);
     auto soft_warm = bench::runMachine(
@@ -54,6 +56,8 @@ main(int argc, char **argv)
         analysis::averageNormalizedIpc(interp, "VM: Interp & SBT")));
     series.push_back(
         scale(analysis::averageNormalizedIpc(soft, "VM: BBT & SBT")));
+    series.push_back(scale(analysis::averageNormalizedIpc(
+        soft_tmpl, "VM: template BBT & SBT")));
     series.push_back(scale(analysis::averageNormalizedIpc(
         soft_async, "VM: BBT & async SBT")));
     series.push_back(scale(analysis::averageNormalizedIpc(
@@ -104,6 +108,8 @@ main(int argc, char **argv)
     bench::exportSuiteStartup("bench.fig2.ref", ref);
     bench::exportSuiteStartup("bench.fig2.vm_interp", interp, &ref);
     bench::exportSuiteStartup("bench.fig2.vm_soft", soft, &ref);
+    bench::exportSuiteStartup("bench.fig2.vm_soft_tmpl", soft_tmpl,
+                              &ref);
     bench::exportSuiteStartup("bench.fig2.vm_soft_async", soft_async,
                               &ref);
     bench::exportSuiteStartup("bench.fig2.vm_soft_warm", soft_warm,

@@ -22,6 +22,8 @@ main(int argc, char **argv)
     auto ref = bench::runMachine(timing::MachineConfig::refSuperscalar(),
                                  apps);
     auto soft = bench::runMachine(timing::MachineConfig::vmSoft(), apps);
+    auto soft_tmpl = bench::runMachine(
+        timing::MachineConfig::vmSoftTmpl(), apps);
     auto be = bench::runMachine(timing::MachineConfig::vmBe(), apps);
     auto be_async = bench::runMachine(timing::MachineConfig::vmBeAsync(),
                                       apps);
@@ -46,6 +48,8 @@ main(int argc, char **argv)
         scale(analysis::averageNormalizedIpc(ref, "Ref: superscalar")));
     series.push_back(
         scale(analysis::averageNormalizedIpc(soft, "VM.soft")));
+    series.push_back(scale(
+        analysis::averageNormalizedIpc(soft_tmpl, "VM.soft.tmpl")));
     series.push_back(scale(analysis::averageNormalizedIpc(be, "VM.be")));
     series.push_back(scale(
         analysis::averageNormalizedIpc(be_async, "VM.be.async")));
@@ -103,6 +107,7 @@ main(int argc, char **argv)
     };
     std::printf("--- suite summaries ---\n");
     summarize("VM.soft", soft);
+    summarize("VM.soft.tmpl", soft_tmpl);
     summarize("VM.be", be);
     summarize("VM.be.async", be_async);
     summarize("VM.be.warm", be_warm);
@@ -113,6 +118,8 @@ main(int argc, char **argv)
     // Per-PR perf trajectory: suite aggregates for the CI artifact.
     bench::exportSuiteStartup("bench.fig8.ref", ref);
     bench::exportSuiteStartup("bench.fig8.vm_soft", soft, &ref);
+    bench::exportSuiteStartup("bench.fig8.vm_soft_tmpl", soft_tmpl,
+                              &ref);
     bench::exportSuiteStartup("bench.fig8.vm_be", be, &ref);
     bench::exportSuiteStartup("bench.fig8.vm_be_async", be_async, &ref);
     bench::exportSuiteStartup("bench.fig8.vm_be_warm", be_warm, &ref);

@@ -7,6 +7,7 @@
  * Any of the engine's named configurations can drive the run:
  *
  *   $ ./build/examples/quickstart --config=vm.soft   # software BBT
+ *   $ ./build/examples/quickstart --config=vm.soft.tmpl # template BBT
  *   $ ./build/examples/quickstart --config=vm.fe    # x86-mode + BBB
  *   $ ./build/examples/quickstart --config=vm.be    # XLTx86 HAloop
  *   $ ./build/examples/quickstart --config=vm.dual  # HAloop + BBB
@@ -59,6 +60,8 @@ machineFor(const std::string &name, bool warm_start)
         m = timing::MachineConfig::vmBeAsync();
     else if (name == "vm.soft.async")
         m = timing::MachineConfig::vmSoftAsync();
+    else if (name == "vm.soft.tmpl" || name == "vm.be.tmpl")
+        m = timing::MachineConfig::vmSoftTmpl();
     else if (name == "vm.interp")
         m = timing::MachineConfig::vmInterp();
     // --load-cache also warm-starts the timing model: translations are
@@ -187,7 +190,8 @@ main(int argc, char **argv)
             "simulation; optionally export stats and a phase trace.");
     cli.flag("config", "vm.soft",
              "engine configuration: vm.soft|vm.fe|vm.be|vm.dual|"
-             "vm.interp|vm.soft.async|vm.be.async");
+             "vm.interp|vm.soft.tmpl|vm.be.tmpl|vm.soft.async|"
+             "vm.be.async");
     cli.flag("load-cache", "",
              "warm start: load a translation repository saved by a "
              "previous run (stale entries fall back to cold)");

@@ -46,6 +46,21 @@ struct TranslationCosts
         return TranslationCosts{};
     }
 
+    /**
+     * IR-less template cold tier (VM.soft.tmpl): the software XLTx86.
+     * Delta_BBT shrinks by the measured template/software translation
+     * ratio (bench_host_mips, gated in CI); everything else is
+     * VM.soft.
+     */
+    static TranslationCosts
+    templateTier()
+    {
+        TranslationCosts c;
+        c.bbtNativePerInsn = engine::params::BBT_TMPL_NATIVE_PER_INSN;
+        c.bbtCyclesPerInsn = engine::params::BBT_TMPL_XLATE;
+        return c;
+    }
+
     /** XLTx86 backend-assisted BBT (VM.be). */
     static TranslationCosts
     backendAssist()

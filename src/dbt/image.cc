@@ -145,6 +145,8 @@ expandRecord(const TransImage::RecordView &v)
     e.containsComplex = v.hdr->flags & IMG_F_COMPLEX;
     e.endsInCti = v.hdr->flags & IMG_F_ENDS_CTI;
     e.endsInCondBranch = v.hdr->flags & IMG_F_ENDS_COND;
+    e.provenance = static_cast<TransProvenance>(
+        (v.hdr->flags & IMG_F_PROV_MASK) >> IMG_F_PROV_SHIFT);
     e.condBranchTarget = v.hdr->condBranchTarget;
     e.condBranchPc = v.hdr->condBranchPc;
     e.execCount = v.hdr->execCount;
@@ -320,7 +322,7 @@ TransImage::verify()
             return LoadError::Corrupt;
         const auto *rh = reinterpret_cast<const ImageRecordHeader *>(
             recordsBase + off);
-        if (rh->kind > 1 || rh->flags > 7 || rh->nUops == 0)
+        if (rh->kind > 1 || rh->flags > 31 || rh->nUops == 0)
             return LoadError::Corrupt;
         const u64 body =
             recordBlobBytes(rh->nPcs, rh->nUops);
@@ -786,9 +788,12 @@ ImageBuilder::build()
         rh.nPcs = static_cast<u32>(s.entry.x86pcs.size());
         rh.nUops = static_cast<u32>(t->uops.size());
         rh.kind = s.entry.kind == TransKind::Superblock ? 1 : 0;
-        rh.flags = (s.entry.containsComplex ? IMG_F_COMPLEX : 0) |
-                   (s.entry.endsInCti ? IMG_F_ENDS_CTI : 0) |
-                   (s.entry.endsInCondBranch ? IMG_F_ENDS_COND : 0);
+        rh.flags =
+            (s.entry.containsComplex ? IMG_F_COMPLEX : 0) |
+            (s.entry.endsInCti ? IMG_F_ENDS_CTI : 0) |
+            (s.entry.endsInCondBranch ? IMG_F_ENDS_COND : 0) |
+            static_cast<u8>(static_cast<u8>(s.entry.provenance)
+                            << IMG_F_PROV_SHIFT);
 
         u8 *rp = at(sec(ImageSection::Records).offset + rec_off[i]);
         std::memcpy(rp, &rh, sizeof rh);

@@ -157,6 +157,10 @@ enum : u8
     IMG_F_COMPLEX = 1,
     IMG_F_ENDS_CTI = 2,
     IMG_F_ENDS_COND = 4,
+    /** Bits 3-4: producing tier (TransProvenance). Images written
+     *  before the template tier read back 0 = SwBbt. */
+    IMG_F_PROV_SHIFT = 3,
+    IMG_F_PROV_MASK = 0x18,
 };
 
 /**

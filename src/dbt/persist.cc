@@ -106,7 +106,8 @@ putEntry(std::vector<u8> &out, const SavedTranslation &e)
     putU8(out, static_cast<u8>(e.kind));
     const u8 flags = (e.containsComplex ? 1 : 0) |
                      (e.endsInCti ? 2 : 0) |
-                     (e.endsInCondBranch ? 4 : 0);
+                     (e.endsInCondBranch ? 4 : 0) |
+                     static_cast<u8>(static_cast<u8>(e.provenance) << 3);
     putU8(out, flags);
     putU64(out, e.entryPc);
     putU32(out, e.numX86Insns);
@@ -140,6 +141,7 @@ getEntry(Reader &r, SavedTranslation &e)
     e.containsComplex = flags & 1;
     e.endsInCti = flags & 2;
     e.endsInCondBranch = flags & 4;
+    e.provenance = static_cast<TransProvenance>((flags >> 3) & 3);
     e.entryPc = r.getU64();
     e.numX86Insns = r.getU32();
     e.x86Bytes = r.getU32();
@@ -237,6 +239,7 @@ SavedTranslation::materialize() const
     t->x86Bytes = x86Bytes;
     t->fallthroughPc = fallthroughPc;
     t->containsComplex = containsComplex;
+    t->provenance = provenance;
     t->endsInCti = endsInCti;
     t->endsInCondBranch = endsInCondBranch;
     t->condBranchTarget = condBranchTarget;
@@ -293,6 +296,7 @@ capture(const TranslationMap &map, const x86::Memory &mem,
         e.x86Bytes = t.x86Bytes;
         e.fallthroughPc = t.fallthroughPc;
         e.containsComplex = t.containsComplex;
+        e.provenance = t.provenance;
         e.endsInCti = t.endsInCti;
         e.endsInCondBranch = t.endsInCondBranch;
         e.condBranchTarget = t.condBranchTarget;

@@ -98,6 +98,9 @@ struct SavedTranslation
     bool containsComplex = false;
     bool endsInCti = false;
     bool endsInCondBranch = false;
+    /** Producing tier (two spare bits of the entry flags byte; old
+     *  files read back as SwBbt). */
+    TransProvenance provenance = TransProvenance::SwBbt;
     Addr condBranchTarget = 0;
     Addr condBranchPc = 0;
     u64 execCount = 0;

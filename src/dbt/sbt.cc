@@ -22,6 +22,7 @@ SuperblockTranslator::translate(const SuperblockTrace &trace)
 {
     auto t = std::make_unique<Translation>();
     t->kind = TransKind::Superblock;
+    t->provenance = TransProvenance::Sbt;
     t->entryPc = trace.entryPc;
     t->fallthroughPc = trace.fallthroughPc;
     t->endsInCti = trace.endsInCti;

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * IR-less template cold tier: a software XLTx86.
+ *
+ * The software BBT lowers every x86 instruction through the uop IR
+ * (decode -> crack -> emit) before anything executes; the paper's
+ * XLTx86 unit shows that translating *without* the per-instruction
+ * lowering pipeline is where the cold-start cycles go. This module
+ * plays that role in software: a rule table maps decoded instruction
+ * *forms* (x86::FormKey) straight to pre-baked micro-op templates
+ * that are specialized by value substitution -- register numbers,
+ * immediates, displacements and branch targets are patched into a
+ * copied skeleton; no cracker runs on the translation path.
+ *
+ * Rules are not hand-written. At table construction each candidate
+ * form is *learned* from the cracker itself: two synthetic probe
+ * instructions of the form are cracked, every varying parameter is
+ * given a distinct probe delta, and each micro-op field whose value
+ * moved by exactly one parameter's delta becomes an affine patch
+ * (field = param + offset; the offset covers reg-4 high-byte forms,
+ * Ret's ESP adjust of 4 + imm, and friends). Any field whose movement
+ * is not explained by exactly one parameter aborts learning for that
+ * form, so every rule in the table is specialization-exact against
+ * the cracker *by construction* -- the template tier can never emit a
+ * micro-op sequence the software BBT would not have emitted.
+ *
+ * Blocks containing an instruction with no matching rule fall back
+ * per-block to the ordinary BasicBlockTranslator, so coverage can
+ * grow incrementally and block shapes stay identical to VM.soft.
+ */
+
+#ifndef CDVM_DBT_TEMPLATES_HH
+#define CDVM_DBT_TEMPLATES_HH
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dbt/bbt.hh"
+#include "dbt/translation.hh"
+#include "uops/uop.hh"
+#include "x86/form.hh"
+#include "x86/insn.hh"
+
+namespace cdvm
+{
+class StatRegistry;
+namespace x86
+{
+class Memory;
+}
+} // namespace cdvm
+
+namespace cdvm::dbt
+{
+
+/** The value parameters a template rule can substitute. */
+enum TmplParam : u8
+{
+    TP_DST_REG,   //!< dst register number
+    TP_SRC_REG,   //!< src register number
+    TP_SRC_IMM,   //!< src immediate
+    TP_SRC2_IMM,  //!< src2 immediate (3-operand imul)
+    TP_MEM_BASE,  //!< base register of the memory operand
+    TP_MEM_INDEX, //!< index register of the memory operand
+    TP_MEM_SCALE, //!< index scale of the memory operand
+    TP_MEM_DISP,  //!< displacement of the memory operand
+    TP_COND,      //!< condition code (Jcc / Setcc)
+    TP_TARGET,    //!< direct branch target
+    TP_NEXT_PC,   //!< fall-through pc (call return address)
+    TP_NUM_PARAMS,
+};
+
+/** The patchable integer fields of a micro-op. */
+enum TmplField : u8
+{
+    TF_DST,
+    TF_SRC1,
+    TF_SRC2,
+    TF_SIZE,
+    TF_SCALE,
+    TF_COND,
+    TF_IMM,
+    TF_TARGET,
+    TF_NUM_FIELDS,
+};
+
+/** One learned substitution: skeleton[uop].field = param + offset. */
+struct TmplPatch
+{
+    u8 uop;     //!< index into the rule skeleton
+    u8 field;   //!< TmplField
+    u8 param;   //!< TmplParam
+    i64 offset; //!< affine offset (e.g. -4 for AH-family registers)
+};
+
+/** A pre-baked translation template for one instruction form. */
+struct TemplateRule
+{
+    /**
+     * Complexity of the specialized instruction (crack's
+     * `isComplex || encodedBytes > 16`). Learning bounds the encoded
+     * size reachable under any substitution; when the bound decides
+     * the flag for every possible specialization it is baked here and
+     * the per-instruction encoded-size recompute is skipped.
+     */
+    enum Complexity : u8 { Never, Always, Depends };
+
+    x86::FormKey key = 0;
+    uops::UopVec skeleton;          //!< baked micro-ops (probe-A values)
+    std::vector<TmplPatch> patches; //!< value substitutions to apply
+    /** Op-level complexity (x86::Insn::isComplex; form-invariant). */
+    bool insnComplex = false;
+    Complexity complexity = Depends;
+    /** Encoded bytes of the skeleton micro-ops no patch touches. */
+    u16 fixedBytes = 0;
+    /** Skeleton indices touched by >= 1 patch (ascending, deduped). */
+    std::vector<u8> patchedUops;
+};
+
+/** Parameter vector extracted from a decoded instruction. */
+using TmplParams = std::array<i64, TP_NUM_PARAMS>;
+
+/** Extract the substitutable values of a decoded instruction. */
+TmplParams extractTmplParams(const x86::Insn &in);
+
+/**
+ * The process-wide immutable rule table, learned from the cracker
+ * once on first use and shared by every template backend.
+ */
+class TemplateRuleTable
+{
+  public:
+    /** The shared instance (built on first call, then immutable). */
+    static const TemplateRuleTable &instance();
+
+    /**
+     * Look up the rule for a form. With coverage_pct < 100 only the
+     * first coverage_pct% of rules (in deterministic enumeration
+     * order) are visible -- the ablation knob behind
+     * `bench_host_mips --ablate-tmpl`.
+     */
+    const TemplateRule *find(x86::FormKey key,
+                             unsigned coverage_pct = 100) const;
+
+    size_t numRules() const { return rules.size(); }
+
+    /** Rules in deterministic enumeration order (lint / ablation). */
+    const TemplateRule &ruleAt(size_t i) const { return rules[i]; }
+
+    /**
+     * Specialize a rule for a concrete instruction, appending the
+     * micro-ops to `out`. Returns the per-instruction complex flag
+     * (when learning could not bound the encoded size, it depends on
+     * the substituted immediates and is recomputed here, exactly as
+     * crack() computes it). When `bytes_out` is non-null it receives
+     * the encoded size of the appended micro-ops, letting the caller
+     * accumulate a block's code bytes without a second encode pass.
+     */
+    static bool specialize(const TemplateRule &r, const x86::Insn &in,
+                           uops::UopVec &out,
+                           unsigned *bytes_out = nullptr);
+
+    TemplateRuleTable();
+
+  private:
+    std::vector<TemplateRule> rules;
+    /**
+     * Open-addressed FormKey -> rule-index map (power-of-two sized,
+     * linear probing, <= 50% load). find() sits on the per-instruction
+     * translation path, so it avoids the node allocation and pointer
+     * chase of std::unordered_map.
+     */
+    struct Slot
+    {
+        u32 key = 0;
+        u32 idx = EMPTY_SLOT;
+    };
+    static constexpr u32 EMPTY_SLOT = 0xffffffffu;
+    std::vector<Slot> index;
+    u32 indexMask = 0;
+};
+
+/**
+ * Block former for the template tier: mirrors
+ * BasicBlockTranslator::translate exactly, but specializes templates
+ * instead of cracking. The first rule miss in a block discards the
+ * partial work and delegates the whole block to the embedded software
+ * translator, so every produced block has the same boundaries VM.soft
+ * would produce.
+ */
+class TemplateTranslator
+{
+  public:
+    TemplateTranslator(x86::Memory &m, unsigned max_insns,
+                       unsigned coverage_pct = 100);
+
+    std::unique_ptr<Translation> translate(Addr pc);
+
+    void exportStats(StatRegistry &reg, const std::string &prefix) const;
+
+    u64 templatedBlocks() const { return nTmplBlocks; }
+    u64 templatedInsns() const { return nTmplInsns; }
+    u64 fallbackBlocks() const { return nFallbackBlocks; }
+    u64 fallbackInsns() const { return nFallbackInsns; }
+
+  private:
+    x86::Memory &mem;
+    const TemplateRuleTable &table;
+    BasicBlockTranslator fallback;
+    unsigned maxInsns;
+    unsigned coveragePct;
+
+    /**
+     * Reusable per-translator build buffers: blocks are formed here
+     * and copied into the Translation once committed, so the
+     * persistent vectors are exact-sized and the hot loop never
+     * reallocates after warmup.
+     */
+    uops::UopVec scratchUops;
+    std::vector<Addr> scratchPcs;
+
+    u64 nTmplBlocks = 0;     //!< blocks fully built from templates
+    u64 nTmplInsns = 0;      //!< instructions specialized in those blocks
+    u64 nRuleHits = 0;       //!< successful rule lookups (committed)
+    u64 nFallbackBlocks = 0; //!< blocks delegated to the software BBT
+    u64 nFallbackInsns = 0;  //!< instructions translated by fallback
+};
+
+} // namespace cdvm::dbt
+
+#endif // CDVM_DBT_TEMPLATES_HH

@@ -34,6 +34,20 @@ enum class TransKind : u8
 };
 
 /**
+ * Which translator produced a translation. Persisted (two spare flag
+ * bits in both the v1 repository and the v2 image formats), so a
+ * warm-started VM knows which tier each restored translation came
+ * from and the template tier's work survives a save/boot round trip.
+ */
+enum class TransProvenance : u8
+{
+    SwBbt = 0,   //!< software uop-lowering BBT (the default)
+    TmplBbt = 1, //!< IR-less template BBT (software XLTx86)
+    XltBbt = 2,  //!< XLTx86-assisted BBT (hardware-assist model)
+    Sbt = 3,     //!< superblock optimizer
+};
+
+/**
  * Generational handle to a translation owned by a TranslationMap.
  *
  * idx is 1-based (0 means "no translation"); gen must match the
@@ -80,6 +94,8 @@ struct Translation
     u32 x86Bytes = 0;       //!< architected bytes covered
     Addr fallthroughPc = 0; //!< x86 PC following the translated region
     bool containsComplex = false;
+    /** Producing tier (persisted across warm-start save/boot). */
+    TransProvenance provenance = TransProvenance::SwBbt;
     bool endsInCti = false;
     /** True if the final covered instruction is a conditional branch. */
     bool endsInCondBranch = false;

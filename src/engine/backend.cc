@@ -21,11 +21,19 @@ SoftwareBbtBackend::exportStats(StatRegistry &reg,
     xlator.exportStats(reg, prefix);
 }
 
+void
+TemplateBbtBackend::exportStats(StatRegistry &reg,
+                                const std::string &prefix) const
+{
+    xlator.exportStats(reg, prefix);
+}
+
 std::unique_ptr<Translation>
 XltBbtBackend::translate(Addr pc)
 {
     auto t = std::make_unique<Translation>();
     t->kind = TransKind::BasicBlock;
+    t->provenance = dbt::TransProvenance::XltBbt;
     t->entryPc = pc;
 
     // Block-forming rules mirror the software BBT exactly (same

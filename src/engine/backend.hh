@@ -27,6 +27,7 @@
 #include "dbt/bbt.hh"
 #include "dbt/sbt.hh"
 #include "dbt/superblock.hh"
+#include "dbt/templates.hh"
 #include "engine/engine_config.hh"
 #include "engine/strategy.hh"
 #include "hwassist/haloop.hh"
@@ -56,6 +57,38 @@ class SoftwareBbtBackend : public TranslationBackend
 
   private:
     dbt::BasicBlockTranslator xlator;
+};
+
+/**
+ * The IR-less template BBT (VM.soft.tmpl / VM.be.tmpl cold path): a
+ * software XLTx86. Decoded instruction forms are mapped straight to
+ * pre-baked micro-op templates specialized by value substitution; no
+ * cracker runs on the translation path. Blocks containing a form with
+ * no learned rule fall back per-block to the software BBT, keeping
+ * block shapes identical to VM.soft.
+ */
+class TemplateBbtBackend : public TranslationBackend
+{
+  public:
+    TemplateBbtBackend(x86::Memory &memory, unsigned max_insns,
+                       unsigned coverage_pct = 100)
+        : xlator(memory, max_insns, coverage_pct)
+    {
+    }
+
+    std::unique_ptr<dbt::Translation>
+    translate(Addr pc) override
+    {
+        return xlator.translate(pc);
+    }
+
+    void exportStats(StatRegistry &reg,
+                     const std::string &prefix) const override;
+
+    const dbt::TemplateTranslator &translator() const { return xlator; }
+
+  private:
+    dbt::TemplateTranslator xlator;
 };
 
 /** The XLTx86-assisted BBT (VM.be / VM.dual cold path). */

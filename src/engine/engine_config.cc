@@ -54,6 +54,25 @@ EngineConfig::vmInterp()
 }
 
 EngineConfig
+EngineConfig::vmSoftTmpl()
+{
+    EngineConfig c = vmSoft();
+    c.name = "vm.soft.tmpl";
+    c.cold = ColdKind::TemplateBbt;
+    return c;
+}
+
+EngineConfig
+EngineConfig::vmBeTmpl()
+{
+    EngineConfig c;
+    c.name = "vm.be.tmpl";
+    c.cold = ColdKind::TemplateBbt;
+    c.detector = DetectorKind::Bbb;
+    return c;
+}
+
+EngineConfig
 EngineConfig::vmSoftAsync(unsigned contexts)
 {
     EngineConfig c = vmSoft();
@@ -84,6 +103,10 @@ EngineConfig::byName(const std::string &name)
         return vmDual();
     if (name == "vm.interp")
         return vmInterp();
+    if (name == "vm.soft.tmpl")
+        return vmSoftTmpl();
+    if (name == "vm.be.tmpl")
+        return vmBeTmpl();
     if (name == "vm.soft.async")
         return vmSoftAsync();
     if (name == "vm.be.async")
@@ -94,8 +117,9 @@ EngineConfig::byName(const std::string &name)
 std::vector<std::string>
 EngineConfig::names()
 {
-    return {"vm.soft",       "vm.fe",       "vm.be", "vm.dual",
-            "vm.interp",     "vm.soft.async", "vm.be.async"};
+    return {"vm.soft",      "vm.fe",        "vm.be",
+            "vm.dual",      "vm.interp",    "vm.soft.tmpl",
+            "vm.be.tmpl",   "vm.soft.async", "vm.be.async"};
 }
 
 } // namespace cdvm::engine

@@ -37,6 +37,7 @@ enum class ColdKind : u8
     HardwareX86Mode, //!< dual-mode decoders execute x86 directly (VM.fe)
     SoftwareBbt,     //!< software basic-block translation (VM.soft)
     XltAssistedBbt,  //!< HAloop + XLTx86 functional unit (VM.be)
+    TemplateBbt,     //!< IR-less template BBT, a software XLTx86
 };
 
 /** Hotspot detection strategies. */
@@ -68,6 +69,13 @@ struct EngineConfig
     u64 sbtCacheBytes = u64{4} << 20;
 
     unsigned maxBlockInsns = 64;
+    /**
+     * Template cold tier only: percentage of the learned rule table
+     * enabled, in deterministic enumeration order. 100 = full table;
+     * lower values force more per-block software fallbacks (the
+     * `bench_host_mips --ablate-tmpl` coverage knob).
+     */
+    unsigned tmplCoveragePct = 100;
     dbt::SuperblockPolicy sbPolicy{};
     uops::FusionConfig fusion{};
     hwassist::BbbParams bbbParams{};
@@ -178,6 +186,11 @@ struct EngineConfig
     static EngineConfig vmBe();
     static EngineConfig vmDual();
     static EngineConfig vmInterp();
+    /** VM.soft with the IR-less template cold tier. */
+    static EngineConfig vmSoftTmpl();
+    /** Template cold tier paired with the BBB detector (the closest
+     *  software stand-in for the paper's VM.be pairing). */
+    static EngineConfig vmBeTmpl();
     /** vm.soft with N background SBT contexts (vm.soft.async). */
     static EngineConfig vmSoftAsync(unsigned contexts = 2);
     /** vm.be with N background SBT contexts (vm.be.async). */

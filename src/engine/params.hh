@@ -35,6 +35,20 @@ inline constexpr double BBT_ASSIST_CYCLES_PER_INSN = 20.0;
 /** XLTx86 functional-unit latency in cycles (Section 4.2). */
 inline constexpr unsigned XLT_LATENCY_CYCLES = 4;
 
+/**
+ * IR-less template BBT (the software XLTx86, dbt/templates): mapping
+ * decoded forms straight to pre-baked micro-op templates skips the
+ * per-instruction crack/emit pipeline. bench_host_mips measures the
+ * template path at ~2.1x fewer host ns per translated instruction
+ * than the uop-lowering BBT on the cold-heavy mix (gated >= 2x in
+ * perf-smoke CI); the modeled Delta_BBT scales by the same ratio:
+ * 83 / 2.1 ~= 40 cycles, 105 / 2.1 = 50 native insns.
+ */
+inline constexpr double BBT_TMPL_NATIVE_PER_INSN = 50.0;
+
+/** Template BBT: modeled cycles per translated x86 instruction. */
+inline constexpr double BBT_TMPL_XLATE = 40.0;
+
 // --- SBT optimization cost, Delta_SBT (Section 3.2) -----------------
 
 /** Measured Delta_SBT in x86 instructions per translated instruction. */

@@ -154,6 +154,8 @@ warmStartInstall(const dbt::TransImage &img, const x86::Memory &mem,
         t->containsComplex = rh.flags & dbt::IMG_F_COMPLEX;
         t->endsInCti = rh.flags & dbt::IMG_F_ENDS_CTI;
         t->endsInCondBranch = rh.flags & dbt::IMG_F_ENDS_COND;
+        t->provenance = static_cast<dbt::TransProvenance>(
+            (rh.flags & dbt::IMG_F_PROV_MASK) >> dbt::IMG_F_PROV_SHIFT);
         t->condBranchTarget = rh.condBranchTarget;
         t->condBranchPc = rh.condBranchPc;
         t->execCount = rh.execCount;

@@ -52,6 +52,17 @@ MachineConfig::vmSoft()
 }
 
 MachineConfig
+MachineConfig::vmSoftTmpl()
+{
+    MachineConfig m = vmSoft();
+    m.name = "VM.soft.tmpl";
+    // Same machine, cheaper Delta_BBT: translation maps decoded forms
+    // straight to templates instead of lowering through the uop IR.
+    m.costs = dbt::TranslationCosts::templateTier();
+    return m;
+}
+
+MachineConfig
 MachineConfig::vmBe()
 {
     MachineConfig m;

@@ -179,6 +179,9 @@ struct MachineConfig
     // --- presets --------------------------------------------------------
     static MachineConfig refSuperscalar();
     static MachineConfig vmSoft();
+    /** VM.soft with the IR-less template cold tier (software XLTx86):
+     *  Delta_BBT scaled by the measured template/software ratio. */
+    static MachineConfig vmSoftTmpl();
     static MachineConfig vmBe();
     static MachineConfig vmFe();
     static MachineConfig vmInterp();

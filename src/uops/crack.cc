@@ -494,6 +494,14 @@ class Cracker
           }
           case Op::CallInd: {
             u8 tgt = srcValue(in.src, 4);
+            if (tgt == R_ESP) {
+                // call *%esp jumps to ESP's value *before* the push.
+                u8 c = temp();
+                Uop &mv = emit(UOp::Mov);
+                mv.dst = c;
+                mv.src1 = R_ESP;
+                tgt = c;
+            }
             u8 t = temp();
             Uop &li = emit(UOp::Limm);
             li.dst = t;

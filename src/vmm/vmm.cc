@@ -1,5 +1,6 @@
 #include "vmm/vmm.hh"
 
+#include <chrono>
 #include <cstdio>
 
 #include "common/logging.hh"
@@ -41,8 +42,22 @@ makeColdExecutor(x86::Memory &mem, const VmmConfig &cfg, VmmStats &st,
         return std::make_unique<engine::BbtColdExecutor>(
             std::make_unique<engine::XltBbtBackend>(
                 mem, cfg.maxBlockInsns, st));
+      case engine::ColdKind::TemplateBbt:
+        return std::make_unique<engine::BbtColdExecutor>(
+            std::make_unique<engine::TemplateBbtBackend>(
+                mem, cfg.maxBlockInsns, cfg.tmplCoveragePct));
     }
     cdvm_panic("unknown cold-executor kind");
+}
+
+/** Wall nanoseconds elapsed since a steady_clock anchor. */
+u64
+nsSince(std::chrono::steady_clock::time_point t0)
+{
+    return static_cast<u64>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
 }
 
 std::unique_ptr<engine::HotspotDetector>
@@ -249,7 +264,9 @@ Vmm::invokeSbt(Addr seed_pc)
         return;
     }
 
+    const auto xlate_t0 = std::chrono::steady_clock::now();
     std::unique_ptr<Translation> t = sbtBackend.translate(seed_pc);
+    xlateSbtNs.add(nsSince(xlate_t0));
     if (!t) {
         sbtFailed.insert(seed_pc);
         ++st.sbtFormationFailures;
@@ -352,7 +369,11 @@ Vmm::runLoop(x86::CpuState &cpu, InstCount max_insns)
         // Translate-style cold strategies produce a translation on a
         // miss; the core installs it and executes from the cache.
         if (!t && cold->translatesColdCode()) {
+            const auto xlate_t0 = std::chrono::steady_clock::now();
             std::unique_ptr<Translation> nt = cold->translate(pc);
+            (cfg.cold == engine::ColdKind::TemplateBbt ? xlateTmplNs
+                                                       : xlateBbtNs)
+                .add(nsSince(xlate_t0));
             if (!nt) {
                 // First instruction of the block does not decode.
                 return x86::Exit::DecodeFault;
@@ -539,6 +560,20 @@ Vmm::exportCoreStats(StatRegistry &reg) const
         "JCTI exits cracked by the software branch handler");
     set("vmm.trace_clock", traceSink.clock(),
         "virtual work-unit clock at export time");
+
+    // engine.xlate.*: per-backend host translation-time histograms.
+    if (xlateBbtNs.totalWeight() > 0)
+        reg.histogram("engine.xlate.bbt_ns", 2.0, 40,
+                      "uop-lowering BBT translate call (wall ns)") =
+            xlateBbtNs;
+    if (xlateTmplNs.totalWeight() > 0)
+        reg.histogram("engine.xlate.tmpl_ns", 2.0, 40,
+                      "template BBT translate call (wall ns)") =
+            xlateTmplNs;
+    if (xlateSbtNs.totalWeight() > 0)
+        reg.histogram("engine.xlate.sbt_ns", 2.0, 40,
+                      "synchronous SBT translate call (wall ns)") =
+            xlateSbtNs;
 
     // engine.*: bounded profiling containers.
     set("engine.branch_prof.entries", branchProf.size(),

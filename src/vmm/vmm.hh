@@ -228,6 +228,15 @@ class Vmm
     engine::TranslatedExecutor translatedExec;
 
     // --- continuous profiling (dispatch-thread only) ----------------
+    /**
+     * Per-backend host translation-time histograms (wall ns per
+     * translate call), split by producing tier so the template tier's
+     * speedup is observable in the stats, not just benchmarked:
+     * engine.xlate.bbt_ns / tmpl_ns / sbt_ns.
+     */
+    LogHistogram xlateBbtNs{2.0, 40};
+    LogHistogram xlateTmplNs{2.0, 40};
+    LogHistogram xlateSbtNs{2.0, 40};
     engine::SamplingProfiler prof;
     FlightRecorder flight;
     engine::FlightSink flightFeed;

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Instruction *form* keys: a packed shape descriptor for a decoded
+ * instruction that captures everything which determines the micro-op
+ * sequence the cracker would emit -- opcode, operand size, operand
+ * kinds, high-byte register selection, addressing-mode shape -- while
+ * excluding the concrete values (register numbers, immediates,
+ * displacements, branch targets) that only parameterize it.
+ *
+ * Two instructions with the same form key crack to micro-op sequences
+ * of identical shape; the template cold tier (dbt/templates) exploits
+ * this to map forms straight to pre-baked translation templates that
+ * are specialized by value substitution, playing in software the role
+ * the paper's XLTx86 unit plays in hardware.
+ */
+
+#ifndef CDVM_X86_FORM_HH
+#define CDVM_X86_FORM_HH
+
+#include "x86/insn.hh"
+
+namespace cdvm::x86
+{
+
+/** Packed form key; see formKey() for the layout. */
+using FormKey = u32;
+
+namespace detail
+{
+
+/**
+ * 4-bit operand shape: bits 0:1 the operand kind, bits 2:3
+ * kind-dependent attributes.
+ *
+ * Reg:  bit 2 set when reg >= 4 -- selects the AH/CH/DH/BH high-byte
+ *       forms at size 1 (different micro-ops), and keeps probe
+ *       register classes honest at larger sizes.
+ * Mem:  bit 2 = has base register, bit 3 = has index register
+ *       (the four addressing-mode shapes emit different address
+ *       operands).
+ */
+inline u32
+operandShape(const Operand &o)
+{
+    u32 s = static_cast<u32>(o.kind);
+    switch (o.kind) {
+      case Operand::Kind::Reg:
+        if (o.reg >= 4)
+            s |= 1u << 2;
+        break;
+      case Operand::Kind::Mem:
+        if (o.mem.hasBase())
+            s |= 1u << 2;
+        if (o.mem.hasIndex())
+            s |= 1u << 3;
+        break;
+      default:
+        break;
+    }
+    return s;
+}
+
+} // namespace detail
+
+/**
+ * Compute the form key of a decoded instruction.
+ *
+ * Layout:
+ *   [0:7]    opcode (x86::Op)
+ *   [8:9]    operand size (log2: 1 -> 0, 2 -> 1, 4 -> 2)
+ *   [10:13]  dst operand shape
+ *   [14:17]  src operand shape
+ *   [18:21]  src2 operand shape
+ *   [22]     dst and src are the same register (shape-changing
+ *            aliasing: e.g. `mov eax, eax` cracks to nothing)
+ *   [23]     stack-pointer special form: `pop %esp` (the ESP-adjust
+ *            micro-op is elided) or `call *%esp` (the pre-push value
+ *            must be captured in an extra micro-op)
+ */
+inline FormKey
+formKey(const Insn &in)
+{
+    u32 k = static_cast<u32>(in.op);
+    k |= (in.opSize == 1 ? 0u : in.opSize == 2 ? 1u : 2u) << 8;
+    k |= detail::operandShape(in.dst) << 10;
+    k |= detail::operandShape(in.src) << 14;
+    k |= detail::operandShape(in.src2) << 18;
+    if (in.dst.isReg() && in.src.isReg() && in.dst.reg == in.src.reg)
+        k |= 1u << 22;
+    if (in.op == Op::Pop && in.dst.isReg() && in.dst.reg == ESP)
+        k |= 1u << 23;
+    if (in.op == Op::CallInd && in.src.isReg() && in.src.reg == ESP)
+        k |= 1u << 23;
+    return k;
+}
+
+} // namespace cdvm::x86
+
+#endif // CDVM_X86_FORM_HH

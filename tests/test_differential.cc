@@ -33,6 +33,22 @@ cfgSoft()
 }
 
 vmm::VmmConfig
+cfgSoftTmpl()
+{
+    vmm::VmmConfig c = engine::EngineConfig::vmSoftTmpl();
+    c.hotThreshold = 30;
+    return c;
+}
+
+vmm::VmmConfig
+cfgBeTmpl()
+{
+    vmm::VmmConfig c = engine::EngineConfig::vmBeTmpl();
+    c.hotThreshold = 30;
+    return c;
+}
+
+vmm::VmmConfig
 cfgBbtOnly()
 {
     vmm::VmmConfig c = engine::EngineConfig::vmSoft();
@@ -114,6 +130,8 @@ TEST_P(DifferentialTest, AllStrategiesMatchInterpreter)
     };
     const Case cases[] = {
         {"vm.soft (BBT+SBT)", cfgSoft()},
+        {"vm.soft.tmpl (template BBT+SBT)", cfgSoftTmpl()},
+        {"vm.be.tmpl (template BBT+BBB)", cfgBeTmpl()},
         {"BBT only", cfgBbtOnly()},
         {"interp+SBT", cfgInterpSbt()},
         {"vm.fe (x86-mode+BBB)", cfgFrontend()},
@@ -207,6 +225,17 @@ TEST(DifferentialStats, TinyCodeCacheStillCorrect)
         << "tiny code cache";
     EXPECT_GT(stats.bbtCacheFlushes, 0u)
         << "cache was big enough that flushing never happened";
+
+    // The template tier must survive the same flush/retranslate storm.
+    vmm::VmmConfig ct = cfgSoftTmpl();
+    ct.bbtCacheBytes = 1024;
+    ct.sbtCacheBytes = 8192;
+    x86::Memory mem_t;
+    vmm::VmmStats stats_t;
+    RunResult got_t = runVmm(prog, mem_t, ct, &stats_t);
+    EXPECT_TRUE(sameOutcome(prog, ref, ref_mem, got_t, mem_t))
+        << "tiny code cache (template tier)";
+    EXPECT_GT(stats_t.bbtCacheFlushes, 0u);
 }
 
 } // namespace

@@ -168,6 +168,9 @@ TEST(Image, RoundTripFieldEquality)
         EXPECT_EQ(b.containsComplex, a.containsComplex) << i;
         EXPECT_EQ(b.endsInCti, a.endsInCti) << i;
         EXPECT_EQ(b.endsInCondBranch, a.endsInCondBranch) << i;
+        EXPECT_EQ(static_cast<int>(b.provenance),
+                  static_cast<int>(a.provenance))
+            << i;
         EXPECT_EQ(b.condBranchTarget, a.condBranchTarget) << i;
         EXPECT_EQ(b.condBranchPc, a.condBranchPc) << i;
         EXPECT_EQ(b.execCount, a.execCount) << i;
@@ -525,6 +528,75 @@ TEST(Image, WarmRunBitIdenticalToCold)
     EXPECT_EQ(warm_st.warmBodyCopies, 0u);
     EXPECT_GT(warm_st.warmMappedBytes, 0u);
     EXPECT_GT(warm_st.warmRelocations, 0u);
+    std::remove(path.c_str());
+}
+
+TEST(Image, TemplateProvenanceRoundTrip)
+{
+    workload::Program prog = testProgram(33);
+    const std::string path = tempPath("image_tmpl.cdvmimg");
+
+    vmm::VmmConfig cfg = engine::EngineConfig::vmSoftTmpl();
+    cfg.hotThreshold = 30;
+
+    // Cold run under the template tier; the captured repository and
+    // the image byte format both remember the producing tier.
+    x86::Memory cold_mem;
+    prog.loadInto(cold_mem);
+    RunResult cold;
+    cold.cpu = prog.initialState();
+    {
+        vmm::Vmm vm(cold_mem, cfg);
+        cold.exit = vm.run(cold.cpu, 10'000'000);
+        cold.retired = cold.cpu.icount;
+
+        const dbt::Repository repo = vm.captureWarmStart();
+        ASSERT_FALSE(repo.entries.empty());
+        std::size_t tmpl = 0, sbt = 0;
+        for (const auto &e : repo.entries) {
+            tmpl += e.provenance == dbt::TransProvenance::TmplBbt;
+            sbt += e.provenance == dbt::TransProvenance::Sbt;
+        }
+        EXPECT_GT(tmpl, 0u) << "no template-built blocks captured";
+        EXPECT_GT(sbt, 0u) << "no superblocks captured";
+
+        const dbt::Repository back =
+            adopted(builtImage(repo)).toRepository();
+        ASSERT_EQ(back.entries.size(), repo.entries.size());
+        for (std::size_t i = 0; i < repo.entries.size(); ++i)
+            EXPECT_EQ(static_cast<int>(back.entries[i].provenance),
+                      static_cast<int>(repo.entries[i].provenance))
+                << i;
+
+        ASSERT_TRUE(vm.saveWarmStart(path));
+    }
+
+    // Warm boot: the zero-copy install restores provenance, the run
+    // needs no cold template translation, and retire is identical.
+    vmm::VmmConfig warm_cfg = cfg;
+    warm_cfg.warmStartLoadPath = path;
+    x86::Memory warm_mem;
+    prog.loadInto(warm_mem);
+    RunResult warm;
+    warm.cpu = prog.initialState();
+    vmm::Vmm vm(warm_mem, warm_cfg);
+
+    std::size_t tmpl_installed = 0, installed = 0;
+    vm.translations().forEach([&](const dbt::Translation &t) {
+        ++installed;
+        tmpl_installed +=
+            t.provenance == dbt::TransProvenance::TmplBbt;
+    });
+    EXPECT_GT(installed, 0u) << "warm start installed nothing";
+    EXPECT_GT(tmpl_installed, 0u)
+        << "template provenance lost across the image";
+
+    warm.exit = vm.run(warm.cpu, 10'000'000);
+    warm.retired = warm.cpu.icount;
+    EXPECT_TRUE(sameOutcome(prog, cold, cold_mem, warm, warm_mem));
+    EXPECT_EQ(warm.retired, cold.retired);
+    EXPECT_EQ(vm.stats().bbtTranslations, 0u)
+        << "warm template boot fell back to cold translation";
     std::remove(path.c_str());
 }
 
