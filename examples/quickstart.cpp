@@ -27,7 +27,9 @@
  */
 
 #include <chrono>
+#include <csignal>
 #include <cstdio>
+#include <thread>
 
 #include "analysis/startup_curve.hh"
 #include "x86/decode_cache.hh"
@@ -35,6 +37,8 @@
 #include "common/statreg.hh"
 #include "engine/engine_config.hh"
 #include "fleet/fleet.hh"
+#include "serve/image_client.hh"
+#include "serve/image_host.hh"
 #include "timing/startup_sim.hh"
 #include "vmm/vmm.hh"
 #include "workload/winstone.hh"
@@ -46,6 +50,14 @@ using namespace cdvm::x86;
 
 namespace
 {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void
+onStopSignal(int)
+{
+    g_stop = 1;
+}
 
 /** Timing-machine preset matching an engine configuration. */
 timing::MachineConfig
@@ -209,6 +221,14 @@ main(int argc, char **argv)
     cli.flag("snapshot-every", "0",
              "take an interval snapshot of the vmm.* counters every N "
              "retired instructions (0 = off)");
+    cli.flag("serve-image", "",
+             "after the run, publish the captured translation image "
+             "on this Unix-domain socket and serve it to sibling "
+             "processes until SIGINT/SIGTERM");
+    cli.flag("connect-image", "",
+             "warm start by mapping the image served by an image "
+             "host daemon at this socket (falls back to a cold boot "
+             "when the daemon is unreachable)");
     cli.flag("contexts", "1",
              "host this many guest contexts as a multi-tenant fleet "
              "(1 = the classic single-VM quickstart)");
@@ -291,7 +311,34 @@ main(int argc, char **argv)
     cfg.flightDumpPath = cli.str("flight-dump");
     cfg.snapshotEveryInsns =
         static_cast<u64>(cli.num("snapshot-every"));
-    vmm::Vmm vm(vm_mem, cfg);
+
+    // Cross-process warm start: bind the VM to an image-host daemon.
+    // The endpoint resolves to a generation handle inside the Vmm
+    // ctor; an unreachable daemon leaves the handle null and the VM
+    // boots cold — serving is an accelerator, never a dependency.
+    engine::SharedServices svc;
+    std::shared_ptr<serve::ImageClient> img_client;
+    if (!cli.str("connect-image").empty()) {
+        img_client = std::make_shared<serve::ImageClient>();
+        if (img_client->connect(cli.str("connect-image")) &&
+            img_client->acquire()) {
+            const auto img = img_client->acquire();
+            std::printf("connected to image host %s: generation "
+                        "%llu, %llu bytes mapped %s\n",
+                        cli.str("connect-image").c_str(),
+                        static_cast<unsigned long long>(
+                            img_client->generation()),
+                        static_cast<unsigned long long>(
+                            img->sizeBytes()),
+                        dbt::MapSource::kindName(img->backingKind()));
+        } else {
+            std::printf("image host unreachable (%s): cold boot\n",
+                        img_client->lastError().c_str());
+        }
+        svc.imageEndpoint = img_client;
+    }
+
+    vmm::Vmm vm(vm_mem, cfg, svc);
     const auto host_t0 = std::chrono::steady_clock::now();
     e = vm.run(vm_cpu, 100'000'000);
     const std::chrono::duration<double> host_dt =
@@ -319,7 +366,8 @@ main(int argc, char **argv)
     std::printf("  dispatches / chained:   %llu / %llu\n",
                 static_cast<unsigned long long>(st.dispatches),
                 static_cast<unsigned long long>(st.chainFollows));
-    if (!cfg.warmStartLoadPath.empty()) {
+    if (!cfg.warmStartLoadPath.empty() ||
+        (img_client && img_client->acquire())) {
         std::printf("  warm start:             %llu loaded, %llu "
                     "installed, %llu invalidated, %llu profile "
                     "entries seeded\n",
@@ -428,7 +476,9 @@ main(int argc, char **argv)
     // track 1.
     workload::AppProfile app = workload::winstoneAverage(2'000'000);
     timing::StartupSim sim(
-        machineFor(cfg.name, !cfg.warmStartLoadPath.empty()), app);
+        machineFor(cfg.name, !cfg.warmStartLoadPath.empty() ||
+                                 (img_client && img_client->acquire())),
+        app);
     timing::StartupResult sr = sim.run();
     timing::StartupSim ref_sim(timing::MachineConfig::refSuperscalar(),
                                app);
@@ -451,5 +501,41 @@ main(int argc, char **argv)
               ref_cpu.eip == vm_cpu.eip;
     std::printf("\narchitected state matches the interpreter: %s\n",
                 ok ? "YES" : "NO");
+
+    // --- cross-process image serving ----------------------------------
+    // Turn this process into an image-host daemon: capture what the
+    // run translated, seal it into one immutable memory object, and
+    // hand the fd to every --connect-image sibling until a stop
+    // signal. N siblings share ONE physical copy of the image.
+    if (ok && !cli.str("serve-image").empty()) {
+        dbt::ImageBuilder b(dbt::ImageBuilder::Options{
+            static_cast<u64>(cli.num("cache-budget")), 1});
+        b.add(vm.captureWarmStart());
+        serve::ImageHost host;
+        if (!host.publish(b.build()) ||
+            !host.start(cli.str("serve-image"))) {
+            std::fprintf(stderr, "image host failed: %s\n",
+                         host.lastError().c_str());
+            return 1;
+        }
+        std::signal(SIGINT, onStopSignal);
+        std::signal(SIGTERM, onStopSignal);
+        std::printf("serving warm-start image on %s (%zu records, "
+                    "generation %llu); stop with SIGINT/SIGTERM\n",
+                    cli.str("serve-image").c_str(),
+                    host.acquire()->recordCount(),
+                    static_cast<unsigned long long>(
+                        host.generation()));
+        std::fflush(stdout);
+        while (!g_stop)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(50));
+        const serve::ImageHost::Stats hs = host.stats();
+        host.stop();
+        std::printf("image host done: %llu clients served, %llu "
+                    "images sent\n",
+                    static_cast<unsigned long long>(hs.clientsServed),
+                    static_cast<unsigned long long>(hs.imagesSent));
+    }
     return ok ? 0 : 1;
 }

@@ -2,17 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 
 #include "uops/encoding.hh"
-
-#ifdef __unix__
-#include <fcntl.h>
-#include <sys/mman.h>
-#include <sys/stat.h>
-#include <unistd.h>
-#endif
 
 namespace cdvm::dbt
 {
@@ -191,11 +185,9 @@ TransImage::operator=(TransImage &&other) noexcept
     if (this == &other)
         return *this;
     reset();
+    backing = std::move(other.backing);
     base = other.base;
     len = other.len;
-    mapBase = other.mapBase;
-    mapLen = other.mapLen;
-    owned = std::move(other.owned);
     deltas = other.deltas;
     migrated = other.migrated;
     hdr = other.hdr;
@@ -205,8 +197,6 @@ TransImage::operator=(TransImage &&other) noexcept
     recordsBase = other.recordsBase;
     relocations = other.relocations;
     branches = other.branches;
-    other.mapBase = nullptr;
-    other.mapLen = 0;
     other.reset();
     return *this;
 }
@@ -214,13 +204,7 @@ TransImage::operator=(TransImage &&other) noexcept
 void
 TransImage::reset()
 {
-#ifdef __unix__
-    if (mapBase)
-        ::munmap(mapBase, mapLen);
-#endif
-    mapBase = nullptr;
-    mapLen = 0;
-    owned.reset();
+    backing = MapSource();
     base = nullptr;
     len = 0;
     deltas = 0;
@@ -365,10 +349,9 @@ LoadError
 TransImage::adopt(std::span<const u8> bytes, TransImage &out)
 {
     TransImage img;
-    img.owned = std::make_unique<u64[]>((bytes.size() + 7) / 8);
-    std::memcpy(img.owned.get(), bytes.data(), bytes.size());
-    img.base = reinterpret_cast<const u8 *>(img.owned.get());
-    img.len = bytes.size();
+    img.backing = MapSource::ownedCopy(bytes);
+    img.base = img.backing.data();
+    img.len = img.backing.size();
     const LoadError e = img.verify();
     if (e != LoadError::None)
         return e;
@@ -381,40 +364,30 @@ TransImage::adopt(std::span<const u8> bytes, TransImage &out)
 LoadError
 TransImage::load(const std::string &path, TransImage &out)
 {
+    LoadError e = LoadError::None;
+    MapSource src = MapSource::mapFile(path, e);
+    if (e != LoadError::None)
+        return e;
+    return fromSource(std::move(src), out);
+}
+
+LoadError
+TransImage::loadFd(int fd, TransImage &out)
+{
+    LoadError e = LoadError::None;
+    MapSource src = MapSource::mapFd(fd, e);
+    if (e != LoadError::None)
+        return e;
+    return fromSource(std::move(src), out);
+}
+
+LoadError
+TransImage::fromSource(MapSource src, TransImage &out)
+{
     TransImage img;
-#ifdef __unix__
-    const int fd = ::open(path.c_str(), O_RDONLY);
-    if (fd < 0)
-        return LoadError::Io;
-    struct stat sb{};
-    if (::fstat(fd, &sb) != 0 || sb.st_size <= 0) {
-        ::close(fd);
-        return sb.st_size == 0 ? LoadError::Truncated : LoadError::Io;
-    }
-    void *m = ::mmap(nullptr, static_cast<std::size_t>(sb.st_size),
-                     PROT_READ, MAP_SHARED, fd, 0);
-    ::close(fd);
-    if (m == MAP_FAILED)
-        return LoadError::Io;
-    img.mapBase = m;
-    img.mapLen = static_cast<std::size_t>(sb.st_size);
-    img.base = static_cast<const u8 *>(m);
-    img.len = img.mapLen;
-#else
-    std::FILE *f = std::fopen(path.c_str(), "rb");
-    if (!f)
-        return LoadError::Io;
-    std::vector<u8> data;
-    u8 buf[65536];
-    std::size_t got;
-    while ((got = std::fread(buf, 1, sizeof buf, f)) > 0)
-        data.insert(data.end(), buf, buf + got);
-    std::fclose(f);
-    img.owned = std::make_unique<u64[]>((data.size() + 7) / 8);
-    std::memcpy(img.owned.get(), data.data(), data.size());
-    img.base = reinterpret_cast<const u8 *>(img.owned.get());
-    img.len = data.size();
-#endif
+    img.backing = std::move(src);
+    img.base = img.backing.data();
+    img.len = img.backing.size();
     if (img.len < 8)
         return LoadError::Truncated;
 
@@ -481,12 +454,10 @@ TransImage::load(const std::string &path, TransImage &out)
 bool
 TransImage::save(const std::string &path, std::span<const u8> image)
 {
-    std::FILE *f = std::fopen(path.c_str(), "wb");
-    if (!f)
-        return false;
-    const bool ok =
-        std::fwrite(image.data(), 1, image.size(), f) == image.size();
-    return std::fclose(f) == 0 && ok;
+    // Atomic replace: a concurrent mapper of path sees either the old
+    // complete image or the new one, never a truncated-then-rewritten
+    // window.
+    return atomicWriteFile(path, image);
 }
 
 bool
@@ -496,12 +467,15 @@ TransImage::appendDelta(const std::string &path,
     // Only append to something that really is a base image.
     {
         std::FILE *f = std::fopen(path.c_str(), "rb");
-        if (!f)
+        if (!f) {
+            setLastIoErrno(errno);
             return false;
+        }
         u8 magic[8];
         const bool head_ok =
             std::fread(magic, 1, sizeof magic, f) == sizeof magic;
-        std::fclose(f);
+        if (std::fclose(f) != 0)
+            setLastIoErrno(errno);
         if (!head_ok || readU64(magic) != IMAGE_MAGIC)
             return false;
     }
@@ -511,11 +485,20 @@ TransImage::appendDelta(const std::string &path,
     putU64(seg, payload.size());
     seg.insert(seg.end(), payload.begin(), payload.end());
     std::FILE *f = std::fopen(path.c_str(), "ab");
-    if (!f)
+    if (!f) {
+        setLastIoErrno(errno);
         return false;
-    const bool ok =
+    }
+    bool ok =
         std::fwrite(seg.data(), 1, seg.size(), f) == seg.size();
-    return std::fclose(f) == 0 && ok;
+    if (!ok)
+        setLastIoErrno(errno);
+    if (std::fclose(f) != 0) {
+        if (ok)
+            setLastIoErrno(errno);
+        ok = false;
+    }
+    return ok;
 }
 
 Repository

@@ -59,6 +59,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "dbt/mapsource.hh"
 #include "dbt/persist.hh"
 #include "uops/uop.hh"
 
@@ -203,11 +204,12 @@ static_assert(sizeof(uops::Uop) % 8 == 0);
 u64 pageSetKey(std::span<const std::pair<Addr, u64>> sorted_pages);
 
 /**
- * A verified, read-only translation image. Backed either by a file
- * mapping (mmap, shared with sibling processes) or by one adopted
- * aligned buffer (one memcpy). All accessors return views into that
- * backing store; the TransImage must outlive every view, which the
- * engine guarantees by holding a shared_ptr on the services handle.
+ * A verified, read-only translation image. Backed by an explicit
+ * MapSource — a private file mapping, a MAP_SHARED mapping of a
+ * daemon-passed fd, or one adopted aligned buffer (one memcpy). All
+ * accessors return views into that backing store; the TransImage must
+ * outlive every view, which the engine guarantees by holding a
+ * shared_ptr on the services handle.
  */
 class TransImage
 {
@@ -229,11 +231,21 @@ class TransImage
      */
     static LoadError load(const std::string &path, TransImage &out);
 
+    /**
+     * Map an already-open image fd MAP_SHARED read-only (the
+     * cross-process serving path: a sealed memfd or file received
+     * over a Unix-domain socket). The fd is borrowed — the caller may
+     * close it after this returns. Migration and delta merge work
+     * exactly like load().
+     */
+    static LoadError loadFd(int fd, TransImage &out);
+
     /** Adopt a serialized image byte-for-byte (one memcpy into an
      *  8-aligned buffer); verifies exactly like load(). */
     static LoadError adopt(std::span<const u8> bytes, TransImage &out);
 
-    /** Write a built image blob to path (truncating: compaction). */
+    /** Write a built image blob to path (atomic temp+fsync+rename
+     *  replace: a concurrent mapper never observes a torn image). */
     static bool save(const std::string &path, std::span<const u8> image);
 
     /**
@@ -246,7 +258,12 @@ class TransImage
 
     const ImageHeader &header() const { return *hdr; }
     u64 sizeBytes() const { return len; }
-    bool isMapped() const { return mapBase != nullptr; }
+    /** Backed by a shareable mapping (file or passed fd) rather than
+     *  a private heap copy. */
+    bool isMapped() const { return backing.shared(); }
+    MapSource::Kind backingKind() const { return backing.kind(); }
+    /** Page-residency snapshot of the backing (dbt.image.pages.*). */
+    MapResidency residency() const { return backing.residency(); }
     /** Delta segments merged at load (0 for a compact image). */
     unsigned deltaSegments() const { return deltas; }
     bool migratedFromV1() const { return migrated; }
@@ -282,13 +299,13 @@ class TransImage
      *  section views. base/len must already be set. */
     LoadError verify();
     void reset();
+    /** Shared load tail over any backing: v1 migration, verification,
+     *  delta-segment merge. out is valid only on LoadError::None. */
+    static LoadError fromSource(MapSource src, TransImage &out);
 
+    MapSource backing;        //!< owns the bytes (map or heap copy)
     const u8 *base = nullptr; //!< verified image bytes (8-aligned)
-    u64 len = 0;              //!< header.totalBytes once verified
-
-    void *mapBase = nullptr; //!< mmap backing (whole file)
-    std::size_t mapLen = 0;
-    std::unique_ptr<u64[]> owned; //!< adopted backing (aligned copy)
+    u64 len = 0;              //!< full backing size (deltas included)
 
     unsigned deltas = 0;
     bool migrated = false;
@@ -362,13 +379,34 @@ class ImageBuilder
 };
 
 /**
+ * Where a VM gets its warm-start image generations from. One
+ * interface, two bindings: ImageStore (in-process, the image lives in
+ * this address space) and serve::ImageClient (cross-process, the image
+ * is a MAP_SHARED mapping of an fd served by an ImageHost daemon).
+ * Consumers — Vmm construction, fleet admission — resolve the
+ * endpoint to a generation handle and never care which binding it is.
+ */
+class ImageEndpoint
+{
+  public:
+    virtual ~ImageEndpoint() = default;
+
+    /** The current image generation (null = boot cold). The handle
+     *  stays valid after newer generations are published. */
+    virtual std::shared_ptr<const TransImage> acquire() const = 0;
+
+    /** Monotonic publish counter (0 = nothing published yet). */
+    virtual u64 generation() const = 0;
+};
+
+/**
  * Generation store for single-writer / concurrent-reader sharing.
  * Readers acquire the current image handle; the writer merges deltas
  * or compacts into a *new* image and publishes it with one swap. Old
  * generations stay valid until their last reader releases the handle
  * (shared_ptr lifetime), so installs racing a publish are safe.
  */
-class ImageStore
+class ImageStore : public ImageEndpoint
 {
   public:
     ImageStore() = default;
@@ -379,7 +417,7 @@ class ImageStore
 
     /** Reader side: the current generation (may be null). */
     std::shared_ptr<const TransImage>
-    acquire() const
+    acquire() const override
     {
         std::lock_guard<std::mutex> lock(mu);
         return cur;
@@ -402,7 +440,7 @@ class ImageStore
     LoadError append(const Repository &delta, u64 size_budget = 0);
 
     u64
-    generation() const
+    generation() const override
     {
         std::lock_guard<std::mutex> lock(mu);
         return gen;

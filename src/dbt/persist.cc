@@ -1,11 +1,18 @@
 #include "dbt/persist.hh"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <unordered_map>
 
 #include "uops/encoding.hh"
 #include "x86/decoder.hh"
+
+#ifdef __unix__
+#include <fcntl.h>
+#include <unistd.h>
+#endif
 
 namespace cdvm::dbt
 {
@@ -168,7 +175,33 @@ getEntry(Reader &r, SavedTranslation &e)
     return r.ok;
 }
 
+/** Per-thread errno detail behind LoadError::Io (see lastIoErrno). */
+thread_local int last_io_errno = 0;
+
 } // namespace
+
+int
+lastIoErrno()
+{
+    return last_io_errno;
+}
+
+void
+setLastIoErrno(int err)
+{
+    last_io_errno = err;
+}
+
+std::string
+loadErrorDetail(LoadError e)
+{
+    std::string s = loadErrorName(e);
+    if (e == LoadError::Io && last_io_errno) {
+        s += ": ";
+        s += std::strerror(last_io_errno);
+    }
+    return s;
+}
 
 const char *
 loadErrorName(LoadError e)
@@ -456,30 +489,100 @@ staleEntries(const Repository &repo, const x86::Memory &mem)
 }
 
 bool
+atomicWriteFile(const std::string &path, std::span<const u8> bytes)
+{
+#ifdef __unix__
+    // The temp file must live in the same directory as path so the
+    // final rename() is same-filesystem and therefore atomic.
+    std::string tmp = path + ".tmp.XXXXXX";
+    const int fd = ::mkstemp(tmp.data());
+    if (fd < 0) {
+        setLastIoErrno(errno);
+        return false;
+    }
+    bool ok = true;
+    std::size_t done = 0;
+    while (ok && done < bytes.size()) {
+        const ssize_t n =
+            ::write(fd, bytes.data() + done, bytes.size() - done);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            setLastIoErrno(errno);
+            ok = false;
+            break;
+        }
+        done += static_cast<std::size_t>(n);
+    }
+    // The rename must not be observable before the data is durable,
+    // or a crash could leave the new name pointing at torn contents.
+    if (ok && ::fsync(fd) != 0) {
+        setLastIoErrno(errno);
+        ok = false;
+    }
+    if (::close(fd) != 0 && ok) {
+        setLastIoErrno(errno);
+        ok = false;
+    }
+    if (ok && ::rename(tmp.c_str(), path.c_str()) != 0) {
+        setLastIoErrno(errno);
+        ok = false;
+    }
+    if (!ok)
+        ::unlink(tmp.c_str());
+    return ok;
+#else
+    const std::string tmp = path + ".tmp";
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (!f) {
+        setLastIoErrno(errno);
+        return false;
+    }
+    bool ok =
+        std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+    if (!ok)
+        setLastIoErrno(errno);
+    if (std::fclose(f) != 0 && ok) {
+        setLastIoErrno(errno);
+        ok = false;
+    }
+    if (ok) {
+        std::remove(path.c_str());
+        ok = std::rename(tmp.c_str(), path.c_str()) == 0;
+        if (!ok)
+            setLastIoErrno(errno);
+    }
+    if (!ok)
+        std::remove(tmp.c_str());
+    return ok;
+#endif
+}
+
+bool
 saveFile(const std::string &path, const Repository &repo)
 {
     const std::vector<u8> bytes = serialize(repo);
-    std::FILE *f = std::fopen(path.c_str(), "wb");
-    if (!f)
-        return false;
-    const bool ok =
-        std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
-    return std::fclose(f) == 0 && ok;
+    return atomicWriteFile(path, bytes);
 }
 
 LoadError
 loadFile(const std::string &path, Repository &out)
 {
     std::FILE *f = std::fopen(path.c_str(), "rb");
-    if (!f)
+    if (!f) {
+        setLastIoErrno(errno);
         return LoadError::Io;
+    }
     std::vector<u8> bytes;
     u8 buf[65536];
     std::size_t n;
     while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
         bytes.insert(bytes.end(), buf, buf + n);
     const bool read_err = std::ferror(f) != 0;
-    std::fclose(f);
+    if (read_err)
+        setLastIoErrno(errno);
+    if (std::fclose(f) != 0 && !read_err)
+        setLastIoErrno(errno);
     if (read_err)
         return LoadError::Io;
     return deserialize(bytes, out);

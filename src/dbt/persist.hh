@@ -64,6 +64,17 @@ enum class LoadError
 
 const char *loadErrorName(LoadError e);
 
+/**
+ * errno captured at this thread's most recent failing I/O operation on
+ * a repository/image load or save path (0 = no failure recorded).
+ * LoadError::Io says *that* an OS call failed; this says *why*.
+ */
+int lastIoErrno();
+/** Record errno detail for lastIoErrno() (load/save internals). */
+void setLastIoErrno(int err);
+/** loadErrorName() plus, for Io, the captured strerror detail. */
+std::string loadErrorDetail(LoadError e);
+
 /** Chain record: target PC plus the successor's record index. */
 struct SavedChain
 {
@@ -184,7 +195,18 @@ LoadError deserialize(std::span<const u8> bytes, Repository &out);
 std::unordered_set<std::size_t> staleEntries(const Repository &repo,
                                              const x86::Memory &mem);
 
-/** Write the serialized repository to path. @return success. */
+/**
+ * Atomically replace path with bytes: write a temp file in the same
+ * directory, flush it to stable storage (fsync where available), then
+ * rename() over path. A concurrent reader of path sees either the old
+ * complete file or the new complete file, never a torn mix — the
+ * contract the image host relies on when compacting under live
+ * mappers. On failure the temp file is removed and lastIoErrno() has
+ * the detail.
+ */
+bool atomicWriteFile(const std::string &path, std::span<const u8> bytes);
+
+/** Write the serialized repository to path (atomic replace). */
 bool saveFile(const std::string &path, const Repository &repo);
 
 /** Read and deserialize path. */

@@ -65,6 +65,16 @@ struct SharedServices
      * it — which the shared_ptr guarantees per context.
      */
     std::shared_ptr<const dbt::TransImage> warmImage;
+
+    /**
+     * Where to *get* image generations from when warmImage is not
+     * pinned explicitly: an in-process dbt::ImageStore or a
+     * serve::ImageClient bound to an image-host daemon — one
+     * interface, resolved to a generation handle at Vmm construction
+     * (and at fleet admission). A null acquire() means boot cold, so
+     * a missing/failed daemon degrades gracefully.
+     */
+    std::shared_ptr<dbt::ImageEndpoint> imageEndpoint;
 };
 
 } // namespace cdvm::engine

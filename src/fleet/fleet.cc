@@ -214,10 +214,14 @@ FleetServer::admit(std::size_t idx, u64 due)
     engine::SharedServices svc;
     svc.sbtPool = pool.get();
     // One shared zero-copy image for the whole fleet wins over the
-    // per-class parsed repositories.
-    if (cfg.warmImage)
+    // per-class parsed repositories. An endpoint binding wins over
+    // both: it is resolved per admission, so later contexts pick up
+    // newly published generations.
+    if (cfg.imageEndpoint)
+        svc.warmImage = cfg.imageEndpoint->acquire();
+    if (!svc.warmImage && cfg.warmImage)
         svc.warmImage = cfg.warmImage;
-    else if (!cfg.warmRepos.empty())
+    if (!svc.warmImage && !cfg.warmRepos.empty())
         svc.warmRepo =
             cfg.warmRepos[t.workload % cfg.warmRepos.size()];
 

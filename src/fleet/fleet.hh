@@ -176,6 +176,17 @@ struct FleetConfig
      */
     std::shared_ptr<const dbt::TransImage> warmImage;
 
+    /**
+     * Image-endpoint binding: where the fleet *gets* its shared image
+     * from — an in-process dbt::ImageStore or a serve::ImageClient
+     * bound to an image-host daemon in another process. Highest
+     * precedence; resolved to a generation handle at each admission,
+     * so contexts admitted after a publish pick up the new generation
+     * while running contexts keep theirs. A null acquire() falls
+     * through to warmImage/warmRepos (and then to cold boots).
+     */
+    std::shared_ptr<dbt::ImageEndpoint> imageEndpoint;
+
     /** Fold each retired context's full stat export into a
      *  ctx.<id>.* subtree (exportStats). Off by default: 256 contexts
      *  of per-context histograms are bulky. */

@@ -1,0 +1,101 @@
+#include "serve/protocol.hh"
+
+#ifdef __unix__
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace cdvm::serve
+{
+
+bool
+sendWithFd(int sock, const void *buf, std::size_t n, int fd)
+{
+    const u8 *p = static_cast<const u8 *>(buf);
+    std::size_t done = 0;
+    bool fd_pending = fd >= 0;
+    while (done < n) {
+        struct iovec iov;
+        iov.iov_base = const_cast<u8 *>(p + done);
+        iov.iov_len = n - done;
+        struct msghdr msg{};
+        msg.msg_iov = &iov;
+        msg.msg_iovlen = 1;
+        // The descriptor rides on the first fragment only; the kernel
+        // delivers it with the byte it was attached to.
+        alignas(struct cmsghdr) char ctrl[CMSG_SPACE(sizeof(int))];
+        if (fd_pending) {
+            std::memset(ctrl, 0, sizeof ctrl);
+            msg.msg_control = ctrl;
+            msg.msg_controllen = CMSG_SPACE(sizeof(int));
+            struct cmsghdr *cm = CMSG_FIRSTHDR(&msg);
+            cm->cmsg_level = SOL_SOCKET;
+            cm->cmsg_type = SCM_RIGHTS;
+            cm->cmsg_len = CMSG_LEN(sizeof(int));
+            std::memcpy(CMSG_DATA(cm), &fd, sizeof(int));
+        }
+        const ssize_t sent = ::sendmsg(sock, &msg, MSG_NOSIGNAL);
+        if (sent < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        fd_pending = false;
+        done += static_cast<std::size_t>(sent);
+    }
+    return true;
+}
+
+bool
+recvWithFd(int sock, void *buf, std::size_t n, int *fd_out)
+{
+    if (fd_out)
+        *fd_out = -1;
+    u8 *p = static_cast<u8 *>(buf);
+    std::size_t done = 0;
+    while (done < n) {
+        struct iovec iov;
+        iov.iov_base = p + done;
+        iov.iov_len = n - done;
+        struct msghdr msg{};
+        msg.msg_iov = &iov;
+        msg.msg_iovlen = 1;
+        alignas(struct cmsghdr) char ctrl[CMSG_SPACE(sizeof(int))];
+        msg.msg_control = ctrl;
+        msg.msg_controllen = sizeof ctrl;
+        const ssize_t got = ::recvmsg(sock, &msg, 0);
+        if (got < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (got == 0)
+            return false; // peer closed mid-message
+        for (struct cmsghdr *cm = CMSG_FIRSTHDR(&msg); cm;
+             cm = CMSG_NXTHDR(&msg, cm)) {
+            if (cm->cmsg_level != SOL_SOCKET ||
+                cm->cmsg_type != SCM_RIGHTS)
+                continue;
+            const std::size_t nfds =
+                (cm->cmsg_len - CMSG_LEN(0)) / sizeof(int);
+            for (std::size_t i = 0; i < nfds; ++i) {
+                int fd = -1;
+                std::memcpy(&fd, CMSG_DATA(cm) + i * sizeof(int),
+                            sizeof(int));
+                if (fd_out && *fd_out < 0)
+                    *fd_out = fd;
+                else if (fd >= 0)
+                    ::close(fd); // surplus descriptors never leak
+            }
+        }
+        done += static_cast<std::size_t>(got);
+    }
+    return true;
+}
+
+} // namespace cdvm::serve
+
+#endif // __unix__

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Wire protocol for cross-process image serving.
+ *
+ * One request/reply pair over a SOCK_STREAM Unix-domain socket. The
+ * client sends a fixed-size ImageRequest; the host answers with a
+ * fixed-size ImageReply and — when an image generation is published —
+ * attaches the read-only descriptor of its sealed image object as
+ * SCM_RIGHTS ancillary data on the same sendmsg(). The client maps
+ * that fd MAP_SHARED and closes it; the mapping keeps the image bytes
+ * alive, and every mapper in the fleet shares ONE physical copy.
+ *
+ *   client                        host (ImageHost)
+ *     |--- ImageRequest ----------->|
+ *     |<-- ImageReply + [fd] -------|   fd: sealed memfd, read-only
+ *     |    mmap(fd, MAP_SHARED)     |
+ *     |    close(fd)                |
+ *
+ * All integer fields are little-endian (both ends of a Unix-domain
+ * socket are the same host, so no swapping is performed; the layout
+ * is fixed so a mixed-version handshake fails loudly on the version
+ * field rather than silently).
+ */
+
+#ifndef CDVM_SERVE_PROTOCOL_HH
+#define CDVM_SERVE_PROTOCOL_HH
+
+#include <cstddef>
+
+#include "common/types.hh"
+
+namespace cdvm::serve
+{
+
+/** Handshake magic ("CDVMSRV1" as a little-endian u64). */
+constexpr u64 SERVE_MAGIC = 0x315652534D564443ull;
+/** Serving protocol version. */
+constexpr u32 SERVE_VERSION = 1;
+
+/** Client -> host: "send me your current image generation". */
+struct ImageRequest
+{
+    u64 magic = SERVE_MAGIC;
+    u32 version = SERVE_VERSION;
+    u32 reserved = 0;
+};
+static_assert(sizeof(ImageRequest) == 16);
+
+/** ImageReply::status values. */
+enum class ReplyStatus : u32
+{
+    Image = 0,      //!< reply carries an fd for `generation`
+    NoImage = 1,    //!< host is up but nothing published yet
+    BadRequest = 2, //!< magic/version mismatch
+};
+
+/** Host -> client: generation metadata; fd rides as SCM_RIGHTS. */
+struct ImageReply
+{
+    u64 magic = SERVE_MAGIC;
+    u32 version = SERVE_VERSION;
+    u32 status = 0; //!< ReplyStatus
+    u64 generation = 0;
+    u64 imageBytes = 0; //!< size of the attached image object
+};
+static_assert(sizeof(ImageReply) == 32);
+
+#ifdef __unix__
+
+/**
+ * Send exactly n bytes on a stream socket, attaching fd (when >= 0)
+ * as SCM_RIGHTS ancillary data on the first fragment.
+ * @return success; errno holds the detail on failure.
+ */
+bool sendWithFd(int sock, const void *buf, std::size_t n, int fd);
+
+/**
+ * Receive exactly n bytes, capturing at most one passed descriptor
+ * into *fd_out (-1 if none arrived). Any surplus descriptors are
+ * closed. @return success (false on EOF/short read/error).
+ */
+bool recvWithFd(int sock, void *buf, std::size_t n, int *fd_out);
+
+#endif // __unix__
+
+} // namespace cdvm::serve
+
+#endif // CDVM_SERVE_PROTOCOL_HH

@@ -134,6 +134,15 @@ Vmm::Vmm(x86::Memory &memory, const VmmConfig &config,
     // per process, and the install still validates against *this*
     // context's guest memory. A path load keeps the parsed image on
     // the services handle: mapped translations are views into it.
+    //
+    // An image *endpoint* (in-process store or cross-process daemon
+    // client) resolves to a pinned generation handle here, before the
+    // precedence check: the handle — and every view installed from it
+    // — stays valid even after the endpoint publishes newer
+    // generations. A null acquire() (nothing published, daemon gone)
+    // simply leaves the lower-precedence sources in play.
+    if (!svc.warmImage && svc.imageEndpoint)
+        svc.warmImage = svc.imageEndpoint->acquire();
     if (svc.warmImage || svc.warmRepo ||
         !cfg.warmStartLoadPath.empty()) {
         engine::WarmStartReport rep;
@@ -551,6 +560,17 @@ Vmm::exportCoreStats(StatRegistry &reg) const
             "records merged by content when the image was built");
         set("vmm.warm.image.evicted", svc.warmImage->header().evicted,
             "cold-tail records evicted by the image size budget");
+        // Backing-store residency: how much of the image is faulted
+        // in, and how much of that is physically shared with sibling
+        // processes (file/fd mappings) rather than a private copy.
+        const dbt::MapResidency res = svc.warmImage->residency();
+        set("dbt.image.pages.total", res.pagesTotal,
+            "pages spanned by the warm image backing store");
+        set("dbt.image.pages.resident", res.pagesResident,
+            "image pages resident in physical memory (mincore)");
+        set("dbt.image.pages.shared", res.pagesShared,
+            "resident pages in a shareable mapping (one copy "
+            "across processes)");
     }
     set("vmm.xlt.insns_translated", st.xltInsnsTranslated,
         "x86 instructions translated through the HAloop");
